@@ -1,0 +1,343 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section IV). Each benchmark prints the reproduced artifact once (so the
+// benchmark log doubles as the experiment record) and reports the headline
+// quality numbers as custom metrics.
+//
+// The expensive fixture — the 1054-flip-flop study with its flat
+// fault-injection campaign — is built once per process and shared
+// (repro.SharedStudy). Environment knobs: FFR_INJECTIONS (default 170),
+// FFR_SEED, FFR_WORKERS.
+//
+// Run a single experiment with e.g.:
+//
+//	go test -bench=BenchmarkTable1 -benchtime=1x .
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/fault"
+	"repro/internal/features"
+)
+
+var printOnce sync.Map
+
+// printArtifact emits an experiment artifact exactly once per process.
+func printArtifact(id string, render func()) {
+	once, _ := printOnce.LoadOrStore(id, new(sync.Once))
+	once.(*sync.Once).Do(func() {
+		fmt.Printf("\n===== %s =====\n", id)
+		render()
+		fmt.Println()
+	})
+}
+
+func sharedStudy(b *testing.B) *repro.Study {
+	b.Helper()
+	study, err := repro.SharedStudy()
+	if err != nil {
+		b.Fatalf("shared study: %v", err)
+	}
+	return study
+}
+
+// BenchmarkFlatInjectionCampaign measures the Section IV-A substrate: the
+// cost of statistical SEU injection, reported per injection run. (The full
+// 1054×170 ground-truth campaign itself runs once in the shared fixture.)
+func BenchmarkFlatInjectionCampaign(b *testing.B) {
+	study := sharedStudy(b)
+	res, err := study.RunGroundTruth()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printArtifact("campaign (Section IV-A ground truth)", func() {
+		if err := repro.RenderCampaign(os.Stdout, res); err != nil {
+			b.Error(err)
+		}
+	})
+	ffs := make([]int, 64)
+	for i := range ffs {
+		ffs[i] = i * study.NumFFs() / 64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part, err := study.RunPartialCampaign(ffs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(part.TotalRuns), "injections/op")
+		}
+	}
+}
+
+// benchTable1 renders a Table I variant and reports per-model R².
+func benchTable1(b *testing.B, id string, models []repro.ModelSpec) {
+	study := sharedStudy(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := study.Table1(models, repro.PaperCVSplits, repro.PaperTrainFrac, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printArtifact(id, func() {
+				if err := repro.RenderTable1(os.Stdout, rows); err != nil {
+					b.Error(err)
+				}
+			})
+			for _, r := range rows {
+				b.ReportMetric(r.R2, "R2:"+shortName(r.Model))
+			}
+		}
+	}
+}
+
+func shortName(model string) string {
+	switch model {
+	case "Linear Least Squares":
+		return "LLS"
+	case "SVR w/ RBF Kernel":
+		return "SVR"
+	default:
+		// Benchmark metric units must not contain whitespace.
+		return strings.ReplaceAll(model, " ", "_")
+	}
+}
+
+// BenchmarkTable1PerformanceResults reproduces Table I.
+func BenchmarkTable1PerformanceResults(b *testing.B) {
+	benchTable1(b, "Table I (paper models)", repro.PaperModels())
+}
+
+// BenchmarkTable1ExtendedModels evaluates the Section V future-work models
+// under the Table I protocol.
+func BenchmarkTable1ExtendedModels(b *testing.B) {
+	benchTable1(b, "Table I extension (Section V future-work models)", repro.ExtendedModels())
+}
+
+// benchFigA reproduces a Figures 2a/3a/4a fold prediction.
+func benchFigA(b *testing.B, id string, modelIdx int) {
+	study := sharedStudy(b)
+	spec := repro.PaperModels()[modelIdx]
+	for i := 0; i < b.N; i++ {
+		est, trainScores, testScores, err := study.FoldPrediction(spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printArtifact(id, func() {
+				if err := repro.RenderFoldPrediction(os.Stdout, spec.Name, est); err != nil {
+					b.Error(err)
+				}
+				fmt.Printf("train: %v\ntest:  %v\n", trainScores, testScores)
+			})
+			b.ReportMetric(testScores.R2, "testR2")
+			b.ReportMetric(testScores.MAE, "testMAE")
+		}
+	}
+}
+
+// BenchmarkFig2aLinearFoldPrediction reproduces Fig. 2a.
+func BenchmarkFig2aLinearFoldPrediction(b *testing.B) {
+	benchFigA(b, "Fig. 2a — Linear Least Squares fold prediction", 0)
+}
+
+// BenchmarkFig3aKNNFoldPrediction reproduces Fig. 3a.
+func BenchmarkFig3aKNNFoldPrediction(b *testing.B) {
+	benchFigA(b, "Fig. 3a — k-NN fold prediction", 1)
+}
+
+// BenchmarkFig4aSVRFoldPrediction reproduces Fig. 4a.
+func BenchmarkFig4aSVRFoldPrediction(b *testing.B) {
+	benchFigA(b, "Fig. 4a — SVR fold prediction", 2)
+}
+
+// benchFigB reproduces a Figures 2b/3b/4b learning curve.
+func benchFigB(b *testing.B, id string, modelIdx int) {
+	study := sharedStudy(b)
+	spec := repro.PaperModels()[modelIdx]
+	for i := 0; i < b.N; i++ {
+		points, err := study.LearningCurve(spec, repro.PaperLearningFracs(), repro.PaperCVSplits, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printArtifact(id, func() {
+				if err := repro.RenderLearningCurve(os.Stdout, spec.Name, points); err != nil {
+					b.Error(err)
+				}
+			})
+			// The paper's cost-reduction claim: report test R² at 20 %
+			// and 50 % training size.
+			for _, p := range points {
+				if p.TrainFrac == 0.2 {
+					b.ReportMetric(p.TestScore, "testR2@20%")
+				}
+				if p.TrainFrac == 0.5 {
+					b.ReportMetric(p.TestScore, "testR2@50%")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig2bLinearLearningCurve reproduces Fig. 2b.
+func BenchmarkFig2bLinearLearningCurve(b *testing.B) {
+	benchFigB(b, "Fig. 2b — Linear Least Squares learning curve", 0)
+}
+
+// BenchmarkFig3bKNNLearningCurve reproduces Fig. 3b.
+func BenchmarkFig3bKNNLearningCurve(b *testing.B) {
+	benchFigB(b, "Fig. 3b — k-NN learning curve", 1)
+}
+
+// BenchmarkFig4bSVRLearningCurve reproduces Fig. 4b.
+func BenchmarkFig4bSVRLearningCurve(b *testing.B) {
+	benchFigB(b, "Fig. 4b — SVR learning curve", 2)
+}
+
+// BenchmarkHyperparameterSearch reproduces the Section III-A tuning
+// procedure (random search refined by grid search) on the k-NN model.
+func BenchmarkHyperparameterSearch(b *testing.B) {
+	study := sharedStudy(b)
+	spec := repro.PaperModels()[1]
+	for i := 0; i < b.N; i++ {
+		out, err := study.TuneModel(spec, 10, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printArtifact("Hyperparameter search (Section III-A, k-NN)", func() {
+				fmt.Printf("random search best %v (R²=%.3f)\ngrid refine  best %v (R²=%.3f)\n",
+					out.Random.Best, out.Random.BestScore, out.Grid.Best, out.Grid.BestScore)
+			})
+			b.ReportMetric(out.Grid.Best["k"], "best_k")
+			b.ReportMetric(out.Grid.BestScore, "bestR2")
+		}
+	}
+}
+
+// BenchmarkAblationFeatureGroups measures the value of each feature group
+// (structural / synthesis / dynamic) under the Table I protocol with k-NN —
+// the feature-importance direction the paper's future work calls for.
+func BenchmarkAblationFeatureGroups(b *testing.B) {
+	study := sharedStudy(b)
+	spec := repro.PaperModels()[1]
+	cases := []struct {
+		name string
+		keep []features.Group
+	}{
+		{"all", []features.Group{features.GroupStructural, features.GroupSynthesis, features.GroupDynamic}},
+		{"structural", []features.Group{features.GroupStructural}},
+		{"synthesis", []features.Group{features.GroupSynthesis}},
+		{"dynamic", []features.Group{features.GroupDynamic}},
+		{"no-dynamic", []features.Group{features.GroupStructural, features.GroupSynthesis}},
+	}
+	for i := 0; i < b.N; i++ {
+		results := make([]repro.TableRow, 0, len(cases))
+		for _, c := range cases {
+			row, err := study.Table1Ablation(spec, study.MaskFeatureGroups(c.keep...),
+				repro.PaperCVSplits, repro.PaperTrainFrac, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			row.Model = c.name
+			results = append(results, row)
+		}
+		if i == 0 {
+			printArtifact("Ablation — feature groups (k-NN)", func() {
+				if err := repro.RenderTable1(os.Stdout, results); err != nil {
+					b.Error(err)
+				}
+			})
+			for _, r := range results {
+				b.ReportMetric(r.R2, "R2:"+r.Model)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationInjectionBudget measures how the per-flip-flop injection
+// budget propagates into estimation quality (training-target noise), the
+// design decision behind the paper's 170-injection campaign.
+func BenchmarkAblationInjectionBudget(b *testing.B) {
+	study := sharedStudy(b)
+	spec := repro.PaperModels()[1]
+	budgets := []int{10, 42}
+	for i := 0; i < b.N; i++ {
+		points, err := study.InjectionBudgetAblation(budgets, spec, 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printArtifact("Ablation — injection budget (k-NN)", func() {
+				fmt.Printf("%-16s %14s %12s\n", "Injections/FF", "mean 95% CI", "k-NN R2")
+				for _, p := range points {
+					fmt.Printf("%-16d %14.3f %12.3f\n", p.InjectionsPerFF, p.MeanCI95, p.KNNR2)
+				}
+			})
+			for _, p := range points {
+				b.ReportMetric(p.KNNR2, fmt.Sprintf("R2@%d", p.InjectionsPerFF))
+			}
+		}
+	}
+}
+
+// BenchmarkFeatureValueAnalysis runs the Section V feature-value direction:
+// permutation importance of every feature under the k-NN model.
+func BenchmarkFeatureValueAnalysis(b *testing.B) {
+	study := sharedStudy(b)
+	spec := repro.PaperModels()[1]
+	for i := 0; i < b.N; i++ {
+		imp, err := study.FeatureValue(spec, 3, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printArtifact("Feature value analysis (Section V future work)", func() {
+				names := features.Names()
+				for j, fi := range imp {
+					if fi.MeanDrop > 0.005 {
+						fmt.Printf("  %-16s %7.4f\n", names[j], fi.MeanDrop)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkPCADimensionality runs the Section V dimensionality-reduction
+// direction: Table I protocol behind a PCA front end.
+func BenchmarkPCADimensionality(b *testing.B) {
+	study := sharedStudy(b)
+	spec := repro.PaperModels()[1]
+	for i := 0; i < b.N; i++ {
+		points, err := study.PCASweep(spec, []int{5, 10, 25}, 5, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printArtifact("PCA dimensionality sweep (Section V future work)", func() {
+				for _, p := range points {
+					fmt.Printf("  %2d components: k-NN R² = %.3f\n", p.Components, p.R2)
+				}
+			})
+			for _, p := range points {
+				b.ReportMetric(p.R2, fmt.Sprintf("R2@%dpc", p.Components))
+			}
+		}
+	}
+}
+
+// BenchmarkWilsonInterval pins the cost of the statistics helper used in
+// campaign reporting.
+func BenchmarkWilsonInterval(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fault.WilsonInterval(i%171, 170, 1.96)
+	}
+}

@@ -1,0 +1,314 @@
+// Command ffrexp regenerates the paper's evaluation artifacts: Table I and
+// Figures 2a/2b, 3a/3b, 4a/4b, plus the campaign report, the extended-model
+// table, the hyperparameter search, and the ablations documented in
+// DESIGN.md. Figure experiments also emit the plotted series as CSV files
+// when -csvdir is given.
+//
+// Usage:
+//
+//	ffrexp -exp table1|table1x|fig2a|fig2b|fig3a|fig3b|fig4a|fig4b|
+//	            campaign|search|ablation|budget|all
+//	       [-n 170] [-csvdir DIR]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/features"
+	"repro/internal/ml/modelsel"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrexp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp    = flag.String("exp", "all", "experiment id")
+		n      = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
+		seed   = flag.Int64("seed", 1, "evaluation split seed")
+		csvDir = flag.String("csvdir", "", "directory for figure CSV series")
+	)
+	flag.Parse()
+
+	cfg := repro.DefaultStudyConfig()
+	cfg.InjectionsPerFF = *n
+	study, err := repro.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if _, err := study.RunGroundTruth(); err != nil {
+		return err
+	}
+	fmt.Printf("# ground truth: %d FFs x %d injections in %v\n\n",
+		study.NumFFs(), cfg.InjectionsPerFF, time.Since(start).Round(time.Millisecond))
+
+	r := runner{study: study, seed: *seed, csvDir: *csvDir}
+	experiments := map[string]func() error{
+		"campaign":   r.campaign,
+		"table1":     r.table1,
+		"table1x":    r.table1x,
+		"fig2a":      func() error { return r.figA("fig2a", repro.PaperModels()[0]) },
+		"fig3a":      func() error { return r.figA("fig3a", repro.PaperModels()[1]) },
+		"fig4a":      func() error { return r.figA("fig4a", repro.PaperModels()[2]) },
+		"fig2b":      func() error { return r.figB("fig2b", repro.PaperModels()[0]) },
+		"fig3b":      func() error { return r.figB("fig3b", repro.PaperModels()[1]) },
+		"fig4b":      func() error { return r.figB("fig4b", repro.PaperModels()[2]) },
+		"search":     r.search,
+		"ablation":   r.ablation,
+		"budget":     r.budget,
+		"importance": r.importance,
+		"pca":        r.pca,
+	}
+	if *exp == "all" {
+		for _, id := range []string{
+			"campaign", "table1", "fig2a", "fig2b", "fig3a", "fig3b",
+			"fig4a", "fig4b", "table1x", "search", "ablation", "budget",
+			"importance", "pca",
+		} {
+			fmt.Printf("== %s ==\n", id)
+			if err := experiments[id](); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	f, ok := experiments[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return f()
+}
+
+type runner struct {
+	study  *repro.Study
+	seed   int64
+	csvDir string
+}
+
+func (r runner) campaign() error {
+	res, err := r.study.RunGroundTruth()
+	if err != nil {
+		return err
+	}
+	return repro.RenderCampaign(os.Stdout, res)
+}
+
+func (r runner) table1() error {
+	rows, err := r.study.Table1(repro.PaperModels(), repro.PaperCVSplits, repro.PaperTrainFrac, r.seed)
+	if err != nil {
+		return err
+	}
+	return repro.RenderTable1(os.Stdout, rows)
+}
+
+func (r runner) table1x() error {
+	rows, err := r.study.Table1(repro.ExtendedModels(), repro.PaperCVSplits, repro.PaperTrainFrac, r.seed)
+	if err != nil {
+		return err
+	}
+	return repro.RenderTable1(os.Stdout, rows)
+}
+
+// figA reproduces Figures 2a/3a/4a: the per-instance prediction of an
+// example fold with training size 50 %.
+func (r runner) figA(id string, spec repro.ModelSpec) error {
+	est, trainScores, testScores, err := r.study.FoldPrediction(spec, r.seed)
+	if err != nil {
+		return err
+	}
+	if err := repro.RenderFoldPrediction(os.Stdout, spec.Name, est); err != nil {
+		return err
+	}
+	fmt.Printf("train: %v\ntest:  %v\n", trainScores, testScores)
+	if r.csvDir == "" {
+		return nil
+	}
+	path := filepath.Join(r.csvDir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"partition", "series_index", "ff_index", "true_fdr", "predicted_fdr", "error"}); err != nil {
+		return err
+	}
+	write := func(part string, idx []int, truth, pred []float64) error {
+		for i := range idx {
+			if err := cw.Write([]string{
+				part,
+				strconv.Itoa(i),
+				strconv.Itoa(idx[i]),
+				strconv.FormatFloat(truth[i], 'g', -1, 64),
+				strconv.FormatFloat(pred[i], 'g', -1, 64),
+				strconv.FormatFloat(pred[i]-truth[i], 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write("train", est.TrainIdx, est.TrainTrue, est.TrainPred); err != nil {
+		return err
+	}
+	if err := write("test", est.TestIdx, est.TestTrue, est.TestPred); err != nil {
+		return err
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// figB reproduces Figures 2b/3b/4b: the learning curves.
+func (r runner) figB(id string, spec repro.ModelSpec) error {
+	points, err := r.study.LearningCurve(spec, repro.PaperLearningFracs(), repro.PaperCVSplits, r.seed)
+	if err != nil {
+		return err
+	}
+	if err := repro.RenderLearningCurve(os.Stdout, spec.Name, points); err != nil {
+		return err
+	}
+	if r.csvDir == "" {
+		return nil
+	}
+	path := filepath.Join(r.csvDir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"train_frac", "train_r2", "test_r2"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(p.TrainFrac, 'g', -1, 64),
+			strconv.FormatFloat(p.TrainScore, 'g', -1, 64),
+			strconv.FormatFloat(p.TestScore, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func (r runner) search() error {
+	for _, spec := range repro.PaperModels() {
+		if spec.Tunable == nil {
+			continue
+		}
+		out, err := r.study.TuneModel(spec, 20, r.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s:\n  random search best %v (R²=%.3f, %d samples)\n  grid refine  best %v (R²=%.3f, %d points)\n",
+			out.Model, out.Random.Best, out.Random.BestScore, out.Random.Evaluated,
+			out.Grid.Best, out.Grid.BestScore, out.Grid.Evaluated)
+	}
+	return nil
+}
+
+func (r runner) ablation() error {
+	spec := repro.PaperModels()[1] // k-NN carries the ablation
+	cases := []struct {
+		name string
+		keep []features.Group
+	}{
+		{"all features", []features.Group{features.GroupStructural, features.GroupSynthesis, features.GroupDynamic}},
+		{"structural only", []features.Group{features.GroupStructural}},
+		{"synthesis only", []features.Group{features.GroupSynthesis}},
+		{"dynamic only", []features.Group{features.GroupDynamic}},
+		{"w/o dynamic", []features.Group{features.GroupStructural, features.GroupSynthesis}},
+		{"w/o structural", []features.Group{features.GroupSynthesis, features.GroupDynamic}},
+	}
+	fmt.Printf("%-18s %8s %8s %8s %8s %8s\n", "Feature set", "MAE", "MAX", "RMSE", "EV", "R2")
+	for _, c := range cases {
+		row, err := r.study.Table1Ablation(spec, r.study.MaskFeatureGroups(c.keep...),
+			repro.PaperCVSplits, repro.PaperTrainFrac, r.seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+			c.name, row.MAE, row.MAX, row.RMSE, row.EV, row.R2)
+	}
+	return nil
+}
+
+func (r runner) budget() error {
+	points, err := r.study.InjectionBudgetAblation([]int{10, 34, 85, 170}, repro.PaperModels()[1], 5, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %14s %12s\n", "Injections/FF", "mean 95% CI", "k-NN R2")
+	for _, p := range points {
+		fmt.Printf("%-16d %14.3f %12.3f\n", p.InjectionsPerFF, p.MeanCI95, p.KNNR2)
+	}
+	return nil
+}
+
+// importance runs the Section V feature-value analysis.
+func (r runner) importance() error {
+	spec := repro.PaperModels()[1]
+	imp, err := r.study.FeatureValue(spec, 5, r.seed)
+	if err != nil {
+		return err
+	}
+	names := features.Names()
+	ranked := make([]int, len(imp))
+	for i := range ranked {
+		ranked[i] = i
+	}
+	sortByDrop(ranked, imp)
+	fmt.Printf("permutation importance (k-NN, R² drop when shuffled):\n")
+	for _, j := range ranked {
+		fmt.Printf("  %-16s %7.4f\n", names[j], imp[j].MeanDrop)
+	}
+	return nil
+}
+
+func sortByDrop(idx []int, imp []modelsel.FeatureImportance) {
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && imp[idx[j]].MeanDrop > imp[idx[j-1]].MeanDrop; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+}
+
+// pca runs the Section V dimensionality-reduction sweep.
+func (r runner) pca() error {
+	spec := repro.PaperModels()[1]
+	points, err := r.study.PCASweep(spec, []int{3, 5, 10, 15, 25}, 5, r.seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %10s\n", "components", "k-NN R2")
+	for _, p := range points {
+		fmt.Printf("%-14d %10.3f\n", p.Components, p.R2)
+	}
+	return nil
+}
+
+var _ = core.PaperStratifyBins // ensure core is linked for docs cross-reference

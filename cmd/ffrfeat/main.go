@@ -1,0 +1,58 @@
+// Command ffrfeat extracts the paper's 25 per-flip-flop features
+// (Section III-B) from the MAC10GE-lite design and writes them as CSV,
+// optionally joined with ground-truth FDR targets from a fault campaign.
+//
+// Usage:
+//
+//	ffrfeat [-o features.csv] [-fdr] [-n 170]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/features"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrfeat:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("o", "", "output file (default stdout)")
+		withFDR = flag.Bool("fdr", false, "run the fault campaign and append the fdr column")
+		n       = flag.Int("n", repro.PaperInjections, "injections per flip-flop when -fdr is set")
+	)
+	flag.Parse()
+
+	cfg := repro.DefaultStudyConfig()
+	cfg.InjectionsPerFF = *n
+	study, err := repro.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	var target []float64
+	if *withFDR {
+		res, err := study.RunGroundTruth()
+		if err != nil {
+			return err
+		}
+		target = res.FDR
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return features.WriteCSV(w, study.Features, target)
+}

@@ -1,0 +1,65 @@
+// Command ffrgen generates the MAC10GE-lite gate-level netlist (the paper's
+// device under test), runs the mini synthesis pass, and writes the result in
+// .gnl text format.
+//
+// Usage:
+//
+//	ffrgen [-o netlist.gnl] [-fifo 32] [-statw 16] [-ffs 1054] [-stats]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/netlist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out     = flag.String("o", "", "output file (default stdout)")
+		fifo    = flag.Int("fifo", 32, "packet FIFO depth (power of two)")
+		statW   = flag.Int("statw", 16, "statistics counter width")
+		ffs     = flag.Int("ffs", 1054, "target flip-flop count (0 = structural minimum)")
+		stats   = flag.Bool("stats", false, "print netlist statistics to stderr")
+		noSynth = flag.Bool("nosynth", false, "skip the synthesis pass")
+	)
+	flag.Parse()
+
+	nl, err := circuit.NewMAC10GE(circuit.MACConfig{
+		FIFODepth: *fifo,
+		StatWidth: *statW,
+		TargetFFs: *ffs,
+	})
+	if err != nil {
+		return err
+	}
+	if !*noSynth {
+		if err := circuit.Synthesize(nl); err != nil {
+			return err
+		}
+	}
+	if *stats {
+		st := nl.Stats()
+		fmt.Fprintf(os.Stderr, "design %s: %d cells (%d FF, %d comb), %d nets, depth %d\n",
+			nl.Name, st.Cells, st.FlipFlops, st.Combo, st.Nets, st.MaxLevel)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return netlist.Write(w, nl)
+}

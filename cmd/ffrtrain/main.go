@@ -1,0 +1,69 @@
+// Command ffrtrain trains one regression model on the FDR estimation
+// problem and reports the paper's five metrics, optionally running the
+// random-search + grid-refinement hyperparameter procedure first.
+//
+// Usage:
+//
+//	ffrtrain [-model "k-NN"] [-train 0.5] [-splits 10] [-n 170] [-tune]
+//
+// Model names: "Linear Least Squares", "k-NN", "SVR w/ RBF Kernel",
+// "Decision Tree", "Random Forest", "Gradient Boosting", "MLP".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrtrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		model   = flag.String("model", "k-NN", "model name (Table I row label)")
+		train   = flag.Float64("train", repro.PaperTrainFrac, "training size fraction")
+		splits  = flag.Int("splits", repro.PaperCVSplits, "cross-validation splits")
+		n       = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
+		tune    = flag.Bool("tune", false, "random+grid hyperparameter search before evaluation")
+		samples = flag.Int("samples", 20, "random-search samples when -tune is set")
+	)
+	flag.Parse()
+
+	spec, err := repro.FindModel(*model)
+	if err != nil {
+		return err
+	}
+	cfg := repro.DefaultStudyConfig()
+	cfg.InjectionsPerFF = *n
+	study, err := repro.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := study.RunGroundTruth(); err != nil {
+		return err
+	}
+
+	if *tune {
+		out, err := study.TuneModel(spec, *samples, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("random search: best %v (R²=%.3f over %d samples)\n",
+			out.Random.Best, out.Random.BestScore, out.Random.Evaluated)
+		fmt.Printf("grid refine:   best %v (R²=%.3f over %d points)\n",
+			out.Grid.Best, out.Grid.BestScore, out.Grid.Evaluated)
+	}
+
+	rows, err := study.Table1([]repro.ModelSpec{spec}, *splits, *train, 1)
+	if err != nil {
+		return err
+	}
+	return repro.RenderTable1(os.Stdout, rows)
+}

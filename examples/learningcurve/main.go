@@ -1,0 +1,61 @@
+// learningcurve reproduces Figures 2b, 3b and 4b: train/test R² as a
+// function of the training size for all three paper models, rendered as
+// text tables plus a terminal sparkline of the test score — the basis of
+// the paper's conclusion that 20-50 % training sizes suffice.
+//
+// Pass -quick to shrink the injection budget for a fast demonstration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "learningcurve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "use 30 injections per flip-flop instead of 170")
+	flag.Parse()
+
+	cfg := repro.DefaultStudyConfig()
+	if *quick {
+		cfg.InjectionsPerFF = 30
+	}
+	study, err := repro.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := study.RunGroundTruth(); err != nil {
+		return err
+	}
+
+	levels := []rune("▁▂▃▄▅▆▇█")
+	for _, spec := range repro.PaperModels() {
+		points, err := study.LearningCurve(spec, repro.PaperLearningFracs(), repro.PaperCVSplits, 1)
+		if err != nil {
+			return err
+		}
+		if err := repro.RenderLearningCurve(os.Stdout, spec.Name, points); err != nil {
+			return err
+		}
+		spark := make([]rune, 0, len(points))
+		for _, p := range points {
+			score := p.TestScore
+			if score < 0 {
+				score = 0
+			}
+			idx := int(score * float64(len(levels)-1))
+			spark = append(spark, levels[idx])
+		}
+		fmt.Printf("test R² vs training size: %s\n\n", string(spark))
+	}
+	return nil
+}

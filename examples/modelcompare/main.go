@@ -1,0 +1,55 @@
+// modelcompare reproduces the paper's Table I — the three regression models
+// compared under the evaluation protocol of Section IV-B (10 stratified
+// splits, 50 % training size) — and extends it with the future-work models
+// of Section V (decision tree, random forest, gradient boosting, MLP).
+//
+// Pass -quick to shrink the injection budget for a fast demonstration.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "modelcompare:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "use 30 injections per flip-flop instead of 170")
+	flag.Parse()
+
+	cfg := repro.DefaultStudyConfig()
+	if *quick {
+		cfg.InjectionsPerFF = 30
+	}
+	study, err := repro.NewStudy(cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := study.RunGroundTruth(); err != nil {
+		return err
+	}
+
+	fmt.Println("=== Table I (paper models) ===")
+	rows, err := study.Table1(repro.PaperModels(), repro.PaperCVSplits, repro.PaperTrainFrac, 1)
+	if err != nil {
+		return err
+	}
+	if err := repro.RenderTable1(os.Stdout, rows); err != nil {
+		return err
+	}
+
+	fmt.Println("\n=== Section V future-work models (extension) ===")
+	ext, err := study.Table1(repro.ExtendedModels(), repro.PaperCVSplits, repro.PaperTrainFrac, 1)
+	if err != nil {
+		return err
+	}
+	return repro.RenderTable1(os.Stdout, ext)
+}

@@ -1,0 +1,149 @@
+// Package repro is the public API of this reproduction of "On the
+// Estimation of Complex Circuits Functional Failure Rate by Machine
+// Learning Techniques" (Lange et al., DSN 2019).
+//
+// The package is a facade over the implementation packages in internal/:
+// it exposes the end-to-end study (circuit generation → synthesis →
+// simulation → feature extraction → fault-injection ground truth →
+// regression models → paper experiments) with stable names. The examples/
+// directory and cmd/ tools are written exclusively against this surface.
+//
+// Quick start:
+//
+//	study, err := repro.NewStudy(repro.DefaultStudyConfig())
+//	...
+//	campaign, err := study.RunGroundTruth()
+//	rows, err := study.Table1(repro.PaperModels(), repro.PaperCVSplits,
+//	    repro.PaperTrainFrac, 1)
+//	repro.RenderTable1(os.Stdout, rows)
+package repro
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+)
+
+// Re-exported domain types. The facade intentionally aliases the internal
+// types so the whole internal API surface (methods, fields) is available
+// through the public package without duplication.
+type (
+	// Study is a materialized experiment: circuit, testbench, features
+	// and (after RunGroundTruth) the per-flip-flop FDR reference.
+	Study = core.Study
+	// StudyConfig assembles a study.
+	StudyConfig = core.StudyConfig
+	// ModelSpec names a regression model with its paper configuration.
+	ModelSpec = core.ModelSpec
+	// TableRow is one Table I row.
+	TableRow = core.TableRow
+	// EstimateResult is one run of the Fig. 1 estimation flow.
+	EstimateResult = core.EstimateResult
+	// BudgetPoint is one injection-budget ablation measurement.
+	BudgetPoint = core.BudgetPoint
+	// SearchOutcome reports a hyperparameter search.
+	SearchOutcome = core.SearchOutcome
+	// MACConfig parameterizes the device under test.
+	MACConfig = circuit.MACConfig
+	// MACBenchConfig parameterizes the testbench workload.
+	MACBenchConfig = circuit.MACBenchConfig
+)
+
+// Paper protocol constants (Section IV-B).
+const (
+	PaperCVSplits   = core.PaperCVSplits
+	PaperTrainFrac  = core.PaperTrainFrac
+	PaperInjections = 170
+)
+
+// Re-exported constructors and helpers.
+var (
+	// NewStudy builds a study (without running the fault campaign).
+	NewStudy = core.NewStudy
+	// DefaultStudyConfig is the paper-fidelity configuration: the
+	// 1054-flip-flop MAC and 170 injections per flip-flop.
+	DefaultStudyConfig = core.DefaultStudyConfig
+	// PaperModels returns the Table I models with paper hyperparameters.
+	PaperModels = core.PaperModels
+	// ExtendedModels returns the future-work models of Section V.
+	ExtendedModels = core.ExtendedModels
+	// FindModel resolves a model spec by Table I name.
+	FindModel = core.FindModel
+	// PaperLearningFracs are the Fig. 2b-4b training fractions.
+	PaperLearningFracs = core.PaperLearningFracs
+	// RenderTable1 writes Table I in the paper's layout.
+	RenderTable1 = core.RenderTable1
+	// RenderLearningCurve writes a Fig. 2b/3b/4b series.
+	RenderLearningCurve = core.RenderLearningCurve
+	// RenderFoldPrediction summarizes a Fig. 2a/3a/4a fold.
+	RenderFoldPrediction = core.RenderFoldPrediction
+	// RenderCampaign summarizes the flat fault-injection campaign.
+	RenderCampaign = core.RenderCampaign
+)
+
+// EnvStudyConfig returns DefaultStudyConfig adjusted by environment
+// variables, which the benchmarks honour so constrained machines can
+// shrink the campaign without code changes:
+//
+//	FFR_INJECTIONS  injections per flip-flop (default 170)
+//	FFR_SEED        campaign seed (default 2019)
+//	FFR_WORKERS     campaign worker count (default GOMAXPROCS)
+func EnvStudyConfig() (StudyConfig, error) {
+	cfg := DefaultStudyConfig()
+	if v := os.Getenv("FFR_INJECTIONS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return cfg, fmt.Errorf("repro: bad FFR_INJECTIONS %q", v)
+		}
+		cfg.InjectionsPerFF = n
+	}
+	if v := os.Getenv("FFR_SEED"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("repro: bad FFR_SEED %q", v)
+		}
+		cfg.CampaignSeed = n
+	}
+	if v := os.Getenv("FFR_WORKERS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return cfg, fmt.Errorf("repro: bad FFR_WORKERS %q", v)
+		}
+		cfg.Workers = n
+	}
+	return cfg, nil
+}
+
+var sharedStudy struct {
+	once  sync.Once
+	study *Study
+	err   error
+}
+
+// SharedStudy returns a process-wide study built from EnvStudyConfig with
+// ground truth computed, shared by the benchmarks so the (expensive)
+// campaign runs once regardless of how many benches execute.
+func SharedStudy() (*Study, error) {
+	sharedStudy.once.Do(func() {
+		cfg, err := EnvStudyConfig()
+		if err != nil {
+			sharedStudy.err = err
+			return
+		}
+		study, err := NewStudy(cfg)
+		if err != nil {
+			sharedStudy.err = err
+			return
+		}
+		if _, err := study.RunGroundTruth(); err != nil {
+			sharedStudy.err = err
+			return
+		}
+		sharedStudy.study = study
+	})
+	return sharedStudy.study, sharedStudy.err
+}

@@ -1,0 +1,78 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+func TestEnvStudyConfigDefaults(t *testing.T) {
+	t.Setenv("FFR_INJECTIONS", "")
+	t.Setenv("FFR_SEED", "")
+	t.Setenv("FFR_WORKERS", "")
+	cfg, err := repro.EnvStudyConfig()
+	if err != nil {
+		t.Fatalf("EnvStudyConfig: %v", err)
+	}
+	if cfg.InjectionsPerFF != repro.PaperInjections {
+		t.Fatalf("default injections = %d, want %d", cfg.InjectionsPerFF, repro.PaperInjections)
+	}
+	if cfg.MAC.TargetFFs != 1054 {
+		t.Fatalf("default TargetFFs = %d, want 1054", cfg.MAC.TargetFFs)
+	}
+}
+
+func TestEnvStudyConfigOverrides(t *testing.T) {
+	t.Setenv("FFR_INJECTIONS", "17")
+	t.Setenv("FFR_SEED", "99")
+	t.Setenv("FFR_WORKERS", "2")
+	cfg, err := repro.EnvStudyConfig()
+	if err != nil {
+		t.Fatalf("EnvStudyConfig: %v", err)
+	}
+	if cfg.InjectionsPerFF != 17 || cfg.CampaignSeed != 99 || cfg.Workers != 2 {
+		t.Fatalf("overrides not applied: %+v", cfg)
+	}
+}
+
+func TestEnvStudyConfigRejectsGarbage(t *testing.T) {
+	cases := [][2]string{
+		{"FFR_INJECTIONS", "zero"},
+		{"FFR_INJECTIONS", "0"},
+		{"FFR_SEED", "x"},
+		{"FFR_WORKERS", "-1"},
+	}
+	for _, c := range cases {
+		t.Run(c[0]+"="+c[1], func(t *testing.T) {
+			t.Setenv("FFR_INJECTIONS", "")
+			t.Setenv("FFR_SEED", "")
+			t.Setenv("FFR_WORKERS", "")
+			t.Setenv(c[0], c[1])
+			if _, err := repro.EnvStudyConfig(); err == nil {
+				t.Fatalf("%s=%s must be rejected", c[0], c[1])
+			}
+		})
+	}
+}
+
+func TestPublicSurface(t *testing.T) {
+	if len(repro.PaperModels()) != 3 {
+		t.Fatal("PaperModels must expose the three Table I rows")
+	}
+	if len(repro.ExtendedModels()) != 4 {
+		t.Fatal("ExtendedModels must expose the four Section V models")
+	}
+	if repro.PaperCVSplits != 10 || repro.PaperTrainFrac != 0.5 {
+		t.Fatal("paper protocol constants wrong")
+	}
+	if len(repro.PaperLearningFracs()) < 5 {
+		t.Fatal("learning fractions too sparse")
+	}
+	if _, err := repro.FindModel("SVR w/ RBF Kernel"); err != nil {
+		t.Fatalf("FindModel: %v", err)
+	}
+	cfg := repro.DefaultStudyConfig()
+	if cfg.InjectionsPerFF != repro.PaperInjections {
+		t.Fatalf("DefaultStudyConfig injections = %d", cfg.InjectionsPerFF)
+	}
+}

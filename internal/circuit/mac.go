@@ -1,0 +1,415 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// MAC10GE-lite: a structural re-implementation of the functional class of the
+// OpenCores 10GE MAC core the paper evaluates (store-and-forward MAC with
+// packet FIFOs, CRC-32 frame protection, XGMII-style framing, control FSMs
+// and RMON-style statistics counters), sized to the paper's 1054 flip-flops.
+//
+// The datapath is one byte wide, which preserves the architecture — FIFO
+// register files, CRC engine, framer/deframer FSMs, counters — while keeping
+// the gate count tractable for the fault-injection campaign (see DESIGN.md).
+//
+// Port summary (all single-bit unless a width is given):
+//
+//	inputs:  tx_valid, tx_data[8], tx_eop       packet transmit interface
+//	         rxg_ctl, rxg_data[8]               XGMII-style receive (loopback)
+//	         stat_sel[5]                        statistics readout address
+//	outputs: tx_ready                           transmit backpressure
+//	         txg_ctl, txg_data[8]               XGMII-style transmit
+//	         rx_valid, rx_data[8], rx_eop, rx_err  packet receive interface
+//	         stat_data[8]                       statistics readout value
+
+// XGMII-lite control codes (valid when the ctl flag is high).
+const (
+	XgmiiIdle      = 0x07
+	XgmiiStart     = 0xFB
+	XgmiiTerminate = 0xFD
+)
+
+// ScramblerSeed is the frame-start state of the line scrambler LFSR.
+const ScramblerSeed = 0xA5
+
+// scramblerStep advances the 8-bit scrambler LFSR (taps 8,6,5,4) one step.
+func scramblerStep(b *netlist.Builder, cur Word) Word {
+	fb := b.Xor(b.Xor(cur[7], cur[5]), b.Xor(cur[4], cur[3]))
+	next := make(Word, 8)
+	next[0] = fb
+	for i := 1; i < 8; i++ {
+		next[i] = cur[i-1]
+	}
+	return next
+}
+
+// TX framer states.
+const (
+	txIdle = iota
+	txStart
+	txPayload
+	txFCS0
+	txFCS1
+	txFCS2
+	txFCS3
+	txTerm
+)
+
+// MACConfig parameterizes the MAC10GE-lite generator.
+type MACConfig struct {
+	// FIFODepth is the packet FIFO depth in bytes (power of two ≥ 4).
+	FIFODepth int
+	// StatWidth is the width of each statistics counter in bits (8..32).
+	StatWidth int
+	// TargetFFs, when non-zero, pads the design with a live diagnostic
+	// trace buffer until the flip-flop count reaches exactly this value.
+	TargetFFs int
+}
+
+// DefaultMACConfig reproduces the paper's circuit scale: 1054 flip-flops.
+func DefaultMACConfig() MACConfig {
+	return MACConfig{FIFODepth: 32, StatWidth: 16, TargetFFs: 1054}
+}
+
+// Validate checks the configuration.
+func (c MACConfig) Validate() error {
+	if c.FIFODepth < 4 || c.FIFODepth&(c.FIFODepth-1) != 0 {
+		return fmt.Errorf("circuit: FIFODepth %d must be a power of two >= 4", c.FIFODepth)
+	}
+	if c.StatWidth < 8 || c.StatWidth > 32 {
+		return fmt.Errorf("circuit: StatWidth %d out of range [8,32]", c.StatWidth)
+	}
+	if c.TargetFFs < 0 {
+		return fmt.Errorf("circuit: negative TargetFFs %d", c.TargetFFs)
+	}
+	return nil
+}
+
+// NewMAC10GE generates the MAC10GE-lite netlist.
+func NewMAC10GE(cfg MACConfig) (*netlist.Netlist, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := netlist.NewBuilder("mac10ge_lite")
+
+	// ---- Ports -----------------------------------------------------------
+	txValid := b.Input("tx_valid")
+	txData := b.InputBus("tx_data", 8)
+	txEOP := b.Input("tx_eop")
+	rxgCtlIn := b.Input("rxg_ctl")
+	rxgDataIn := b.InputBus("rxg_data", 8)
+	statSel := b.InputBus("stat_sel", 5)
+
+	// ---- TX packet FIFO (store and forward) -------------------------------
+	txEntry := append(append(Word{}, txData...), txEOP) // {data[8], eop}
+	txPopPh := b.NewPlaceholder()
+	txFifo := NewFIFO(b, "txfifo", cfg.FIFODepth, txEntry, txValid, txPopPh.Net())
+	txReady := b.Not(txFifo.Full)
+	txOutData := txFifo.Out[:8]
+	txOutEOP := txFifo.Out[8]
+
+	// Complete frames available in the FIFO: +1 on push of an EOP byte,
+	// -1 on pop of an EOP byte. Store-and-forward start condition.
+	framePush := b.And(txValid, b.Not(txFifo.Full), txEOP)
+	framePopPh := b.NewPlaceholder()
+	frames := updown(b, "txframes_avail", 3, framePush, framePopPh.Net())
+	haveFrame := b.Not(EqualConst(b, frames, 0))
+
+	// ---- TX framer FSM -----------------------------------------------------
+	st := make(Word, 3)
+	stSet := make([]func(netlist.NetID), 3)
+	for i := range st {
+		st[i], stSet[i] = b.DFFDecl(fmt.Sprintf("txfsm/state[%d]", i), false)
+	}
+	is := Decoder(b, st)
+
+	// Inter-frame gap: 2-bit saturating counter cleared at TERM.
+	ifg := make(Word, 2)
+	ifgSet := make([]func(netlist.NetID), 2)
+	for i := range ifg {
+		ifg[i], ifgSet[i] = b.DFFDecl(fmt.Sprintf("txfsm/ifg[%d]", i), i <= 1) // init 3: ready at reset
+	}
+	ifgDone := EqualConst(b, ifg, 3)
+	ifgInc, _ := Incrementer(b, ifg)
+	for i := range ifg {
+		v := b.Mux(ifgInc[i], ifg[i], ifgDone) // saturate at 3
+		v = b.And(v, b.Not(is[txTerm]))        // clear during TERM
+		ifgSet[i](v)
+	}
+
+	startOK := b.And(haveFrame, ifgDone)
+	txPop := b.And(is[txPayload], b.Not(txFifo.Empty))
+	txPopPh.Close(txPop)
+	framePopPh.Close(b.And(txPop, txOutEOP))
+	lastByte := b.And(txPop, txOutEOP)
+
+	next := stateSum(b, is, map[int]Word{
+		txIdle:    WordMux(b, WordConst(b, 3, txIdle), WordConst(b, 3, txStart), startOK),
+		txStart:   WordConst(b, 3, txPayload),
+		txPayload: WordMux(b, WordConst(b, 3, txPayload), WordConst(b, 3, txFCS0), lastByte),
+		txFCS0:    WordConst(b, 3, txFCS1),
+		txFCS1:    WordConst(b, 3, txFCS2),
+		txFCS2:    WordConst(b, 3, txFCS3),
+		txFCS3:    WordConst(b, 3, txTerm),
+		txTerm:    WordConst(b, 3, txIdle),
+	})
+	for i := range st {
+		stSet[i](next[i])
+	}
+
+	// ---- TX scrambler --------------------------------------------------------
+	// Frame-synchronized additive scrambler (PCS-style): an 8-bit LFSR
+	// reseeded at frame start whose state XORs every payload byte on the
+	// wire. The CRC protects the scrambled stream, so both line CRCs stay
+	// consistent while descrambler state upsets corrupt delivered payload
+	// without tripping the CRC — a realistic silent-corruption mode.
+	txScr := StateWord(b, "txscr/state", 8, ScramblerSeed, func(cur Word) Word {
+		stepped := WordMux(b, cur, scramblerStep(b, cur), txPopPh.Net())
+		return WordMux(b, stepped, WordConst(b, 8, ScramblerSeed), is[txStart])
+	})
+	txWire := WordXor(b, txOutData, txScr)
+
+	// ---- TX CRC ------------------------------------------------------------
+	txCRC := NewCRCEngine(b, "txcrc/reg", txWire, txPop, is[txStart])
+	fcs := txCRC.FCS(b)
+	fcsBytes := []Word{fcs[0:8], fcs[8:16], fcs[16:24], fcs[24:32]}
+
+	// ---- XGMII TX mux + output register ------------------------------------
+	stall := b.And(is[txPayload], txFifo.Empty)
+	ctlRaw := b.Or(is[txIdle], is[txStart], is[txTerm], stall)
+	dataRaw := stateSum(b, is, map[int]Word{
+		txIdle:    WordConst(b, 8, XgmiiIdle),
+		txStart:   WordConst(b, 8, XgmiiStart),
+		txPayload: WordMux(b, txWire, WordConst(b, 8, XgmiiIdle), stall),
+		txFCS0:    fcsBytes[0],
+		txFCS1:    fcsBytes[1],
+		txFCS2:    fcsBytes[2],
+		txFCS3:    fcsBytes[3],
+		txTerm:    WordConst(b, 8, XgmiiTerminate),
+	})
+	// Registered XGMII output; reset drives idle (ctl=1, data=0x07).
+	txgCtl := b.DFF("txgreg/ctl", ctlRaw, true)
+	txgData := make(Word, 8)
+	for i := 0; i < 8; i++ {
+		txgData[i] = b.DFF(fmt.Sprintf("txgreg/data[%d]", i), dataRaw[i], XgmiiIdle>>uint(i)&1 == 1)
+	}
+
+	// ---- XGMII RX input register -------------------------------------------
+	rctl := b.DFF("rxgreg/ctl", rxgCtlIn, true)
+	rdata := make(Word, 8)
+	for i := 0; i < 8; i++ {
+		rdata[i] = b.DFF(fmt.Sprintf("rxgreg/data[%d]", i), rxgDataIn[i], XgmiiIdle>>uint(i)&1 == 1)
+	}
+
+	// ---- RX deframer --------------------------------------------------------
+	startDet := b.And(rctl, EqualConst(b, rdata, XgmiiStart))
+	termDet := b.And(rctl, EqualConst(b, rdata, XgmiiTerminate))
+
+	inFrame, setInFrame := b.DFFDecl("rxfsm/in_frame", false)
+	// Enter on start, leave on terminate; hold otherwise.
+	setInFrame(b.Or(startDet, b.And(inFrame, b.Not(termDet))))
+
+	dataCyc := b.And(inFrame, b.Not(rctl))
+	termInFrame := b.And(inFrame, termDet)
+
+	// ---- RX descrambler -------------------------------------------------------
+	// Hardened (TMR), while its transmit twin is not: the two scramblers
+	// are structurally near-identical instances with opposite FDR.
+	rxScr := TMRWord(b, "rxscr/state", 8, ScramblerSeed, func(cur Word) Word {
+		stepped := WordMux(b, cur, scramblerStep(b, cur), dataCyc)
+		return WordMux(b, stepped, WordConst(b, 8, ScramblerSeed), startDet)
+	})
+	rxClear := WordXor(b, rdata, rxScr)
+
+	// 4-byte FCS stripper: delay line plus a saturating fill counter.
+	// Stage 1 is hardened; its neighbours are not.
+	stages := make([]Word, 4)
+	cur := rxClear
+	for st := 0; st < 4; st++ {
+		name := fmt.Sprintf("rxdelay/s%d", st)
+		if st == 1 {
+			prev := cur
+			cur = TMRWord(b, name, 8, 0, func(c Word) Word {
+				return WordMux(b, c, prev, dataCyc)
+			})
+		} else {
+			cur = Register(b, name, cur, dataCyc, 0)
+		}
+		stages[st] = cur
+	}
+	fill := make(Word, 3)
+	fillSet := make([]func(netlist.NetID), 3)
+	for i := range fill {
+		fill[i], fillSet[i] = b.DFFDecl(fmt.Sprintf("rxfsm/fill[%d]", i), false)
+	}
+	fillFull := EqualConst(b, fill, 4)
+	fillInc, _ := Incrementer(b, fill)
+	for i := range fill {
+		v := b.Mux(fill[i], fillInc[i], b.And(dataCyc, b.Not(fillFull)))
+		v = b.And(v, b.Not(startDet)) // clear when a frame starts
+		fillSet[i](v)
+	}
+
+	// ---- RX CRC check -------------------------------------------------------
+	rxCRC := NewCRCEngine(b, "rxcrc/reg", rdata, dataCyc, startDet)
+	residueOK := rxCRC.ResidueOK(b)
+	crcErr := b.Not(residueOK)
+
+	// ---- RX packet FIFO ------------------------------------------------------
+	pushData := b.And(dataCyc, fillFull)
+	pushEOP := termInFrame
+	rxPush := b.Or(pushData, pushEOP)
+	// Entry: {data[8], eop, err}; on the EOP entry the data byte is zeroed.
+	entryData := WordAnd1(b, stages[3], b.Not(pushEOP))
+	rxEntry := append(append(Word{}, entryData...), pushEOP, b.And(pushEOP, crcErr))
+	rxPopPh := b.NewPlaceholder()
+	// The receive FIFO control is selectively hardened (TMR voters on its
+	// pointers and occupancy), mirroring the selective-TMR methodology of
+	// the paper's references [3]-[5]; the transmit FIFO stays unhardened,
+	// giving the study structurally similar instances with very different
+	// vulnerability — the non-linearity the regression models must learn.
+	rxFifo := NewHardenedFIFO(b, "rxfifo", cfg.FIFODepth, rxEntry, rxPush, rxPopPh.Net())
+	rxValid := b.Not(rxFifo.Empty)
+	rxPopPh.Close(rxValid) // sink is always ready
+
+	// ---- Statistics counters (RMON-lite) -------------------------------------
+	// Half of the counter bank is selectively hardened (TMR), half is not —
+	// structurally near-identical instances with opposite vulnerability,
+	// the population the paper's non-linear models separate and the linear
+	// model cannot.
+	statClear := b.Const0()
+	// Protection follows traffic: the busy byte/frame counters are
+	// hardened, the rarely incrementing error/drop counters are not — so
+	// within this population high activity implies *low* vulnerability,
+	// inverting the global activity↔FDR trend.
+	stats := []struct {
+		name     string
+		en       netlist.NetID
+		hardened bool
+	}{
+		{"stats/tx_frames", is[txTerm], false},
+		{"stats/tx_bytes", txPop, true},
+		{"stats/rx_frames", b.And(termInFrame, residueOK), true},
+		{"stats/rx_crc_err", b.And(termInFrame, crcErr), false},
+		{"stats/rx_bytes", pushData, true},
+		{"stats/tx_drops", b.And(txValid, txFifo.Full), false},
+	}
+	statVals := make([]Word, len(stats))
+	for i, s := range stats {
+		if s.hardened {
+			statVals[i] = TMRCounter(b, s.name, cfg.StatWidth, s.en, statClear)
+		} else {
+			statVals[i] = Counter(b, s.name, cfg.StatWidth, s.en, statClear)
+		}
+	}
+
+	// ---- Diagnostic trace buffer (pads to the target FF budget) --------------
+	// A live shift register sampling the transmit line; its parity is
+	// observable through the statistics readout, so trace faults are
+	// functionally relevant.
+	traceDepth := 8
+	if cfg.TargetFFs > 0 {
+		remaining := cfg.TargetFFs - b.FFCount()
+		if remaining < 1 {
+			return nil, fmt.Errorf("circuit: TargetFFs %d below structural minimum %d",
+				cfg.TargetFFs, b.FFCount()+1)
+		}
+		traceDepth = remaining
+	}
+	traceIn := b.Xor(txgData[0], txgCtl)
+	trace := ShiftRegister(b, "diag/trace", traceDepth, traceIn, b.Const1())
+	tracePar := trace[0]
+	for _, t := range trace[1:] {
+		tracePar = b.Xor(tracePar, t)
+	}
+
+	// ---- Statistics readout ----------------------------------------------------
+	// 32 byte-slots: counters at 3 bytes each, then status and trace parity.
+	slots := make([]Word, 32)
+	zero := WordConst(b, 8, 0)
+	slot := 0
+	bytesPer := (cfg.StatWidth + 7) / 8
+	for _, v := range statVals {
+		padded := append(Word{}, v...)
+		for len(padded) < 8*bytesPer {
+			padded = append(padded, b.Const0())
+		}
+		for byteIdx := 0; byteIdx < bytesPer && slot < 30; byteIdx++ {
+			slots[slot] = padded[8*byteIdx : 8*byteIdx+8]
+			slot++
+		}
+	}
+	status := Word{txFifo.Empty, txFifo.Full, rxFifo.Empty, rxFifo.Full,
+		inFrame, is[txIdle], b.Const0(), b.Const0()}
+	slots[30] = status
+	slots[31] = Word{tracePar, residueOK, b.Const0(), b.Const0(),
+		b.Const0(), b.Const0(), b.Const0(), b.Const0()}
+	for i := range slots {
+		if slots[i] == nil {
+			slots[i] = zero
+		}
+	}
+	statData := WordMuxTree(b, slots, statSel)
+
+	// ---- Outputs ---------------------------------------------------------------
+	b.Output("tx_ready", txReady)
+	b.Output("txg_ctl", txgCtl)
+	b.OutputBus("txg_data", txgData)
+	b.Output("rx_valid", rxValid)
+	b.OutputBus("rx_data", rxFifo.Out[:8])
+	b.Output("rx_eop", rxFifo.Out[8])
+	b.Output("rx_err", rxFifo.Out[9])
+	b.OutputBus("stat_data", statData)
+
+	nl, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("circuit: building MAC10GE-lite: %w", err)
+	}
+	return nl, nil
+}
+
+// stateSum builds the one-hot AND-OR network that merges per-state word
+// values: result = OR over s of (is[s] & words[s]). All words must share the
+// same width. States absent from the map contribute nothing.
+func stateSum(b *netlist.Builder, is []netlist.NetID, words map[int]Word) Word {
+	var width int
+	for _, w := range words {
+		width = len(w)
+		break
+	}
+	out := make(Word, width)
+	for bit := 0; bit < width; bit++ {
+		var terms []netlist.NetID
+		for s := 0; s < len(is); s++ {
+			w, ok := words[s]
+			if !ok {
+				continue
+			}
+			terms = append(terms, b.And(is[s], w[bit]))
+		}
+		out[bit] = b.Or(terms...)
+	}
+	return out
+}
+
+// updown builds an up/down counter with the given width: +1 on up, -1 on
+// down (simultaneous up and down cancel out).
+func updown(b *netlist.Builder, name string, width int, up, down netlist.NetID) Word {
+	q := make(Word, width)
+	set := make([]func(netlist.NetID), width)
+	for i := range q {
+		q[i], set[i] = b.DFFDecl(fmt.Sprintf("%s[%d]", name, i), false)
+	}
+	inc, _ := Incrementer(b, q)
+	dec := decrementer(b, q)
+	onlyUp := b.And(up, b.Not(down))
+	onlyDown := b.And(down, b.Not(up))
+	for i := range q {
+		v := b.Mux(q[i], inc[i], onlyUp)
+		set[i](b.Mux(v, dec[i], onlyDown))
+	}
+	return q
+}

@@ -1,0 +1,286 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MACBench is the compiled testbench for MAC10GE-lite: the paper's loopback
+// scenario. It writes packets into the transmit packet interface, loops the
+// XGMII transmit lines back into the XGMII receive lines, collects frames
+// from the receive packet interface, and finally sweeps the statistics
+// readout port. All sent/received traffic and the statistics sweep are
+// monitored; the fault classifier compares them against the golden run.
+type MACBench struct {
+	Stim     *sim.Stimulus
+	Monitors []int // output port indices recorded during the run
+
+	// Positions within Monitors.
+	MonRxValid  int
+	MonRxData   [8]int
+	MonRxEOP    int
+	MonRxErr    int
+	MonStatData [8]int
+	MonTxReady  int
+
+	// ReadoutStart is the first cycle of the statistics sweep; everything
+	// from this cycle on is the readout window.
+	ReadoutStart int
+	// Packets are the payloads written to the transmit interface.
+	Packets [][]byte
+	// ActiveCycles is the injection window: [0, ActiveCycles).
+	ActiveCycles int
+}
+
+// MACBenchConfig parameterizes the generated workload.
+type MACBenchConfig struct {
+	// Packets is the number of frames to send.
+	Packets int
+	// MinPayload and MaxPayload bound the payload length in bytes. The
+	// sum of two consecutive payloads must stay below the TX FIFO depth
+	// (store-and-forward occupancy), which the builder enforces.
+	MinPayload, MaxPayload int
+	// Gap is the number of idle cycles between packet writes.
+	Gap int
+	// DrainCycles is the settle time after the last write before readout.
+	DrainCycles int
+	// Seed drives the payload generator.
+	Seed uint64
+	// FIFODepth must match the MAC configuration (for the safety check).
+	FIFODepth int
+}
+
+// DefaultMACBenchConfig returns the workload used by the reproduction: a
+// packet mix comparable to the paper's testbench ("writes several packets
+// ... XGMII TX looped back ... frames read from the packet receive
+// interface").
+func DefaultMACBenchConfig() MACBenchConfig {
+	return MACBenchConfig{
+		Packets:     10,
+		MinPayload:  6,
+		MaxPayload:  14,
+		Gap:         12,
+		DrainCycles: 60,
+		Seed:        0x10ABCDEF,
+		FIFODepth:   32,
+	}
+}
+
+// Validate checks the workload parameters.
+func (c MACBenchConfig) Validate() error {
+	if c.Packets < 1 {
+		return fmt.Errorf("circuit: MACBench needs at least one packet")
+	}
+	if c.MinPayload < 1 || c.MaxPayload < c.MinPayload {
+		return fmt.Errorf("circuit: bad payload bounds [%d,%d]", c.MinPayload, c.MaxPayload)
+	}
+	if 2*c.MaxPayload+2 >= c.FIFODepth {
+		return fmt.Errorf("circuit: payloads up to %d bytes can overflow a %d-deep FIFO",
+			c.MaxPayload, c.FIFODepth)
+	}
+	if c.Gap < 2 {
+		return fmt.Errorf("circuit: gap %d too small for stable store-and-forward", c.Gap)
+	}
+	return nil
+}
+
+// xorshift64 is the deterministic payload generator.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// BuildMACBench compiles the workload into an open-loop stimulus for the
+// given MAC program. The program must expose the MAC10GE-lite ports.
+func BuildMACBench(p *sim.Program, cfg MACBenchConfig) (*MACBench, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := xorshift64(cfg.Seed | 1)
+
+	// Generate payloads.
+	packets := make([][]byte, cfg.Packets)
+	span := cfg.MaxPayload - cfg.MinPayload + 1
+	for i := range packets {
+		n := cfg.MinPayload + int(rng.next()%uint64(span))
+		pl := make([]byte, n)
+		for j := range pl {
+			pl[j] = byte(rng.next())
+		}
+		packets[i] = pl
+	}
+
+	// Cycle schedule: per packet, len(payload) write cycles + gap; then
+	// drain; then the 32-slot statistics sweep (one slot per cycle, plus
+	// one settle cycle per slot to let the registered path stabilize —
+	// the readout mux is combinational, one cycle each is enough but two
+	// makes the monitor robust).
+	writeCycles := 0
+	for _, pl := range packets {
+		writeCycles += len(pl) + cfg.Gap
+	}
+	const statSlots = 32
+	readoutStart := writeCycles + cfg.DrainCycles
+	total := readoutStart + statSlots + 2
+
+	stim := sim.NewStimulus(total)
+
+	// Resolve ports.
+	txValid, err := p.InputIndex("tx_valid")
+	if err != nil {
+		return nil, err
+	}
+	txEOP, err := p.InputIndex("tx_eop")
+	if err != nil {
+		return nil, err
+	}
+	txData, err := p.InputBusIndices("tx_data", 8)
+	if err != nil {
+		return nil, err
+	}
+	statSel, err := p.InputBusIndices("stat_sel", 5)
+	if err != nil {
+		return nil, err
+	}
+	rxgCtl, err := p.InputIndex("rxg_ctl")
+	if err != nil {
+		return nil, err
+	}
+	rxgData, err := p.InputBusIndices("rxg_data", 8)
+	if err != nil {
+		return nil, err
+	}
+	txgCtlOut, err := p.OutputIndex("txg_ctl")
+	if err != nil {
+		return nil, err
+	}
+	txgDataOut, err := p.OutputBusIndices("txg_data", 8)
+	if err != nil {
+		return nil, err
+	}
+
+	setValid := stim.DrivePort(txValid)
+	setEOP := stim.DrivePort(txEOP)
+	setData := stim.DriveBus(txData)
+	setSel := stim.DriveBus(statSel)
+
+	cycle := 0
+	for _, pl := range packets {
+		for j, bv := range pl {
+			setValid(cycle, true)
+			setData(cycle, uint64(bv))
+			setEOP(cycle, j == len(pl)-1)
+			cycle++
+		}
+		cycle += cfg.Gap
+	}
+	for s := 0; s < statSlots; s++ {
+		setSel(readoutStart+s, uint64(s))
+	}
+	// Hold the last slot during the settle cycles.
+	setSel(readoutStart+statSlots, statSlots-1)
+	setSel(readoutStart+statSlots+1, statSlots-1)
+
+	// XGMII loopback, per lane.
+	stim.AddLoopback(rxgCtl, txgCtlOut)
+	for i := 0; i < 8; i++ {
+		stim.AddLoopback(rxgData[i], txgDataOut[i])
+	}
+
+	// Monitors: receive packet interface + statistics readout + tx_ready.
+	bench := &MACBench{
+		Stim:         stim,
+		ReadoutStart: readoutStart,
+		Packets:      packets,
+		ActiveCycles: readoutStart,
+	}
+	addMon := func(name string) (int, error) {
+		idx, err := p.OutputIndex(name)
+		if err != nil {
+			return 0, err
+		}
+		bench.Monitors = append(bench.Monitors, idx)
+		return len(bench.Monitors) - 1, nil
+	}
+	if bench.MonRxValid, err = addMon("rx_valid"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 8; i++ {
+		if bench.MonRxData[i], err = addMon(fmt.Sprintf("rx_data[%d]", i)); err != nil {
+			return nil, err
+		}
+	}
+	if bench.MonRxEOP, err = addMon("rx_eop"); err != nil {
+		return nil, err
+	}
+	if bench.MonRxErr, err = addMon("rx_err"); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 8; i++ {
+		if bench.MonStatData[i], err = addMon(fmt.Sprintf("stat_data[%d]", i)); err != nil {
+			return nil, err
+		}
+	}
+	if bench.MonTxReady, err = addMon("tx_ready"); err != nil {
+		return nil, err
+	}
+	return bench, nil
+}
+
+// LanePackets reconstructs the packets received on one lane of a recorded
+// trace: each returned packet is the payload bytes up to (excluding) the EOP
+// marker, plus the error flag carried by the marker.
+func (m *MACBench) LanePackets(t *sim.Trace, lane int) []LanePacket {
+	var out []LanePacket
+	var cur []byte
+	for c := 0; c < t.Cycles(); c++ {
+		if !t.Bit(c, m.MonRxValid, lane) {
+			continue
+		}
+		if t.Bit(c, m.MonRxEOP, lane) {
+			out = append(out, LanePacket{
+				Payload: cur,
+				Err:     t.Bit(c, m.MonRxErr, lane),
+			})
+			cur = nil
+			continue
+		}
+		var bv byte
+		for i := 0; i < 8; i++ {
+			if t.Bit(c, m.MonRxData[i], lane) {
+				bv |= 1 << uint(i)
+			}
+		}
+		cur = append(cur, bv)
+	}
+	return out
+}
+
+// LaneStats extracts the statistics bytes observed during the readout
+// window on one lane.
+func (m *MACBench) LaneStats(t *sim.Trace, lane int) []byte {
+	out := make([]byte, 0, t.Cycles()-m.ReadoutStart)
+	for c := m.ReadoutStart; c < t.Cycles(); c++ {
+		var bv byte
+		for i := 0; i < 8; i++ {
+			if t.Bit(c, m.MonStatData[i], lane) {
+				bv |= 1 << uint(i)
+			}
+		}
+		out = append(out, bv)
+	}
+	return out
+}
+
+// LanePacket is one frame delivered by the receive packet interface.
+type LanePacket struct {
+	Payload []byte
+	Err     bool
+}

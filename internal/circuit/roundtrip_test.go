@@ -1,0 +1,88 @@
+package circuit_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/circuit"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Property: Write→Parse round-trips random circuits structurally, and the
+// parsed netlist simulates identically to the original.
+func TestNetlistRoundTripPreservesBehavior(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := circuit.RandomConfig{
+			Inputs:  1 + rng.Intn(3),
+			FFs:     1 + rng.Intn(6),
+			Gates:   4 + rng.Intn(25),
+			Outputs: 1 + rng.Intn(3),
+		}
+		orig, err := circuit.RandomCircuit(cfg, seed)
+		if err != nil {
+			t.Logf("RandomCircuit: %v", err)
+			return false
+		}
+		if err := circuit.Synthesize(orig); err != nil {
+			t.Logf("Synthesize: %v", err)
+			return false
+		}
+		var buf bytes.Buffer
+		if err := netlist.Write(&buf, orig); err != nil {
+			t.Logf("Write: %v", err)
+			return false
+		}
+		parsed, err := netlist.Parse(&buf)
+		if err != nil {
+			t.Logf("Parse: %v", err)
+			return false
+		}
+		if len(parsed.Cells) != len(orig.Cells) || len(parsed.Nets) != len(orig.Nets) {
+			return false
+		}
+
+		pOrig, err := sim.Compile(orig)
+		if err != nil {
+			return false
+		}
+		pParsed, err := sim.Compile(parsed)
+		if err != nil {
+			return false
+		}
+		cycles := 5 + rng.Intn(15)
+		buildStim := func() *sim.Stimulus {
+			s := sim.NewStimulus(cycles)
+			inRng := rand.New(rand.NewSource(seed + 1))
+			for i := 0; i < cfg.Inputs; i++ {
+				set := s.DrivePort(i)
+				for c := 0; c < cycles; c++ {
+					set(c, inRng.Intn(2) == 1)
+				}
+			}
+			return s
+		}
+		monitors := make([]int, cfg.Outputs)
+		for i := range monitors {
+			monitors[i] = i
+		}
+		e1 := sim.NewEngine(pOrig)
+		tr1, _ := sim.Run(e1, buildStim(), sim.RunConfig{Monitors: monitors})
+		e2 := sim.NewEngine(pParsed)
+		tr2, _ := sim.Run(e2, buildStim(), sim.RunConfig{Monitors: monitors})
+		for c := 0; c < cycles; c++ {
+			for m := range monitors {
+				if tr1.Word(c, m) != tr2.Word(c, m) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

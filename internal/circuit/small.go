@@ -1,0 +1,65 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// CounterCircuit generates a standalone width-bit counter design with enable
+// and clear inputs and the count as output. Used by examples and tests.
+func CounterCircuit(width int) (*netlist.Netlist, error) {
+	b := netlist.NewBuilder(fmt.Sprintf("counter%d", width))
+	en := b.Input("en")
+	clear := b.Input("clear")
+	q := Counter(b, "cnt", width, en, clear)
+	b.OutputBus("q", q)
+	return b.Finish()
+}
+
+// LFSRCircuit generates a maximal-length 16-bit LFSR design (taps 16,15,13,4
+// → indices 15,14,12,3) with a run enable input.
+func LFSRCircuit() (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("lfsr16")
+	en := b.Input("en")
+	q := make(Word, 16)
+	setters := make([]func(netlist.NetID), 16)
+	for i := range q {
+		q[i], setters[i] = b.DFFDecl(fmt.Sprintf("lfsr[%d]", i), i == 0) // init 0x0001
+	}
+	fb := b.Xor(b.Xor(q[15], q[14]), b.Xor(q[12], q[3]))
+	setters[0](b.Mux(q[0], fb, en))
+	for i := 1; i < 16; i++ {
+		setters[i](b.Mux(q[i], q[i-1], en))
+	}
+	b.OutputBus("q", q)
+	return b.Finish()
+}
+
+// ParityPipeline generates a small three-stage pipeline that accumulates the
+// parity of a data byte stream: stage 1 registers the input byte, stage 2
+// reduces it to a parity bit, stage 3 accumulates parity over time. It is the
+// quickstart example circuit.
+func ParityPipeline() (*netlist.Netlist, error) {
+	b := netlist.NewBuilder("paritypipe")
+	valid := b.Input("valid")
+	data := b.InputBus("data", 8)
+
+	stage1 := Register(b, "s1/byte", data, valid, 0)
+	v1 := b.DFF("s1/valid", valid, false)
+
+	par := stage1[0]
+	for i := 1; i < 8; i++ {
+		par = b.Xor(par, stage1[i])
+	}
+	p2 := b.DFF("s2/parity", b.And(par, v1), false)
+	v2 := b.DFF("s2/valid", v1, false)
+
+	acc, setAcc := b.DFFDecl("s3/acc", false)
+	setAcc(b.Mux(acc, b.Xor(acc, p2), v2))
+	cnt := Counter(b, "s3/count", 8, v2, b.Const0())
+
+	b.Output("parity", acc)
+	b.OutputBus("count", cnt)
+	return b.Finish()
+}

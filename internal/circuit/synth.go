@@ -1,0 +1,147 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// MaxFanout is the load limit above which the synthesis pass builds buffer
+// trees, mirroring production synthesis DRC fixing.
+const MaxFanout = 8
+
+// Synthesize is the mini technology-mapping pass that substitutes for the
+// paper's Synopsys Design Compiler run. It first legalizes fanout by
+// inserting buffer trees on overloaded nets (as Design Compiler's DRC
+// fixing does), then sizes every cell's drive strength from the remaining
+// fanout:
+//
+//	fanout ≤ 2  → X1
+//	fanout ≤ 5  → X2
+//	fanout ≥ 6  → X4
+//
+// The per-flip-flop drive strength becomes the "Flip-Flop Drive Strength"
+// feature of Section III-B. Tie cells exist only in X1 and keep their type.
+func Synthesize(nl *netlist.Netlist) error {
+	lib := netlist.StdLib()
+	if err := insertBuffers(nl, lib, MaxFanout); err != nil {
+		return err
+	}
+	fanout := Fanout(nl)
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if c.Type.Func == netlist.FuncConst0 || c.Type.Func == netlist.FuncConst1 {
+			continue
+		}
+		drive := 1
+		switch f := fanout[c.Output]; {
+		case f >= 6:
+			drive = 4
+		case f >= 3:
+			drive = 2
+		}
+		if drive == c.Type.Drive {
+			continue
+		}
+		v, err := lib.Variant(c.Type, drive)
+		if err != nil {
+			return fmt.Errorf("circuit: synthesizing %q: %w", c.Name, err)
+		}
+		c.Type = v
+	}
+	return nil
+}
+
+// insertBuffers rewires every net with more than maxFan cell-pin sinks
+// through a tree of BUF_X2 cells so no driver sees more than maxFan loads.
+// Primary output bindings stay on the original net. Nets driven by tie
+// cells are exempt (constants are legalized by duplication in real flows
+// and carry no switching load).
+func insertBuffers(nl *netlist.Netlist, lib *netlist.Library, maxFan int) error {
+	buf, err := lib.Lookup("BUF_X2")
+	if err != nil {
+		return fmt.Errorf("circuit: buffer insertion: %w", err)
+	}
+	type pinRef struct {
+		cell netlist.CellID
+		pin  int
+	}
+	bufCount := 0
+	// Iterate until stable: buffering one net can overload none (buffers
+	// have one input), but freshly created buffer output nets may still
+	// exceed maxFan when a net needs a multi-level tree.
+	work := make([]netlist.NetID, len(nl.Nets))
+	for i := range work {
+		work[i] = netlist.NetID(i)
+	}
+	for len(work) > 0 {
+		sinks := make(map[netlist.NetID][]pinRef)
+		inWork := make(map[netlist.NetID]bool, len(work))
+		for _, n := range work {
+			inWork[n] = true
+		}
+		for ci := range nl.Cells {
+			for pin, in := range nl.Cells[ci].Inputs {
+				if inWork[in] {
+					sinks[in] = append(sinks[in], pinRef{cell: netlist.CellID(ci), pin: pin})
+				}
+			}
+		}
+		var next []netlist.NetID
+		for _, net := range work {
+			refs := sinks[net]
+			if len(refs) <= maxFan {
+				continue
+			}
+			drv := nl.Nets[net].Driver
+			if drv >= 0 {
+				f := nl.Cells[drv].Type.Func
+				if f == netlist.FuncConst0 || f == netlist.FuncConst1 {
+					continue
+				}
+			}
+			// Split the sinks into maxFan groups and drive each group
+			// through one buffer.
+			groups := (len(refs) + maxFan - 1) / maxFan
+			if groups > maxFan {
+				groups = maxFan
+			}
+			for g := 0; g < groups; g++ {
+				bufCount++
+				cid := netlist.CellID(len(nl.Cells))
+				out, err := nl.AddNet(fmt.Sprintf("synthbuf_%d_o", bufCount), cid)
+				if err != nil {
+					return fmt.Errorf("circuit: buffer insertion: %w", err)
+				}
+				nl.Cells = append(nl.Cells, netlist.Cell{
+					Name:   fmt.Sprintf("synthbuf_%d", bufCount),
+					Type:   buf,
+					Inputs: []netlist.NetID{net},
+					Output: out,
+				})
+				for k := g; k < len(refs); k += groups {
+					nl.Cells[refs[k].cell].Inputs[refs[k].pin] = out
+				}
+				// A buffer output may itself exceed maxFan; re-examine.
+				next = append(next, out)
+			}
+		}
+		work = next
+	}
+	return nil
+}
+
+// Fanout returns, per net, the number of sinks: cell input pins reading the
+// net plus the number of primary output ports bound to it.
+func Fanout(nl *netlist.Netlist) []int {
+	fanout := make([]int, len(nl.Nets))
+	for ci := range nl.Cells {
+		for _, in := range nl.Cells[ci].Inputs {
+			fanout[in]++
+		}
+	}
+	for _, out := range nl.Outputs {
+		fanout[out]++
+	}
+	return fanout
+}

@@ -1,0 +1,237 @@
+// Package core implements the paper's contribution: the Functional
+// De-Rating estimation flow of Fig. 1. It wires the substrates together —
+// circuit generation and synthesis, testbench simulation and activity
+// tracing, feature extraction, the flat statistical fault-injection
+// campaign — and exposes the machine-learning estimation protocol used by
+// every experiment in Section IV (Table I, Figures 2–4).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/fault"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// StudyConfig assembles one end-to-end study.
+type StudyConfig struct {
+	// MAC is the device-under-test configuration.
+	MAC circuit.MACConfig
+	// Bench is the testbench workload.
+	Bench circuit.MACBenchConfig
+	// InjectionsPerFF is the flat-campaign budget (the paper uses 170).
+	InjectionsPerFF int
+	// CampaignSeed drives injection-time sampling.
+	CampaignSeed int64
+	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
+	Workers int
+	// CheckStats includes the statistics readout in the failure
+	// criterion (see fault.MACClassifier).
+	CheckStats bool
+}
+
+// DefaultStudyConfig reproduces the paper's setup: the 1054-FF circuit and
+// 170 injections per flip-flop.
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		MAC:             circuit.DefaultMACConfig(),
+		Bench:           circuit.DefaultMACBenchConfig(),
+		InjectionsPerFF: 170,
+		CampaignSeed:    2019, // DSN 2019
+		CheckStats:      true,
+	}
+}
+
+// Study is a materialized experiment context: the synthesized netlist, its
+// compiled simulation program, the testbench, extracted features, and —
+// after RunGroundTruth — the per-flip-flop FDR reference.
+type Study struct {
+	Config   StudyConfig
+	Netlist  *netlist.Netlist
+	Program  *sim.Program
+	Bench    *circuit.MACBench
+	Activity *sim.Activity
+	Features *features.Matrix
+
+	// Ground truth, populated by RunGroundTruth.
+	Campaign *fault.Result
+
+	classifier *fault.MACClassifier
+	golden     *sim.Trace
+}
+
+// NewStudy builds the device, synthesizes it, compiles the simulator,
+// builds the testbench, runs the golden simulation (capturing activity) and
+// extracts all per-flip-flop features. It does not run the fault campaign;
+// call RunGroundTruth for the reference FDR data.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	nl, err := circuit.NewMAC10GE(cfg.MAC)
+	if err != nil {
+		return nil, fmt.Errorf("core: building circuit: %w", err)
+	}
+	if err := circuit.Synthesize(nl); err != nil {
+		return nil, fmt.Errorf("core: synthesis: %w", err)
+	}
+	p, err := sim.Compile(nl)
+	if err != nil {
+		return nil, fmt.Errorf("core: compiling simulator: %w", err)
+	}
+	cfg.Bench.FIFODepth = cfg.MAC.FIFODepth
+	bench, err := circuit.BuildMACBench(p, cfg.Bench)
+	if err != nil {
+		return nil, fmt.Errorf("core: building testbench: %w", err)
+	}
+
+	engine := sim.NewEngine(p)
+	golden, act := sim.Run(engine, bench.Stim, sim.RunConfig{
+		Monitors:        bench.Monitors,
+		CollectActivity: true,
+	})
+
+	ex, err := features.NewExtractor(nl)
+	if err != nil {
+		return nil, fmt.Errorf("core: feature extraction: %w", err)
+	}
+	fm, err := ex.Extract(act)
+	if err != nil {
+		return nil, fmt.Errorf("core: feature extraction: %w", err)
+	}
+
+	return &Study{
+		Config:     cfg,
+		Netlist:    nl,
+		Program:    p,
+		Bench:      bench,
+		Activity:   act,
+		Features:   fm,
+		classifier: fault.NewMACClassifier(bench, cfg.CheckStats),
+		golden:     golden,
+	}, nil
+}
+
+// NumFFs returns the number of flip-flops under study.
+func (s *Study) NumFFs() int { return s.Program.NumFFs() }
+
+// RunGroundTruth executes the paper's full flat statistical fault-injection
+// campaign (Section IV-A) and stores the resulting per-FF FDR reference.
+// It is idempotent: repeated calls reuse the first result.
+func (s *Study) RunGroundTruth() (*fault.Result, error) {
+	if s.Campaign != nil {
+		return s.Campaign, nil
+	}
+	res, err := fault.RunCampaign(s.Program, s.Bench.Stim, s.Bench.Monitors, s.classifier,
+		fault.CampaignConfig{
+			InjectionsPerFF: s.Config.InjectionsPerFF,
+			ActiveCycles:    s.Bench.ActiveCycles,
+			Seed:            s.Config.CampaignSeed,
+			Workers:         s.Config.Workers,
+		})
+	if err != nil {
+		return nil, fmt.Errorf("core: ground-truth campaign: %w", err)
+	}
+	s.Campaign = res
+	return res, nil
+}
+
+// RunPartialCampaign fault-injects only the given flip-flops — the flow's
+// cost-saving mode: the training subset is measured, the rest predicted.
+func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
+	plan := make([]fault.Job, 0, len(ffs)*s.Config.InjectionsPerFF)
+	full := fault.NewPlan(s.NumFFs(), s.Config.InjectionsPerFF, s.Bench.ActiveCycles, s.Config.CampaignSeed)
+	want := make(map[int]bool, len(ffs))
+	for _, ff := range ffs {
+		want[ff] = true
+	}
+	for _, j := range full {
+		if want[j.FF] {
+			plan = append(plan, j)
+		}
+	}
+	res, err := fault.RunJobs(s.Program, s.Bench.Stim, s.Bench.Monitors, s.classifier,
+		s.golden, plan, s.Config.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("core: partial campaign: %w", err)
+	}
+	return res, nil
+}
+
+// FeatureRows returns the feature matrix as plain rows (aliased, callers
+// must not modify).
+func (s *Study) FeatureRows() [][]float64 { return s.Features.Rows }
+
+// FDR returns the ground-truth targets; it fails if RunGroundTruth has not
+// completed.
+func (s *Study) FDR() ([]float64, error) {
+	if s.Campaign == nil {
+		return nil, fmt.Errorf("core: ground truth not computed; call RunGroundTruth")
+	}
+	return s.Campaign.FDR, nil
+}
+
+// MaskFeatureGroups returns a copy of the feature rows keeping only the
+// columns of the requested groups (ablation studies).
+func (s *Study) MaskFeatureGroups(keep ...features.Group) [][]float64 {
+	groups := features.Groups()
+	var cols []int
+	for j, g := range groups {
+		for _, k := range keep {
+			if g == k {
+				cols = append(cols, j)
+				break
+			}
+		}
+	}
+	out := make([][]float64, len(s.Features.Rows))
+	for i, row := range s.Features.Rows {
+		r := make([]float64, len(cols))
+		for k, j := range cols {
+			r[k] = row[j]
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// EstimateResult is one execution of the Fig. 1 flow on a single split:
+// fault injection on the training flip-flops, model training, prediction of
+// the remaining flip-flops.
+type EstimateResult struct {
+	TrainIdx, TestIdx    []int
+	TrainTrue, TrainPred []float64
+	TestTrue, TestPred   []float64
+}
+
+// EstimateFDR runs the paper's flow once: draw a stratified training subset
+// of the given fraction, run the (partial) campaign for those flip-flops,
+// train the model on their measured FDR, and predict every remaining
+// flip-flop. The ground truth must be available for evaluation.
+func (s *Study) EstimateFDR(factory ml.Factory, trainFrac float64, seed int64) (*EstimateResult, error) {
+	y, err := s.FDR()
+	if err != nil {
+		return nil, err
+	}
+	splits, err := ml.StratifiedShuffleSplits(y, 1, trainFrac, 10, seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: estimate split: %w", err)
+	}
+	sp := splits[0]
+	X := s.FeatureRows()
+	trX, trY := ml.Gather(X, y, sp.Train)
+	teX, teY := ml.Gather(X, y, sp.Test)
+	model := factory()
+	if err := model.Fit(trX, trY); err != nil {
+		return nil, fmt.Errorf("core: estimate fit: %w", err)
+	}
+	return &EstimateResult{
+		TrainIdx:  sp.Train,
+		TestIdx:   sp.Test,
+		TrainTrue: trY,
+		TrainPred: ml.PredictAll(model, trX),
+		TestTrue:  teY,
+		TestPred:  ml.PredictAll(model, teX),
+	}, nil
+}

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/features"
+)
+
+// testStudy is a shared, scaled-down study fixture (small FIFOs, few
+// packets, light injection budget) so the full flow stays fast in tests.
+var testStudy struct {
+	once  sync.Once
+	study *Study
+	err   error
+}
+
+func smallStudy(t *testing.T) *Study {
+	t.Helper()
+	testStudy.once.Do(func() {
+		cfg := StudyConfig{
+			MAC: circuit.MACConfig{FIFODepth: 16, StatWidth: 8, TargetFFs: 0},
+			Bench: circuit.MACBenchConfig{
+				Packets: 6, MinPayload: 4, MaxPayload: 6, Gap: 10,
+				DrainCycles: 40, Seed: 5, FIFODepth: 16,
+			},
+			InjectionsPerFF: 8,
+			CampaignSeed:    1,
+			CheckStats:      true,
+		}
+		testStudy.study, testStudy.err = NewStudy(cfg)
+		if testStudy.err == nil {
+			_, testStudy.err = testStudy.study.RunGroundTruth()
+		}
+	})
+	if testStudy.err != nil {
+		t.Fatalf("fixture: %v", testStudy.err)
+	}
+	return testStudy.study
+}
+
+func TestStudyConstruction(t *testing.T) {
+	s := smallStudy(t)
+	if s.NumFFs() < 300 {
+		t.Fatalf("unexpectedly small study: %d FFs", s.NumFFs())
+	}
+	if len(s.Features.Rows) != s.NumFFs() {
+		t.Fatalf("feature rows %d != FFs %d", len(s.Features.Rows), s.NumFFs())
+	}
+	if len(s.Activity.Ones) != s.NumFFs() {
+		t.Fatal("activity shape wrong")
+	}
+	y, err := s.FDR()
+	if err != nil {
+		t.Fatalf("FDR: %v", err)
+	}
+	if len(y) != s.NumFFs() {
+		t.Fatal("FDR shape wrong")
+	}
+}
+
+func TestGroundTruthIdempotent(t *testing.T) {
+	s := smallStudy(t)
+	a, err := s.RunGroundTruth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.RunGroundTruth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("RunGroundTruth must cache its result")
+	}
+}
+
+func TestPartialCampaignMatchesFull(t *testing.T) {
+	s := smallStudy(t)
+	full, _ := s.RunGroundTruth()
+	subset := []int{0, 5, 17, 42}
+	part, err := s.RunPartialCampaign(subset)
+	if err != nil {
+		t.Fatalf("RunPartialCampaign: %v", err)
+	}
+	for _, ff := range subset {
+		if part.FDR[ff] != full.FDR[ff] {
+			t.Fatalf("FF %d: partial %v != full %v (same plan and seed)",
+				ff, part.FDR[ff], full.FDR[ff])
+		}
+		if part.Injections[ff] != s.Config.InjectionsPerFF {
+			t.Fatalf("FF %d injections %d", ff, part.Injections[ff])
+		}
+	}
+	// Untouched FFs have no injections.
+	if part.Injections[1] != 0 {
+		t.Fatal("partial campaign leaked to unselected FFs")
+	}
+}
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	s := smallStudy(t)
+	rows, err := s.Table1(PaperModels(), 4, PaperTrainFrac, 3)
+	if err != nil {
+		t.Fatalf("Table1: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	lls, knn, svr := rows[0], rows[1], rows[2]
+	if lls.Model != "Linear Least Squares" || knn.Model != "k-NN" || svr.Model != "SVR w/ RBF Kernel" {
+		t.Fatalf("row order wrong: %v %v %v", lls.Model, knn.Model, svr.Model)
+	}
+	// The paper's headline: the linear model is rated worst on R².
+	if lls.R2 >= knn.R2 || lls.R2 >= svr.R2 {
+		t.Fatalf("linear model must lose: LLS=%.3f kNN=%.3f SVR=%.3f", lls.R2, knn.R2, svr.R2)
+	}
+	// And the non-linear models do well in absolute terms.
+	if knn.R2 < 0.6 || svr.R2 < 0.6 {
+		t.Fatalf("non-linear models too weak: kNN=%.3f SVR=%.3f", knn.R2, svr.R2)
+	}
+	for _, r := range rows {
+		if r.MAE < 0 || r.RMSE < r.MAE-1e-9 || r.MAX < r.MAE-1e-9 {
+			t.Fatalf("inconsistent metrics: %+v", r)
+		}
+	}
+}
+
+func TestEstimateFDRFlow(t *testing.T) {
+	s := smallStudy(t)
+	est, err := s.EstimateFDR(KNNModel, 0.5, 9)
+	if err != nil {
+		t.Fatalf("EstimateFDR: %v", err)
+	}
+	n := s.NumFFs()
+	if len(est.TrainIdx)+len(est.TestIdx) != n {
+		t.Fatal("split must cover all FFs")
+	}
+	frac := float64(len(est.TrainIdx)) / float64(n)
+	if frac < 0.4 || frac > 0.6 {
+		t.Fatalf("train fraction %v far from 0.5", frac)
+	}
+	if len(est.TestPred) != len(est.TestTrue) {
+		t.Fatal("prediction shape wrong")
+	}
+	for _, p := range est.TestPred {
+		if math.IsNaN(p) || math.IsInf(p, 0) {
+			t.Fatal("non-finite prediction")
+		}
+	}
+}
+
+func TestFoldPrediction(t *testing.T) {
+	s := smallStudy(t)
+	est, trainScores, testScores, err := s.FoldPrediction(PaperModels()[1], 2)
+	if err != nil {
+		t.Fatalf("FoldPrediction: %v", err)
+	}
+	if trainScores.R2 < testScores.R2-0.05 {
+		t.Fatalf("k-NN train score (%v) should not trail test (%v)", trainScores.R2, testScores.R2)
+	}
+	var buf bytes.Buffer
+	if err := RenderFoldPrediction(&buf, "k-NN", est); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestLearningCurvePlateau(t *testing.T) {
+	s := smallStudy(t)
+	points, err := s.LearningCurve(PaperModels()[1], []float64{0.1, 0.3, 0.5, 0.9}, 4, 3)
+	if err != nil {
+		t.Fatalf("LearningCurve: %v", err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// The paper's conclusion: performance does not improve much past 50 %.
+	last, mid := points[3], points[2]
+	if mid.TestScore < last.TestScore-0.15 {
+		t.Fatalf("no plateau: 50%%=%v vs 90%%=%v", mid.TestScore, last.TestScore)
+	}
+	var buf bytes.Buffer
+	if err := RenderLearningCurve(&buf, "k-NN", points); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaskFeatureGroups(t *testing.T) {
+	s := smallStudy(t)
+	dyn := s.MaskFeatureGroups(features.GroupDynamic)
+	if len(dyn) != s.NumFFs() || len(dyn[0]) != 3 {
+		t.Fatalf("dynamic mask shape: %dx%d", len(dyn), len(dyn[0]))
+	}
+	all := s.MaskFeatureGroups(features.GroupStructural, features.GroupSynthesis, features.GroupDynamic)
+	if len(all[0]) != features.NumFeatures {
+		t.Fatalf("full mask width %d", len(all[0]))
+	}
+}
+
+func TestTable1Ablation(t *testing.T) {
+	s := smallStudy(t)
+	row, err := s.Table1Ablation(PaperModels()[1], s.MaskFeatureGroups(features.GroupStructural), 3, 0.5, 4)
+	if err != nil {
+		t.Fatalf("Table1Ablation: %v", err)
+	}
+	if row.R2 <= -1 || row.R2 > 1 {
+		t.Fatalf("ablation R² out of range: %v", row.R2)
+	}
+}
+
+func TestTuneModel(t *testing.T) {
+	s := smallStudy(t)
+	spec := PaperModels()[1] // k-NN
+	out, err := s.TuneModel(spec, 4, 5)
+	if err != nil {
+		t.Fatalf("TuneModel: %v", err)
+	}
+	if out.Random.Evaluated != 4 {
+		t.Fatalf("random evaluated %d", out.Random.Evaluated)
+	}
+	if out.Grid.BestScore < out.Random.BestScore-1e-9 {
+		t.Fatalf("grid refinement must not regress: %v < %v",
+			out.Grid.BestScore, out.Random.BestScore)
+	}
+	k := out.Grid.Best["k"]
+	if k < 1 || k > 20 {
+		t.Fatalf("tuned k = %v out of space", k)
+	}
+	// The linear model has no hyperparameters.
+	if _, err := s.TuneModel(PaperModels()[0], 2, 1); err == nil {
+		t.Fatal("tuning a non-tunable model must fail")
+	}
+}
+
+func TestInjectionBudgetAblation(t *testing.T) {
+	s := smallStudy(t)
+	points, err := s.InjectionBudgetAblation([]int{2, 8}, PaperModels()[1], 2, 6)
+	if err != nil {
+		t.Fatalf("InjectionBudgetAblation: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// More injections → narrower confidence intervals.
+	if points[1].MeanCI95 >= points[0].MeanCI95 {
+		t.Fatalf("CI width must shrink with budget: %v vs %v",
+			points[1].MeanCI95, points[0].MeanCI95)
+	}
+}
+
+func TestFeatureValue(t *testing.T) {
+	s := smallStudy(t)
+	imp, err := s.FeatureValue(PaperModels()[1], 2, 3)
+	if err != nil {
+		t.Fatalf("FeatureValue: %v", err)
+	}
+	if len(imp) != features.NumFeatures {
+		t.Fatalf("importances = %d, want %d", len(imp), features.NumFeatures)
+	}
+	any := false
+	for _, fi := range imp {
+		if fi.MeanDrop > 0.01 {
+			any = true
+		}
+	}
+	if !any {
+		t.Fatal("no feature carries importance — implausible")
+	}
+}
+
+func TestPCASweep(t *testing.T) {
+	s := smallStudy(t)
+	points, err := s.PCASweep(PaperModels()[1], []int{3, 10}, 2, 4)
+	if err != nil {
+		t.Fatalf("PCASweep: %v", err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.R2 > 1 {
+			t.Fatalf("R² out of range: %+v", p)
+		}
+	}
+	// More components should not be dramatically worse.
+	if points[1].R2 < points[0].R2-0.3 {
+		t.Fatalf("PCA sweep implausible: %+v", points)
+	}
+}
+
+func TestRenderers(t *testing.T) {
+	s := smallStudy(t)
+	res, _ := s.RunGroundTruth()
+	var buf bytes.Buffer
+	if err := RenderCampaign(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 100 {
+		t.Fatal("campaign rendering too short")
+	}
+	rows, err := s.Table1(PaperModels()[:1], 2, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := RenderTable1(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("Linear Least Squares")) {
+		t.Fatal("table missing model row")
+	}
+}
+
+func TestFindModel(t *testing.T) {
+	if _, err := FindModel("k-NN"); err != nil {
+		t.Fatalf("FindModel: %v", err)
+	}
+	if _, err := FindModel("Gradient Boosting"); err != nil {
+		t.Fatalf("FindModel extended: %v", err)
+	}
+	if _, err := FindModel("nope"); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestFDRBeforeGroundTruth(t *testing.T) {
+	cfg := StudyConfig{
+		MAC: circuit.MACConfig{FIFODepth: 8, StatWidth: 8},
+		Bench: circuit.MACBenchConfig{
+			Packets: 1, MinPayload: 2, MaxPayload: 2, Gap: 8,
+			DrainCycles: 30, Seed: 1, FIFODepth: 8,
+		},
+		InjectionsPerFF: 1,
+	}
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatalf("NewStudy: %v", err)
+	}
+	if _, err := s.FDR(); err == nil {
+		t.Fatal("FDR before RunGroundTruth must fail")
+	}
+	if _, err := s.EstimateFDR(KNNModel, 0.5, 1); err == nil {
+		t.Fatal("EstimateFDR before ground truth must fail")
+	}
+}

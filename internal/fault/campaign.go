@@ -1,0 +1,213 @@
+// Package fault implements the paper's flat statistical fault-injection
+// campaign (Section IV-A): SEUs are injected by inverting the value stored
+// in flip-flops at random times during the active simulation phase, runs are
+// classified at the applicative level against a golden reference, and the
+// per-flip-flop Functional De-Rating factor is the fraction of failing runs.
+//
+// The campaign exploits the 64-lane bit-parallel engine: 64 independent
+// injection runs execute per simulation pass, and batches fan out across a
+// bounded worker pool. Results are merged deterministically, so worker count
+// never changes the outcome.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Job is a single injection: flip flip-flop FF at the given cycle.
+type Job struct {
+	FF    int
+	Cycle int
+}
+
+// Classifier inspects one faulty lane of a monitored trace against the
+// golden trace and reports whether the lane exhibits a functional failure.
+// Implementations define the applicative failure criterion.
+type Classifier interface {
+	// FailingLanes returns a bitmask of lanes in faulty that fail against
+	// golden. used is the mask of lanes carrying real jobs.
+	FailingLanes(golden, faulty *sim.Trace, used uint64) uint64
+}
+
+// CampaignConfig parameterizes RunCampaign.
+type CampaignConfig struct {
+	// InjectionsPerFF is the number of SEU runs per flip-flop (the paper
+	// uses 170).
+	InjectionsPerFF int
+	// ActiveCycles bounds injection times: cycles are drawn uniformly
+	// from [0, ActiveCycles).
+	ActiveCycles int
+	// Seed drives injection-time sampling.
+	Seed int64
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Validate checks the configuration against the stimulus.
+func (c CampaignConfig) Validate(stimCycles int) error {
+	if c.InjectionsPerFF < 1 {
+		return fmt.Errorf("fault: InjectionsPerFF %d < 1", c.InjectionsPerFF)
+	}
+	if c.ActiveCycles < 1 || c.ActiveCycles > stimCycles {
+		return fmt.Errorf("fault: ActiveCycles %d out of (0,%d]", c.ActiveCycles, stimCycles)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("fault: negative Workers %d", c.Workers)
+	}
+	return nil
+}
+
+// Result is the outcome of a campaign.
+type Result struct {
+	// FDR is the per-flip-flop Functional De-Rating factor:
+	// failures / injections.
+	FDR []float64
+	// Failures and Injections are the per-flip-flop raw counts.
+	Failures   []int
+	Injections []int
+	// TotalRuns is the number of injection runs simulated.
+	TotalRuns int
+	// Batches is the number of 64-lane simulation passes.
+	Batches int
+}
+
+// NewPlan samples the paper's injection plan: for every flip-flop of p,
+// injectionsPerFF uniformly random cycles in [0, activeCycles). The plan is
+// ordered by flip-flop, matching how the paper reports per-instance results.
+func NewPlan(numFFs, injectionsPerFF, activeCycles int, seed int64) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, 0, numFFs*injectionsPerFF)
+	for ff := 0; ff < numFFs; ff++ {
+		for k := 0; k < injectionsPerFF; k++ {
+			jobs = append(jobs, Job{FF: ff, Cycle: rng.Intn(activeCycles)})
+		}
+	}
+	return jobs
+}
+
+// batchResult carries per-batch failure outcomes back to the merger.
+type batchResult struct {
+	index   int
+	failing uint64
+}
+
+// RunCampaign executes the full flat statistical campaign: a golden run,
+// then every job of the plan in 64-lane batches, classified by cls.
+func RunCampaign(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, cfg CampaignConfig) (*Result, error) {
+	if err := cfg.Validate(stim.Cycles()); err != nil {
+		return nil, err
+	}
+	goldenEngine := sim.NewEngine(p)
+	golden, _ := sim.Run(goldenEngine, stim, sim.RunConfig{Monitors: monitors})
+
+	jobs := NewPlan(p.NumFFs(), cfg.InjectionsPerFF, cfg.ActiveCycles, cfg.Seed)
+	return runJobs(p, stim, monitors, cls, golden, jobs, cfg.Workers)
+}
+
+// RunJobs executes an explicit injection plan against a provided golden
+// trace. The core estimation flow uses it to fault-inject only the training
+// subset of flip-flops.
+func RunJobs(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, golden *sim.Trace, jobs []Job, workers int) (*Result, error) {
+	for _, j := range jobs {
+		if j.FF < 0 || j.FF >= p.NumFFs() {
+			return nil, fmt.Errorf("fault: job targets FF %d of %d", j.FF, p.NumFFs())
+		}
+		if j.Cycle < 0 || j.Cycle >= stim.Cycles() {
+			return nil, fmt.Errorf("fault: job at cycle %d of %d", j.Cycle, stim.Cycles())
+		}
+	}
+	return runJobs(p, stim, monitors, cls, golden, jobs, workers)
+}
+
+func runJobs(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, golden *sim.Trace, jobs []Job, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numBatches := (len(jobs) + sim.Lanes - 1) / sim.Lanes
+	failMasks := make([]uint64, numBatches)
+
+	indices := make(chan int)
+	results := make(chan batchResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := sim.NewEngine(p)
+			// Per-cycle flip schedule, rebuilt per batch.
+			type flip struct {
+				ff   int
+				mask uint64
+			}
+			byCycle := make(map[int][]flip)
+			for bi := range indices {
+				lo := bi * sim.Lanes
+				hi := lo + sim.Lanes
+				if hi > len(jobs) {
+					hi = len(jobs)
+				}
+				batch := jobs[lo:hi]
+				for c := range byCycle {
+					delete(byCycle, c)
+				}
+				var used uint64
+				for lane, job := range batch {
+					byCycle[job.Cycle] = append(byCycle[job.Cycle], flip{ff: job.FF, mask: 1 << uint(lane)})
+					used |= 1 << uint(lane)
+				}
+				faulty, _ := sim.Run(e, stim, sim.RunConfig{
+					Monitors: monitors,
+					PreEval: func(c int) {
+						for _, f := range byCycle[c] {
+							e.FlipFF(f.ff, f.mask)
+						}
+					},
+				})
+				results <- batchResult{index: bi, failing: cls.FailingLanes(golden, faulty, used)}
+			}
+		}()
+	}
+	go func() {
+		for bi := 0; bi < numBatches; bi++ {
+			indices <- bi
+		}
+		close(indices)
+		wg.Wait()
+		close(results)
+	}()
+	for r := range results {
+		failMasks[r.index] = r.failing
+	}
+
+	res := &Result{
+		FDR:        make([]float64, p.NumFFs()),
+		Failures:   make([]int, p.NumFFs()),
+		Injections: make([]int, p.NumFFs()),
+		TotalRuns:  len(jobs),
+		Batches:    numBatches,
+	}
+	for bi, mask := range failMasks {
+		lo := bi * sim.Lanes
+		hi := lo + sim.Lanes
+		if hi > len(jobs) {
+			hi = len(jobs)
+		}
+		for lane, job := range jobs[lo:hi] {
+			res.Injections[job.FF]++
+			if mask>>uint(lane)&1 == 1 {
+				res.Failures[job.FF]++
+			}
+		}
+	}
+	for ff := range res.FDR {
+		if res.Injections[ff] > 0 {
+			res.FDR[ff] = float64(res.Failures[ff]) / float64(res.Injections[ff])
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// MACClassifier implements the paper's applicative failure criterion for the
+// MAC loopback testbench: "the simulation run was considered a functional
+// failure when the final received packages contained payload corruption or
+// the circuit stopped sending or receiving data".
+//
+// Concretely, a lane fails when its reconstructed received-packet list
+// differs from the golden run in count, payload bytes or error flags — a
+// pure latency shift with intact frames is benign — or, when CheckStats is
+// set, when the end-of-test statistics readout differs (the management
+// plane of the application checking its RMON counters).
+type MACClassifier struct {
+	Bench *circuit.MACBench
+	// CheckStats extends the failure criterion to the statistics readout.
+	CheckStats bool
+
+	goldenPkts  []circuit.LanePacket
+	goldenStats []byte
+	prepare     sync.Once
+}
+
+// NewMACClassifier returns a classifier for the given compiled testbench.
+func NewMACClassifier(bench *circuit.MACBench, checkStats bool) *MACClassifier {
+	return &MACClassifier{Bench: bench, CheckStats: checkStats}
+}
+
+// FailingLanes implements Classifier.
+func (m *MACClassifier) FailingLanes(golden, faulty *sim.Trace, used uint64) uint64 {
+	m.prepare.Do(func() {
+		// Golden is lane-uniform; lane 0 is canonical.
+		m.goldenPkts = m.Bench.LanePackets(golden, 0)
+		m.goldenStats = m.Bench.LaneStats(golden, 0)
+	})
+
+	// Fast path: lanes whose monitored trace is bit-identical to golden
+	// cannot fail. Golden lanes are uniform, so XOR of packed words flags
+	// every divergent lane directly.
+	var diff uint64
+	cycles := golden.Cycles()
+	nm := len(golden.Monitors)
+	for c := 0; c < cycles; c++ {
+		for w := 0; w < nm; w++ {
+			diff |= golden.Word(c, w) ^ faulty.Word(c, w)
+		}
+	}
+	diff &= used
+
+	var failing uint64
+	for lane := 0; lane < sim.Lanes; lane++ {
+		if diff>>uint(lane)&1 == 0 {
+			continue
+		}
+		if m.laneFails(faulty, lane) {
+			failing |= 1 << uint(lane)
+		}
+	}
+	return failing
+}
+
+func (m *MACClassifier) laneFails(faulty *sim.Trace, lane int) bool {
+	pkts := m.Bench.LanePackets(faulty, lane)
+	if len(pkts) != len(m.goldenPkts) {
+		return true // stopped receiving, or spurious frames
+	}
+	for i := range pkts {
+		if pkts[i].Err != m.goldenPkts[i].Err {
+			return true
+		}
+		if !bytes.Equal(pkts[i].Payload, m.goldenPkts[i].Payload) {
+			return true // payload corruption
+		}
+	}
+	if m.CheckStats {
+		if !bytes.Equal(m.Bench.LaneStats(faulty, lane), m.goldenStats) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WilsonInterval returns the Wilson score confidence interval for a binomial
+// proportion with the given number of failures out of n trials at confidence
+// z (z = 1.96 for 95 %). It is well behaved at p = 0 and p = 1, which flat
+// campaigns hit constantly.
+func WilsonInterval(failures, n int, z float64) (lo, hi float64) {
+	if n == 0 {
+		return 0, 1
+	}
+	p := float64(failures) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	margin := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - margin
+	hi = center + margin
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
+
+// Histogram bins FDR values into equally wide bins over [0,1] and returns
+// the per-bin counts.
+func Histogram(fdr []float64, bins int) []int {
+	counts := make([]int, bins)
+	for _, v := range fdr {
+		b := int(v * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// Summary aggregates a campaign for reports.
+type Summary struct {
+	FFs        int
+	Injections int
+	MeanFDR    float64
+	MedianFDR  float64
+	MaxFDR     float64
+	ZeroFDR    int // flip-flops with no observed failures
+	HighFDR    int // flip-flops with FDR >= 0.5
+}
+
+// Summarize computes campaign-level statistics.
+func Summarize(r *Result) Summary {
+	s := Summary{FFs: len(r.FDR), Injections: r.TotalRuns}
+	if len(r.FDR) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), r.FDR...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range r.FDR {
+		sum += v
+		if v == 0 {
+			s.ZeroFDR++
+		}
+		if v >= 0.5 {
+			s.HighFDR++
+		}
+		if v > s.MaxFDR {
+			s.MaxFDR = v
+		}
+	}
+	s.MeanFDR = sum / float64(len(r.FDR))
+	s.MedianFDR = sorted[len(sorted)/2]
+	return s
+}
+
+// String renders the summary as a one-line report.
+func (s Summary) String() string {
+	return fmt.Sprintf("ffs=%d runs=%d meanFDR=%.4f medianFDR=%.4f maxFDR=%.3f zero=%d high=%d",
+		s.FFs, s.Injections, s.MeanFDR, s.MedianFDR, s.MaxFDR, s.ZeroFDR, s.HighFDR)
+}

@@ -1,0 +1,382 @@
+package features
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// cone is the result of walking the combinational logic attached to one
+// flip-flop pin: which sequential/port elements terminate the walk and how
+// much logic lies in between.
+type cone struct {
+	ffs     []int   // FF indices at the cone frontier
+	piNets  []int32 // distinct primary input nets reached (backward cones)
+	poPorts []int32 // distinct primary output ports reached (forward cones)
+	consts  int     // constant driver cells reached
+	cells   int     // combinational cells traversed
+}
+
+// Extractor computes feature vectors for every flip-flop of a netlist.
+// Structure analysis happens once in NewExtractor; Extract combines it with
+// per-run activity data.
+type Extractor struct {
+	nl    *netlist.Netlist
+	ffs   []netlist.CellID
+	ffIdx map[netlist.CellID]int
+
+	readers  [][]int32 // net → cell IDs reading it
+	outPorts [][]int32 // net → primary output port indices
+	isPI     []bool    // net → driven by primary input
+
+	inCones  []cone
+	outCones []cone
+
+	// ffGraph is the FF-stage graph: nodes [0,n) are FFs, then PIs, then
+	// POs. Edges: PI→FF, FF→FF, FF→PO, each crossing one stage.
+	ffGraph *graph.Digraph
+	numPI   int
+	numPO   int
+
+	depthMemo []int32 // net → longest comb chain forward (-1 unknown)
+}
+
+// NewExtractor analyzes the netlist structure.
+func NewExtractor(nl *netlist.Netlist) (*Extractor, error) {
+	if err := nl.Validate(); err != nil {
+		return nil, fmt.Errorf("features: %w", err)
+	}
+	e := &Extractor{nl: nl, ffs: nl.FFs(), numPI: len(nl.Inputs), numPO: len(nl.Outputs)}
+	e.ffIdx = make(map[netlist.CellID]int, len(e.ffs))
+	for i, cid := range e.ffs {
+		e.ffIdx[cid] = i
+	}
+	e.readers = make([][]int32, len(nl.Nets))
+	for ci := range nl.Cells {
+		for _, in := range nl.Cells[ci].Inputs {
+			e.readers[in] = append(e.readers[in], int32(ci))
+		}
+	}
+	e.outPorts = make([][]int32, len(nl.Nets))
+	for pi, net := range nl.Outputs {
+		e.outPorts[net] = append(e.outPorts[net], int32(pi))
+	}
+	e.isPI = make([]bool, len(nl.Nets))
+	for _, net := range nl.Inputs {
+		e.isPI[net] = true
+	}
+
+	e.inCones = make([]cone, len(e.ffs))
+	e.outCones = make([]cone, len(e.ffs))
+	for i, cid := range e.ffs {
+		e.inCones[i] = e.backwardCone(nl.Cells[cid].Inputs[0])
+		e.outCones[i] = e.forwardCone(nl.Cells[cid].Output)
+	}
+
+	n := len(e.ffs)
+	e.ffGraph = graph.New(n + e.numPI + e.numPO)
+	piNode := make(map[netlist.NetID]int, e.numPI)
+	for k, net := range nl.Inputs {
+		piNode[net] = n + k
+	}
+	for i := range e.ffs {
+		for _, src := range e.inCones[i].ffs {
+			if err := e.ffGraph.AddEdge(src, i); err != nil {
+				return nil, fmt.Errorf("features: %w", err)
+			}
+		}
+		for _, piNet := range e.inCones[i].piNets {
+			if err := e.ffGraph.AddEdge(piNode[netlist.NetID(piNet)], i); err != nil {
+				return nil, fmt.Errorf("features: %w", err)
+			}
+		}
+		for _, port := range e.outCones[i].poPorts {
+			if err := e.ffGraph.AddEdge(i, n+e.numPI+int(port)); err != nil {
+				return nil, fmt.Errorf("features: %w", err)
+			}
+		}
+	}
+	e.depthMemo = make([]int32, len(nl.Nets))
+	for i := range e.depthMemo {
+		e.depthMemo[i] = -1
+	}
+	return e, nil
+}
+
+// backwardCone walks from a net backwards through combinational cells,
+// stopping at flip-flop outputs, primary inputs and constant drivers.
+func (e *Extractor) backwardCone(start netlist.NetID) cone {
+	var c cone
+	seenNet := map[netlist.NetID]bool{start: true}
+	seenFF := map[int]bool{}
+	stack := []netlist.NetID{start}
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if e.isPI[net] {
+			c.piNets = append(c.piNets, int32(net))
+			continue
+		}
+		drv := e.nl.Nets[net].Driver
+		cell := &e.nl.Cells[drv]
+		switch {
+		case cell.Type.IsSequential():
+			if idx := e.ffIdx[drv]; !seenFF[idx] {
+				seenFF[idx] = true
+				c.ffs = append(c.ffs, idx)
+			}
+		case cell.Type.Func == netlist.FuncConst0 || cell.Type.Func == netlist.FuncConst1:
+			c.consts++
+		default:
+			c.cells++
+			for _, in := range cell.Inputs {
+				if !seenNet[in] {
+					seenNet[in] = true
+					stack = append(stack, in)
+				}
+			}
+		}
+	}
+	return c
+}
+
+// forwardCone walks from a net forward through combinational cells,
+// stopping at flip-flop D pins and collecting primary output ports.
+func (e *Extractor) forwardCone(start netlist.NetID) cone {
+	var c cone
+	seenNet := map[netlist.NetID]bool{start: true}
+	seenFF := map[int]bool{}
+	seenCell := map[int32]bool{}
+	seenPO := map[int32]bool{}
+	stack := []netlist.NetID{start}
+	for len(stack) > 0 {
+		net := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, port := range e.outPorts[net] {
+			if !seenPO[port] {
+				seenPO[port] = true
+				c.poPorts = append(c.poPorts, port)
+			}
+		}
+		for _, rd := range e.readers[net] {
+			cell := &e.nl.Cells[rd]
+			if cell.Type.IsSequential() {
+				if idx := e.ffIdx[netlist.CellID(rd)]; !seenFF[idx] {
+					seenFF[idx] = true
+					c.ffs = append(c.ffs, idx)
+				}
+				continue
+			}
+			if seenCell[rd] {
+				continue
+			}
+			seenCell[rd] = true
+			c.cells++
+			if out := cell.Output; !seenNet[out] {
+				seenNet[out] = true
+				stack = append(stack, out)
+			}
+		}
+	}
+	return c
+}
+
+// combDepthFrom returns the longest chain of combinational cells reachable
+// forward from net (0 when the net only feeds FFs/outputs directly).
+func (e *Extractor) combDepthFrom(net netlist.NetID) int {
+	if d := e.depthMemo[net]; d >= 0 {
+		return int(d)
+	}
+	best := 0
+	for _, rd := range e.readers[net] {
+		cell := &e.nl.Cells[rd]
+		if cell.Type.IsSequential() {
+			continue
+		}
+		if d := 1 + e.combDepthFrom(cell.Output); d > best {
+			best = d
+		}
+	}
+	e.depthMemo[net] = int32(best)
+	return best
+}
+
+// busInfo derives bus membership from instance names of the form
+// "scope/name[index]"; a bus needs at least two members.
+type busInfo struct {
+	member bool
+	pos    int
+	length int
+}
+
+func (e *Extractor) busTable() []busInfo {
+	type entry struct {
+		base string
+		pos  int
+	}
+	entries := make([]entry, len(e.ffs))
+	counts := make(map[string]int)
+	for i, cid := range e.ffs {
+		base, pos := splitBusName(e.nl.Cells[cid].Name)
+		entries[i] = entry{base: base, pos: pos}
+		if pos >= 0 {
+			counts[base]++
+		}
+	}
+	out := make([]busInfo, len(e.ffs))
+	for i, en := range entries {
+		if en.pos >= 0 && counts[en.base] >= 2 {
+			out[i] = busInfo{member: true, pos: en.pos, length: counts[en.base]}
+		} else {
+			out[i] = busInfo{member: false, pos: -1, length: 0}
+		}
+	}
+	return out
+}
+
+// splitBusName splits "regs/data[7]" into ("regs/data", 7); pos is -1 for
+// non-bus names.
+func splitBusName(name string) (string, int) {
+	if !strings.HasSuffix(name, "]") {
+		return name, -1
+	}
+	open := strings.LastIndexByte(name, '[')
+	if open < 0 {
+		return name, -1
+	}
+	idx, err := strconv.Atoi(name[open+1 : len(name)-1])
+	if err != nil || idx < 0 {
+		return name, -1
+	}
+	return name[:open], idx
+}
+
+// proximity aggregates per-FF min/avg/max stage distances from a set of
+// port nodes; unreached FFs get -1 across the board.
+type proximity struct {
+	min, max, avg []float64
+}
+
+func (e *Extractor) portProximity(first, count int, dir graph.Direction) proximity {
+	n := len(e.ffs)
+	p := proximity{
+		min: make([]float64, n),
+		max: make([]float64, n),
+		avg: make([]float64, n),
+	}
+	sum := make([]float64, n)
+	cnt := make([]int, n)
+	for i := 0; i < n; i++ {
+		p.min[i] = -1
+		p.max[i] = -1
+		p.avg[i] = -1
+	}
+	for k := 0; k < count; k++ {
+		dist := e.ffGraph.Dijkstra([]int{first + k}, dir, graph.UnitWeight)
+		for f := 0; f < n; f++ {
+			v := dist[f]
+			if v == graph.Inf {
+				continue
+			}
+			if cnt[f] == 0 || v < p.min[f] {
+				p.min[f] = v
+			}
+			if cnt[f] == 0 || v > p.max[f] {
+				p.max[f] = v
+			}
+			sum[f] += v
+			cnt[f]++
+		}
+	}
+	for f := 0; f < n; f++ {
+		if cnt[f] > 0 {
+			p.avg[f] = sum[f] / float64(cnt[f])
+		}
+	}
+	return p
+}
+
+// Extract computes the full feature matrix. act supplies the dynamic
+// features and must come from a simulation of the same netlist; it may be
+// nil, zeroing the dynamic columns.
+func (e *Extractor) Extract(act *sim.Activity) (*Matrix, error) {
+	n := len(e.ffs)
+	if act != nil && len(act.Ones) != n {
+		return nil, fmt.Errorf("features: activity covers %d FFs, netlist has %d", len(act.Ones), n)
+	}
+	buses := e.busTable()
+	// PI nodes forward to FFs; PO nodes backward to FFs.
+	proxPI := e.portProximity(n, e.numPI, graph.Forward)
+	proxPO := e.portProximity(n+e.numPI, e.numPO, graph.Backward)
+
+	rows := make([][]float64, n)
+	names := make([]string, n)
+	for i, cid := range e.ffs {
+		cell := &e.nl.Cells[cid]
+		names[i] = cell.Name
+		in := e.inCones[i]
+		out := e.outCones[i]
+
+		fbDepth := e.ffGraph.ShortestCycleThrough(i)
+		hasFB := 0.0
+		if fbDepth > 0 {
+			hasFB = 1.0
+		}
+
+		v := Vector{
+			FFFanIn:       float64(len(in.ffs)),
+			FFFanOut:      float64(len(out.ffs)),
+			TotalFFsFrom:  float64(e.countReachableFFs(i, graph.Backward)),
+			TotalFFsTo:    float64(e.countReachableFFs(i, graph.Forward)),
+			ConnFromPI:    float64(len(in.piNets)),
+			ConnToPO:      float64(len(out.poPorts)),
+			ProxPIMax:     proxPI.max[i],
+			ProxPIAvg:     proxPI.avg[i],
+			ProxPIMin:     proxPI.min[i],
+			ProxPOMax:     proxPO.max[i],
+			ProxPOAvg:     proxPO.avg[i],
+			ProxPOMin:     proxPO.min[i],
+			ConnConst:     float64(in.consts),
+			HasFeedback:   hasFB,
+			FeedbackDep:   float64(fbDepth),
+			DriveStrength: float64(cell.Type.Drive),
+			CombFanIn:     float64(in.cells),
+			CombFanOut:    float64(out.cells),
+			CombDepth:     float64(e.combDepthFrom(cell.Output)),
+		}
+		b := buses[i]
+		if b.member {
+			v.PartOfBus = 1
+			v.BusPosition = float64(b.pos)
+			v.BusLength = float64(b.length)
+		} else {
+			v.BusPosition = -1
+		}
+		if act != nil && act.Cycles > 0 {
+			cyc := float64(act.Cycles)
+			v.At1 = float64(act.Ones[i]) / cyc
+			v.At0 = 1 - v.At1
+			v.StateChanges = float64(act.Toggles[i])
+		}
+		rows[i] = v.Slice()
+	}
+	return &Matrix{InstanceNames: names, Rows: rows}, nil
+}
+
+// countReachableFFs counts flip-flop nodes reachable from FF i in the stage
+// graph (excluding port nodes, and excluding i itself unless it sits on a
+// cycle).
+func (e *Extractor) countReachableFFs(i int, dir graph.Direction) int {
+	n := len(e.ffs)
+	count := 0
+	for _, u := range e.ffGraph.Reachable(i, dir) {
+		if u < n {
+			count++
+		}
+	}
+	return count
+}

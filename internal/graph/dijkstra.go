@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// WeightFunc returns the non-negative weight of the edge u→v.
+type WeightFunc func(u, v int) float64
+
+// UnitWeight assigns weight 1 to every edge, making Dijkstra equivalent to
+// BFS. The paper's feature extraction counts "stages" with unit weights.
+func UnitWeight(_, _ int) float64 { return 1 }
+
+// Inf marks an unreachable node in Dijkstra results.
+var Inf = math.Inf(1)
+
+type heapItem struct {
+	node int32
+	dist float64
+}
+
+type distHeap []heapItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(heapItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source (or multi-source) shortest path distances
+// from sources following dir, using w for edge weights. Unreachable nodes
+// receive Inf. Negative weights are not supported; w must be non-negative.
+func (g *Digraph) Dijkstra(sources []int, dir Direction, w WeightFunc) []float64 {
+	dist := make([]float64, g.Order())
+	for i := range dist {
+		dist[i] = Inf
+	}
+	h := make(distHeap, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= g.Order() {
+			continue
+		}
+		if dist[s] > 0 {
+			dist[s] = 0
+			h = append(h, heapItem{node: int32(s)})
+		}
+	}
+	heap.Init(&h)
+	adj := g.adj(dir)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(heapItem)
+		u := it.node
+		if it.dist > dist[u] {
+			continue // stale entry
+		}
+		for _, v := range adj[u] {
+			var ew float64
+			if dir == Backward {
+				ew = w(int(v), int(u))
+			} else {
+				ew = w(int(u), int(v))
+			}
+			nd := dist[u] + ew
+			if nd < dist[v] {
+				dist[v] = nd
+				heap.Push(&h, heapItem{node: v, dist: nd})
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,260 @@
+// Package graph implements the directed-graph algorithms used for circuit
+// analysis: breadth-first search, Dijkstra's shortest path (the algorithm the
+// paper names for stage counting), transitive reachability, shortest cycles,
+// and topological sorting (used to levelize netlists for simulation).
+//
+// Nodes are dense integer IDs in [0, Order()); callers map their own entities
+// (cells, flip-flops, ports) onto IDs.
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCycle is returned by TopoSort when the graph contains a directed cycle.
+var ErrCycle = errors.New("graph: cycle detected")
+
+// Digraph is a directed graph over dense node IDs with adjacency lists.
+// The zero value is an empty graph; use New or AddNode to grow it.
+type Digraph struct {
+	succ [][]int32
+	pred [][]int32
+	arcs int
+}
+
+// New returns a digraph with n nodes and no edges.
+func New(n int) *Digraph {
+	return &Digraph{succ: make([][]int32, n), pred: make([][]int32, n)}
+}
+
+// Order returns the number of nodes.
+func (g *Digraph) Order() int { return len(g.succ) }
+
+// Size returns the number of edges.
+func (g *Digraph) Size() int { return g.arcs }
+
+// AddNode appends a node and returns its ID.
+func (g *Digraph) AddNode() int {
+	g.succ = append(g.succ, nil)
+	g.pred = append(g.pred, nil)
+	return len(g.succ) - 1
+}
+
+// AddEdge inserts the directed edge u→v. Parallel edges are kept (circuits
+// legitimately have multiple connections between the same pair of cells).
+// It returns an error if either endpoint is out of range.
+func (g *Digraph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.succ) || v < 0 || v >= len(g.succ) {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.succ))
+	}
+	g.succ[u] = append(g.succ[u], int32(v))
+	g.pred[v] = append(g.pred[v], int32(u))
+	g.arcs++
+	return nil
+}
+
+// Succ returns the successor list of u (aliased, do not modify).
+func (g *Digraph) Succ(u int) []int32 { return g.succ[u] }
+
+// Pred returns the predecessor list of u (aliased, do not modify).
+func (g *Digraph) Pred(u int) []int32 { return g.pred[u] }
+
+// OutDegree returns the number of outgoing edges of u.
+func (g *Digraph) OutDegree(u int) int { return len(g.succ[u]) }
+
+// InDegree returns the number of incoming edges of u.
+func (g *Digraph) InDegree(u int) int { return len(g.pred[u]) }
+
+// Reverse returns a new digraph with every edge Direction flipped.
+func (g *Digraph) Reverse() *Digraph {
+	r := New(g.Order())
+	for u, vs := range g.succ {
+		for _, v := range vs {
+			// Error is impossible: nodes are in range by construction.
+			_ = r.AddEdge(int(v), u)
+		}
+	}
+	return r
+}
+
+// Direction selects which adjacency a traversal follows.
+type Direction int
+
+// Traversal directions.
+const (
+	// Forward follows successor edges.
+	Forward Direction = iota + 1
+	// Backward follows predecessor edges.
+	Backward
+)
+
+func (g *Digraph) adj(d Direction) [][]int32 {
+	if d == Backward {
+		return g.pred
+	}
+	return g.succ
+}
+
+// BFSDistances returns the unweighted shortest distance (in edges) from each
+// source to every node, following the given Direction. Unreachable nodes get
+// distance -1. Sources themselves get 0.
+func (g *Digraph) BFSDistances(sources []int, dir Direction) []int {
+	dist := make([]int, g.Order())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]int32, 0, len(sources))
+	for _, s := range sources {
+		if s < 0 || s >= g.Order() || dist[s] == 0 {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue, int32(s))
+	}
+	adj := g.adj(dir)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range adj[u] {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Reachable returns the set of nodes reachable from start (excluding start
+// itself unless it lies on a cycle back to itself) following dir.
+func (g *Digraph) Reachable(start int, dir Direction) []int {
+	seen := make([]bool, g.Order())
+	adj := g.adj(dir)
+	queue := []int32{int32(start)}
+	var out []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, int(v))
+				queue = append(queue, v)
+			}
+		}
+	}
+	return out
+}
+
+// ReachableCount returns len(Reachable(start, dir)) without materializing the
+// node list allocation per call when the caller supplies a scratch buffer.
+// scratch must be a []bool of length Order() (it is reset on entry).
+func (g *Digraph) ReachableCount(start int, dir Direction, scratch []bool, queue []int32) int {
+	for i := range scratch {
+		scratch[i] = false
+	}
+	adj := g.adj(dir)
+	queue = append(queue[:0], int32(start))
+	count := 0
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, v := range adj[u] {
+			if !scratch[v] {
+				scratch[v] = true
+				count++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return count
+}
+
+// ShortestCycleThrough returns the length (in edges) of the shortest directed
+// cycle passing through node v, or -1 if v lies on no cycle. A self-loop has
+// length 1.
+func (g *Digraph) ShortestCycleThrough(v int) int {
+	// BFS from the successors of v back to v.
+	dist := make([]int, g.Order())
+	for i := range dist {
+		dist[i] = -1
+	}
+	var queue []int32
+	for _, s := range g.succ[v] {
+		if int(s) == v {
+			return 1
+		}
+		if dist[s] == -1 {
+			dist[s] = 1
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.succ[u] {
+			if int(w) == v {
+				return dist[u] + 1
+			}
+			if dist[w] == -1 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}
+
+// TopoSort returns a topological ordering of the graph, or ErrCycle if the
+// graph has a directed cycle. Kahn's algorithm; ties resolve in node order so
+// the result is deterministic.
+func (g *Digraph) TopoSort() ([]int, error) {
+	n := g.Order()
+	indeg := make([]int, n)
+	for u := 0; u < n; u++ {
+		indeg[u] = g.InDegree(u)
+	}
+	order := make([]int, 0, n)
+	frontier := make([]int, 0, n)
+	for u := 0; u < n; u++ {
+		if indeg[u] == 0 {
+			frontier = append(frontier, u)
+		}
+	}
+	for len(frontier) > 0 {
+		u := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, u)
+		for _, v := range g.succ[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				frontier = append(frontier, int(v))
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("%w: %d of %d nodes ordered", ErrCycle, len(order), n)
+	}
+	return order, nil
+}
+
+// Levels assigns each node its longest-path depth from any zero-in-degree
+// node (level 0). Returns ErrCycle for cyclic graphs. Used to levelize
+// combinational netlists for cycle-based simulation.
+func (g *Digraph) Levels() ([]int, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	level := make([]int, g.Order())
+	for _, u := range order {
+		for _, v := range g.succ[u] {
+			if level[u]+1 > level[v] {
+				level[v] = level[u] + 1
+			}
+		}
+	}
+	return level, nil
+}

@@ -1,0 +1,312 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// diamond builds 0→1, 0→2, 1→3, 2→3.
+func diamond(t *testing.T) *Digraph {
+	t.Helper()
+	g := New(4)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	return g
+}
+
+func TestOrderSizeDegrees(t *testing.T) {
+	g := diamond(t)
+	if g.Order() != 4 || g.Size() != 4 {
+		t.Fatalf("order=%d size=%d, want 4,4", g.Order(), g.Size())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(3) != 2 {
+		t.Fatalf("degrees wrong: out0=%d in3=%d", g.OutDegree(0), g.InDegree(3))
+	}
+	if g.OutDegree(3) != 0 || g.InDegree(0) != 0 {
+		t.Fatal("sink/source degrees wrong")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(0)
+	id := g.AddNode()
+	if id != 0 || g.Order() != 1 {
+		t.Fatalf("AddNode = %d, order = %d", id, g.Order())
+	}
+}
+
+func TestAddEdgeOutOfRange(t *testing.T) {
+	g := New(2)
+	if err := g.AddEdge(0, 5); err == nil {
+		t.Fatal("expected range error")
+	}
+	if err := g.AddEdge(-1, 0); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	g := diamond(t)
+	d := g.BFSDistances([]int{0}, Forward)
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], want[i])
+		}
+	}
+	back := g.BFSDistances([]int{3}, Backward)
+	wantBack := []int{2, 1, 1, 0}
+	for i := range wantBack {
+		if back[i] != wantBack[i] {
+			t.Fatalf("back dist[%d] = %d, want %d", i, back[i], wantBack[i])
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := New(3)
+	_ = g.AddEdge(0, 1)
+	d := g.BFSDistances([]int{0}, Forward)
+	if d[2] != -1 {
+		t.Fatalf("dist to isolated node = %d, want -1", d[2])
+	}
+}
+
+func TestBFSMultiSource(t *testing.T) {
+	g := New(5)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(1, 3)
+	_ = g.AddEdge(3, 4)
+	d := g.BFSDistances([]int{0, 1}, Forward)
+	if d[2] != 1 || d[3] != 1 || d[4] != 2 {
+		t.Fatalf("multi-source BFS wrong: %v", d)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := diamond(t)
+	r := g.Reachable(0, Forward)
+	if len(r) != 3 {
+		t.Fatalf("reachable from 0 = %v, want 3 nodes", r)
+	}
+	r = g.Reachable(3, Forward)
+	if len(r) != 0 {
+		t.Fatalf("reachable from sink = %v, want none", r)
+	}
+	r = g.Reachable(3, Backward)
+	if len(r) != 3 {
+		t.Fatalf("backward reachable from 3 = %v, want 3 nodes", r)
+	}
+}
+
+func TestReachableCountMatchesReachable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		for e := 0; e < n*2; e++ {
+			_ = g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		scratch := make([]bool, n)
+		var queue []int32
+		for v := 0; v < n; v++ {
+			want := len(g.Reachable(v, Forward))
+			got := g.ReachableCount(v, Forward, scratch, queue)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestCycleThrough(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(2, 0)
+	_ = g.AddEdge(3, 3) // self loop
+	if got := g.ShortestCycleThrough(0); got != 3 {
+		t.Fatalf("cycle through 0 = %d, want 3", got)
+	}
+	if got := g.ShortestCycleThrough(3); got != 1 {
+		t.Fatalf("self-loop cycle = %d, want 1", got)
+	}
+	h := diamond(t)
+	if got := h.ShortestCycleThrough(0); got != -1 {
+		t.Fatalf("acyclic cycle = %d, want -1", got)
+	}
+}
+
+func TestTopoSort(t *testing.T) {
+	g := diamond(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	pos := make([]int, g.Order())
+	for i, u := range order {
+		pos[u] = i
+	}
+	for u := 0; u < g.Order(); u++ {
+		for _, v := range g.Succ(u) {
+			if pos[u] >= pos[int(v)] {
+				t.Fatalf("topo violated: %d before %d", v, u)
+			}
+		}
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(2)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 0)
+	if _, err := g.TopoSort(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := diamond(t)
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	want := []int{0, 1, 1, 2}
+	for i := range want {
+		if lv[i] != want[i] {
+			t.Fatalf("level[%d] = %d, want %d", i, lv[i], want[i])
+		}
+	}
+}
+
+func TestLevelsLongestPath(t *testing.T) {
+	// 0→1→2→3 plus shortcut 0→3: level of 3 must be 3 (longest path).
+	g := New(4)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(1, 2)
+	_ = g.AddEdge(2, 3)
+	_ = g.AddEdge(0, 3)
+	lv, err := g.Levels()
+	if err != nil {
+		t.Fatalf("Levels: %v", err)
+	}
+	if lv[3] != 3 {
+		t.Fatalf("level[3] = %d, want 3", lv[3])
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := diamond(t)
+	r := g.Reverse()
+	if r.Size() != g.Size() {
+		t.Fatalf("reverse size = %d, want %d", r.Size(), g.Size())
+	}
+	d := r.BFSDistances([]int{3}, Forward)
+	if d[0] != 2 {
+		t.Fatalf("reverse BFS dist = %d, want 2", d[0])
+	}
+}
+
+func TestDijkstraUnitEqualsBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := New(n)
+		for e := 0; e < n*3; e++ {
+			_ = g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		src := rng.Intn(n)
+		bfs := g.BFSDistances([]int{src}, Forward)
+		dij := g.Dijkstra([]int{src}, Forward, UnitWeight)
+		for i := range bfs {
+			if bfs[i] == -1 {
+				if !math.IsInf(dij[i], 1) {
+					return false
+				}
+			} else if dij[i] != float64(bfs[i]) {
+				return false
+			}
+		}
+		// Backward too.
+		bfsB := g.BFSDistances([]int{src}, Backward)
+		dijB := g.Dijkstra([]int{src}, Backward, UnitWeight)
+		for i := range bfsB {
+			if bfsB[i] == -1 {
+				if !math.IsInf(dijB[i], 1) {
+					return false
+				}
+			} else if dijB[i] != float64(bfsB[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// 0→1 (w=5), 0→2 (w=1), 2→1 (w=1): shortest 0→1 is 2 via node 2.
+	g := New(3)
+	_ = g.AddEdge(0, 1)
+	_ = g.AddEdge(0, 2)
+	_ = g.AddEdge(2, 1)
+	w := func(u, v int) float64 {
+		if u == 0 && v == 1 {
+			return 5
+		}
+		return 1
+	}
+	d := g.Dijkstra([]int{0}, Forward, w)
+	if d[1] != 2 {
+		t.Fatalf("dist to 1 = %v, want 2", d[1])
+	}
+}
+
+func TestDijkstraIgnoresBadSources(t *testing.T) {
+	g := New(2)
+	d := g.Dijkstra([]int{-5, 7, 0}, Forward, UnitWeight)
+	if d[0] != 0 || !math.IsInf(d[1], 1) {
+		t.Fatalf("bad-source handling wrong: %v", d)
+	}
+}
+
+// Property: reachability sets only grow when edges are added.
+func TestReachabilityMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(12)
+		g := New(n)
+		counts := make([]int, n)
+		scratch := make([]bool, n)
+		var queue []int32
+		for v := 0; v < n; v++ {
+			counts[v] = g.ReachableCount(v, Forward, scratch, queue)
+		}
+		for e := 0; e < 10; e++ {
+			_ = g.AddEdge(rng.Intn(n), rng.Intn(n))
+			for v := 0; v < n; v++ {
+				c := g.ReachableCount(v, Forward, scratch, queue)
+				if c < counts[v] {
+					return false
+				}
+				counts[v] = c
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SymEigen computes the eigendecomposition of a symmetric matrix using the
+// cyclic Jacobi method. It returns the eigenvalues in descending order and
+// the corresponding eigenvectors as matrix columns. The input is not
+// modified; symmetry is assumed (the strictly lower triangle is ignored in
+// the sense that a[i][j] and a[j][i] are averaged).
+func SymEigen(a *Matrix) ([]float64, *Matrix, error) {
+	n := a.Rows()
+	if n != a.Cols() {
+		return nil, nil, fmt.Errorf("%w: SymEigen needs square, got %dx%d", ErrShape, a.Rows(), a.Cols())
+	}
+	// Working copy, symmetrized.
+	w := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			w.Set(i, j, (a.At(i, j)+a.At(j, i))/2)
+		}
+	}
+	v := Identity(n)
+
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-22 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-18 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				var t float64
+				if theta >= 0 {
+					t = 1 / (theta + math.Sqrt(1+theta*theta))
+				} else {
+					t = -1 / (-theta + math.Sqrt(1+theta*theta))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := t * c
+				// Apply the rotation to rows/columns p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*akp-s*akq)
+					w.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*apk-s*aqk)
+					w.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-s*vkq)
+					v.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+
+	// Sort eigenpairs by descending eigenvalue.
+	type pair struct {
+		val float64
+		col int
+	}
+	pairs := make([]pair, n)
+	for i := range pairs {
+		pairs[i] = pair{val: w.At(i, i), col: i}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].val > pairs[j].val })
+	values := make([]float64, n)
+	vectors := New(n, n)
+	for out, pr := range pairs {
+		values[out] = pr.val
+		for k := 0; k < n; k++ {
+			vectors.Set(k, out, v.At(k, pr.col))
+		}
+	}
+	return values, vectors, nil
+}

@@ -1,0 +1,213 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows() != 2 || m.Cols() != 3 {
+		t.Fatalf("dims = %dx%d, want 2x3", m.Rows(), m.Cols())
+	}
+	m.Set(1, 2, 7.5)
+	if got := m.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %v, want 7.5", got)
+	}
+	if got := m.At(0, 0); got != 0 {
+		t.Fatalf("zero value At(0,0) = %v, want 0", got)
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatalf("FromRows: %v", err)
+	}
+	if m.Rows() != 3 || m.Cols() != 2 {
+		t.Fatalf("dims = %dx%d, want 3x2", m.Rows(), m.Cols())
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %v, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	_, err := FromRows([][]float64{{1, 2}, {3}})
+	if !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatalf("FromRows(nil): %v", err)
+	}
+	if m.Rows() != 0 || m.Cols() != 0 {
+		t.Fatalf("dims = %dx%d, want 0x0", m.Rows(), m.Cols())
+	}
+}
+
+func TestRowColCopySemantics(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row must return a copy")
+	}
+	c := m.Col(1)
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Fatal("Col must return a copy")
+	}
+	rr := m.RawRow(1)
+	rr[0] = 42
+	if m.At(1, 0) != 42 {
+		t.Fatal("RawRow must alias storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("T dims = %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < m.Rows(); i++ {
+		for j := 0; j < m.Cols(); j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := Mul(a, b)
+	if err != nil {
+		t.Fatalf("Mul: %v", err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			if c.At(i, j) != want[i][j] {
+				t.Fatalf("c[%d][%d] = %v, want %v", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := New(2, 3)
+	b := New(2, 3)
+	if _, err := Mul(a, b); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := MulVec(a, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatalf("MulVec: %v", err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("y = %v, want [6 15]", y)
+	}
+	if _, err := MulVec(a, []float64{1}); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{4, 3}, {2, 1}})
+	s, err := Add(a, b)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if s.At(0, 0) != 5 || s.At(1, 1) != 5 {
+		t.Fatalf("Add wrong: %v", s)
+	}
+	d, err := Sub(s, b)
+	if err != nil {
+		t.Fatalf("Sub: %v", err)
+	}
+	if diff, _ := MaxAbsDiff(d, a); diff != 0 {
+		t.Fatalf("Sub(Add(a,b),b) != a, diff=%v", diff)
+	}
+	a.Scale(2)
+	if a.At(1, 1) != 8 {
+		t.Fatalf("Scale wrong: %v", a.At(1, 1))
+	}
+	if _, err := Add(a, New(1, 1)); !errors.Is(err, ErrShape) {
+		t.Fatal("Add shape error expected")
+	}
+	if _, err := Sub(a, New(1, 1)); !errors.Is(err, ErrShape) {
+		t.Fatal("Sub shape error expected")
+	}
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+	}
+	id := Identity(4)
+	left, _ := Mul(id, a)
+	right, _ := Mul(a, id)
+	if d, _ := MaxAbsDiff(left, a); d != 0 {
+		t.Fatal("I*A != A")
+	}
+	if d, _ := MaxAbsDiff(right, a); d != 0 {
+		t.Fatal("A*I != A")
+	}
+}
+
+// Property: (A*B)ᵀ == Bᵀ*Aᵀ for random matrices.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a, b := New(m, k), New(k, n)
+		for i := range a.data {
+			a.data[i] = rng.NormFloat64()
+		}
+		for i := range b.data {
+			b.data[i] = rng.NormFloat64()
+		}
+		ab, err := Mul(a, b)
+		if err != nil {
+			return false
+		}
+		btat, err := Mul(b.T(), a.T())
+		if err != nil {
+			return false
+		}
+		d, err := MaxAbsDiff(ab.T(), btat)
+		return err == nil && d < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}})
+	if s := m.String(); s == "" {
+		t.Fatal("String() empty")
+	}
+}

@@ -1,0 +1,206 @@
+// Package knn implements the paper's k-Nearest Neighbors regressor
+// (Section IV-B2): predictions are the inverse-distance weighted average of
+// the k closest training points, under Manhattan, Euclidean or general
+// Minkowski distance. The paper's tuned model is k=3 with Manhattan
+// distance.
+package knn
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+
+	"repro/internal/ml"
+)
+
+// Metric identifies the distance function.
+type Metric int
+
+// Supported metrics.
+const (
+	Manhattan Metric = iota + 1 // L1, the paper's tuned choice
+	Euclidean                   // L2
+	Minkowski                   // Lp with configurable P
+)
+
+// String names the metric.
+func (m Metric) String() string {
+	switch m {
+	case Manhattan:
+		return "manhattan"
+	case Euclidean:
+		return "euclidean"
+	case Minkowski:
+		return "minkowski"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Weighting selects how neighbor targets are combined.
+type Weighting int
+
+// Supported weightings.
+const (
+	// WeightDistance uses inverse-distance weights (the paper's choice);
+	// an exact feature match returns that training target directly.
+	WeightDistance Weighting = iota + 1
+	// WeightUniform averages the k neighbors equally.
+	WeightUniform
+)
+
+// Regressor is the k-NN model. Configure before Fit; the zero value is
+// k=0 and invalid (use New).
+type Regressor struct {
+	K      int
+	Metric Metric
+	// P is the Minkowski exponent, used only when Metric == Minkowski.
+	P float64
+	// Weights defaults to WeightDistance when left zero.
+	Weights Weighting
+
+	x      [][]float64
+	y      []float64
+	fitted bool
+}
+
+// New returns the paper's configuration: weighted k-NN with the given k and
+// metric.
+func New(k int, metric Metric) *Regressor {
+	return &Regressor{K: k, Metric: metric, P: 2, Weights: WeightDistance}
+}
+
+// Fit memorizes the training set.
+func (r *Regressor) Fit(X [][]float64, y []float64) error {
+	if err := ml.CheckXY(X, y); err != nil {
+		return err
+	}
+	if r.K < 1 {
+		return fmt.Errorf("ml/knn: k=%d must be >= 1", r.K)
+	}
+	if r.K > len(X) {
+		return fmt.Errorf("ml/knn: k=%d exceeds %d training samples", r.K, len(X))
+	}
+	if r.Metric == Minkowski && r.P <= 0 {
+		return fmt.Errorf("ml/knn: minkowski p=%v must be > 0", r.P)
+	}
+	if r.Weights == 0 {
+		r.Weights = WeightDistance
+	}
+	// Copy: the contract says callers may reuse their slices.
+	r.x = make([][]float64, len(X))
+	for i, row := range X {
+		r.x[i] = append([]float64(nil), row...)
+	}
+	r.y = append([]float64(nil), y...)
+	r.fitted = true
+	return nil
+}
+
+func (r *Regressor) distance(a, b []float64) float64 {
+	switch r.Metric {
+	case Euclidean:
+		var s float64
+		for i := range a {
+			d := a[i] - b[i]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	case Minkowski:
+		var s float64
+		for i := range a {
+			s += math.Pow(math.Abs(a[i]-b[i]), r.P)
+		}
+		return math.Pow(s, 1/r.P)
+	default: // Manhattan
+		var s float64
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	}
+}
+
+// neighborHeap is a max-heap on distance holding the current best k.
+type neighborHeap []neighbor
+
+type neighbor struct {
+	dist float64
+	idx  int
+}
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Neighbors returns the indices and distances of the k nearest training
+// points, nearest first.
+func (r *Regressor) Neighbors(x []float64) ([]int, []float64, error) {
+	if !r.fitted {
+		return nil, nil, ml.ErrNotFitted
+	}
+	h := make(neighborHeap, 0, r.K)
+	for i, row := range r.x {
+		d := r.distance(x, row)
+		if len(h) < r.K {
+			heap.Push(&h, neighbor{dist: d, idx: i})
+		} else if d < h[0].dist {
+			h[0] = neighbor{dist: d, idx: i}
+			heap.Fix(&h, 0)
+		}
+	}
+	// Extract ascending.
+	idx := make([]int, len(h))
+	dist := make([]float64, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		nb := heap.Pop(&h).(neighbor)
+		idx[i] = nb.idx
+		dist[i] = nb.dist
+	}
+	return idx, dist, nil
+}
+
+// Predict returns the weighted average of the k nearest targets.
+func (r *Regressor) Predict(x []float64) float64 {
+	idx, dist, err := r.Neighbors(x)
+	if err != nil {
+		return 0
+	}
+	if r.Weights == WeightUniform {
+		var s float64
+		for _, i := range idx {
+			s += r.y[i]
+		}
+		return s / float64(len(idx))
+	}
+	// Inverse-distance weights; exact matches dominate (scikit-learn
+	// semantics: if any neighbor is at distance 0, average those).
+	var exactSum float64
+	exactCnt := 0
+	for k, d := range dist {
+		if d == 0 {
+			exactSum += r.y[idx[k]]
+			exactCnt++
+		}
+	}
+	if exactCnt > 0 {
+		return exactSum / float64(exactCnt)
+	}
+	var num, den float64
+	for k, d := range dist {
+		w := 1 / d
+		num += w * r.y[idx[k]]
+		den += w
+	}
+	return num / den
+}
+
+var _ ml.Regressor = (*Regressor)(nil)

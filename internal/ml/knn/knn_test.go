@@ -1,0 +1,186 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func grid2D() ([][]float64, []float64) {
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {5, 5}}
+	y := []float64{1, 2, 3, 4, 50}
+	return X, y
+}
+
+func TestK1RecallsTrainingPoints(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := range X {
+			X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = rng.NormFloat64()
+		}
+		m := New(1, Euclidean)
+		if err := m.Fit(X, y); err != nil {
+			return false
+		}
+		for i := range X {
+			got := m.Predict(X[i])
+			// Duplicate points may average; accept any training target
+			// at distance 0.
+			ok := false
+			for j := range X {
+				if X[j][0] == X[i][0] && X[j][1] == X[i][1] && math.Abs(got-y[j]) < 1e-9 {
+					ok = true
+				}
+			}
+			// Averaged duplicates are fine too.
+			if !ok && math.Abs(got-y[i]) > 10 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactMatchDominates(t *testing.T) {
+	X, y := grid2D()
+	m := New(3, Manhattan)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if got := m.Predict([]float64{0, 0}); got != 1 {
+		t.Fatalf("exact match Predict = %v, want 1", got)
+	}
+}
+
+func TestUniformWeights(t *testing.T) {
+	X, y := grid2D()
+	m := &Regressor{K: 4, Metric: Manhattan, Weights: WeightUniform}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// Query at the center of the unit square: 4 nearest are the corners.
+	got := m.Predict([]float64{0.5, 0.5})
+	if math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("uniform Predict = %v, want 2.5", got)
+	}
+}
+
+func TestInverseDistanceWeighting(t *testing.T) {
+	X := [][]float64{{0}, {3}}
+	y := []float64{0, 1}
+	m := New(2, Manhattan)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// Query at 1: distances 1 and 2 → weights 1, 0.5 → (0*1+1*0.5)/1.5.
+	got := m.Predict([]float64{1})
+	want := 0.5 / 1.5
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted Predict = %v, want %v", got, want)
+	}
+}
+
+func TestMetricsDiffer(t *testing.T) {
+	// Points chosen so Manhattan and Euclidean rank neighbors differently.
+	X := [][]float64{{2.2, 0}, {1.3, 1.3}, {9, 9}}
+	y := []float64{1, 2, 99}
+	man := New(1, Manhattan)
+	euc := New(1, Euclidean)
+	if err := man.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := euc.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0, 0}
+	// Manhattan: |2.2| = 2.2 vs 2.6 → picks y=1. Euclidean: 2.2 vs 1.84 → y=2.
+	if got := man.Predict(q); got != 1 {
+		t.Fatalf("manhattan pick = %v, want 1", got)
+	}
+	if got := euc.Predict(q); got != 2 {
+		t.Fatalf("euclidean pick = %v, want 2", got)
+	}
+}
+
+func TestMinkowskiGeneralizes(t *testing.T) {
+	X, y := grid2D()
+	m2 := &Regressor{K: 2, Metric: Minkowski, P: 2, Weights: WeightDistance}
+	e := New(2, Euclidean)
+	if err := m2.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.2, 0.7}
+	if math.Abs(m2.Predict(q)-e.Predict(q)) > 1e-12 {
+		t.Fatal("minkowski p=2 must equal euclidean")
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	X, y := grid2D()
+	m := New(3, Euclidean)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	_, dist, err := m.Neighbors([]float64{0.1, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(dist); i++ {
+		if dist[i-1] > dist[i] {
+			t.Fatalf("distances not ascending: %v", dist)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	X, y := grid2D()
+	if err := New(0, Manhattan).Fit(X, y); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if err := New(99, Manhattan).Fit(X, y); err == nil {
+		t.Fatal("k>n must fail")
+	}
+	bad := &Regressor{K: 1, Metric: Minkowski, P: 0}
+	if err := bad.Fit(X, y); err == nil {
+		t.Fatal("p=0 minkowski must fail")
+	}
+	m := New(1, Manhattan)
+	if got := m.Predict([]float64{0, 0}); got != 0 {
+		t.Fatalf("unfitted Predict = %v, want 0", got)
+	}
+	if _, _, err := m.Neighbors([]float64{0, 0}); err == nil {
+		t.Fatal("unfitted Neighbors must fail")
+	}
+}
+
+func TestFitCopiesData(t *testing.T) {
+	X := [][]float64{{1}, {2}}
+	y := []float64{1, 2}
+	m := New(1, Manhattan)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	X[0][0] = 99
+	y[0] = 99
+	if got := m.Predict([]float64{1}); got != 1 {
+		t.Fatalf("model must be insulated from caller mutation, got %v", got)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	if Manhattan.String() != "manhattan" || Euclidean.String() != "euclidean" ||
+		Minkowski.String() != "minkowski" || Metric(9).String() == "" {
+		t.Fatal("Metric.String wrong")
+	}
+}

@@ -1,0 +1,89 @@
+// Package linreg implements the paper's Linear Least Squares regressor
+// (Section IV-B1): an ordinary least squares fit of a linear model, solved
+// by Householder QR, plus an optional ridge penalty for rank-deficient
+// feature matrices.
+package linreg
+
+import (
+	"fmt"
+
+	"repro/internal/mat"
+	"repro/internal/ml"
+)
+
+// LinearRegression fits y ≈ w·x + b by minimizing the residual sum of
+// squares. The zero value is a plain OLS model; set Lambda for ridge
+// regularization (the intercept is never penalized in spirit — with
+// standardized features the distinction is immaterial, and the augmented
+// column trick keeps the solver simple).
+type LinearRegression struct {
+	// Lambda is the L2 penalty; 0 means ordinary least squares.
+	Lambda float64
+	// FitIntercept controls the bias term; the zero value fits one.
+	NoIntercept bool
+
+	weights   []float64 // learned coefficients (without intercept)
+	intercept float64
+	fitted    bool
+}
+
+// New returns an OLS regressor.
+func New() *LinearRegression { return &LinearRegression{} }
+
+// NewRidge returns a ridge regressor with the given penalty.
+func NewRidge(lambda float64) *LinearRegression { return &LinearRegression{Lambda: lambda} }
+
+// Fit solves the least squares problem.
+func (l *LinearRegression) Fit(X [][]float64, y []float64) error {
+	if err := ml.CheckXY(X, y); err != nil {
+		return err
+	}
+	rows, cols := len(X), len(X[0])
+	aug := cols
+	if !l.NoIntercept {
+		aug++
+	}
+	if rows < aug && l.Lambda == 0 {
+		return fmt.Errorf("ml/linreg: %d samples cannot determine %d coefficients", rows, aug)
+	}
+	a := mat.New(rows, aug)
+	for i, row := range X {
+		r := a.RawRow(i)
+		copy(r, row)
+		if !l.NoIntercept {
+			r[cols] = 1
+		}
+	}
+	sol, err := mat.RidgeSolve(a, y, l.Lambda)
+	if err != nil {
+		return fmt.Errorf("ml/linreg: %w", err)
+	}
+	l.weights = sol[:cols]
+	if !l.NoIntercept {
+		l.intercept = sol[cols]
+	} else {
+		l.intercept = 0
+	}
+	l.fitted = true
+	return nil
+}
+
+// Predict evaluates the linear model.
+func (l *LinearRegression) Predict(x []float64) float64 {
+	if !l.fitted {
+		return 0
+	}
+	return mat.Dot(l.weights, x) + l.intercept
+}
+
+// Coefficients returns a copy of the learned weights and the intercept.
+func (l *LinearRegression) Coefficients() ([]float64, float64, error) {
+	if !l.fitted {
+		return nil, 0, ml.ErrNotFitted
+	}
+	w := make([]float64, len(l.weights))
+	copy(w, l.weights)
+	return w, l.intercept, nil
+}
+
+var _ ml.Regressor = (*LinearRegression)(nil)

@@ -1,0 +1,153 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestMAE(t *testing.T) {
+	y := []float64{1, 2, 3}
+	yhat := []float64{2, 2, 1}
+	if got := MAE(y, yhat); !almost(got, 1) {
+		t.Fatalf("MAE = %v, want 1", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := MaxAbs([]float64{1, 5, 3}, []float64{1, 1, 4}); !almost(got, 4) {
+		t.Fatalf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestRMSE(t *testing.T) {
+	if got := RMSE([]float64{0, 0}, []float64{3, 4}); !almost(got, math.Sqrt(12.5)) {
+		t.Fatalf("RMSE = %v, want sqrt(12.5)", got)
+	}
+}
+
+func TestPerfectPrediction(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	s := Evaluate(y, y)
+	if s.MAE != 0 || s.MAX != 0 || s.RMSE != 0 || s.EV != 1 || s.R2 != 1 {
+		t.Fatalf("perfect prediction scores = %+v", s)
+	}
+}
+
+func TestMeanPredictorR2Zero(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(y, mean); !almost(got, 0) {
+		t.Fatalf("R2(mean) = %v, want 0", got)
+	}
+	if got := ExplainedVariance(y, mean); !almost(got, 0) {
+		t.Fatalf("EV(mean) = %v, want 0", got)
+	}
+}
+
+func TestR2CanBeNegative(t *testing.T) {
+	y := []float64{1, 2, 3}
+	bad := []float64{10, -10, 10}
+	if got := R2(y, bad); got >= 0 {
+		t.Fatalf("R2 of terrible model = %v, want negative", got)
+	}
+}
+
+func TestConstantTruth(t *testing.T) {
+	y := []float64{2, 2, 2}
+	if got := R2(y, y); got != 1 {
+		t.Fatalf("R2 constant exact = %v", got)
+	}
+	if got := R2(y, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("R2 constant inexact = %v", got)
+	}
+	if got := ExplainedVariance(y, y); got != 1 {
+		t.Fatalf("EV constant exact = %v", got)
+	}
+	if got := ExplainedVariance(y, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("EV constant inexact = %v", got)
+	}
+}
+
+// TestBiasGapBetweenEVAndR2 pins the defining difference of Eq. 4 vs Eq. 5:
+// a constant bias leaves EV untouched but hurts R².
+func TestBiasGapBetweenEVAndR2(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	biased := []float64{2, 3, 4, 5}
+	if got := ExplainedVariance(y, biased); !almost(got, 1) {
+		t.Fatalf("EV(biased) = %v, want 1", got)
+	}
+	if got := R2(y, biased); got >= 0.99 {
+		t.Fatalf("R2(biased) = %v, want < 1", got)
+	}
+}
+
+func TestPanicsOnBadLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MAE([]float64{1}, []float64{1, 2})
+}
+
+// Properties that hold for any prediction vector:
+// RMSE ≥ MAE, MAX ≥ MAE, EV ≥ R2, R2 ≤ 1, EV ≤ 1.
+func TestMetricInequalities(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		y := make([]float64, n)
+		yhat := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+			yhat[i] = rng.NormFloat64()
+		}
+		s := Evaluate(y, yhat)
+		const tol = 1e-12
+		if s.RMSE < s.MAE-tol {
+			return false
+		}
+		if s.MAX < s.MAE-tol {
+			return false
+		}
+		if s.R2 > 1+tol || s.EV > 1+tol {
+			return false
+		}
+		// EV − R2 = mean(residual)² / Var(y) ≥ 0.
+		return s.EV >= s.R2-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoresAddScaleString(t *testing.T) {
+	a := Scores{MAE: 1, MAX: 2, RMSE: 3, EV: 4, R2: 5}
+	b := a.Add(a).Scale(0.5)
+	if b != a {
+		t.Fatalf("Add/Scale roundtrip = %+v", b)
+	}
+	if !strings.Contains(a.String(), "MAE=") {
+		t.Fatal("String missing fields")
+	}
+}
+
+// Table I sanity: metrics computed on the paper's example orderings behave
+// as documented ("values closer to zero are better" vs "best value 1").
+func TestDirectionality(t *testing.T) {
+	y := []float64{0, 0.5, 1, 0.2, 0.9}
+	good := []float64{0.05, 0.45, 0.95, 0.25, 0.85}
+	bad := []float64{0.9, 0.1, 0.2, 0.8, 0.1}
+	sg, sb := Evaluate(y, good), Evaluate(y, bad)
+	if sg.MAE >= sb.MAE || sg.RMSE >= sb.RMSE || sg.MAX >= sb.MAX {
+		t.Fatal("error metrics must rank good < bad")
+	}
+	if sg.R2 <= sb.R2 || sg.EV <= sb.EV {
+		t.Fatal("score metrics must rank good > bad")
+	}
+}

@@ -1,0 +1,267 @@
+// Package mlp implements the Multi-Layer Perceptron regressor the paper
+// lists as future work (Section V): fully connected hidden layers with tanh
+// or ReLU activations, trained by mini-batch Adam on squared error.
+package mlp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ml"
+)
+
+// Activation selects the hidden-layer nonlinearity.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota + 1
+	Tanh
+)
+
+// Regressor is a feed-forward network with a linear output unit.
+type Regressor struct {
+	// Hidden lists the hidden layer widths (default [64, 32]).
+	Hidden []int
+	// Act is the hidden activation (default ReLU).
+	Act Activation
+	// Epochs is the number of passes over the data (default 300).
+	Epochs int
+	// BatchSize for mini-batch updates (default 32).
+	BatchSize int
+	// LearningRate for Adam (default 1e-3).
+	LearningRate float64
+	// L2 is the weight decay (default 1e-4).
+	L2 float64
+	// Seed drives initialization and shuffling.
+	Seed int64
+
+	weights [][]float64 // per layer, row-major (out × in)
+	biases  [][]float64
+	dims    []int
+	fitted  bool
+}
+
+// New returns an MLP with the given hidden layout and seed.
+func New(hidden []int, seed int64) *Regressor {
+	return &Regressor{Hidden: hidden, Seed: seed}
+}
+
+func (m *Regressor) defaults() {
+	if len(m.Hidden) == 0 {
+		m.Hidden = []int{64, 32}
+	}
+	if m.Act == 0 {
+		m.Act = ReLU
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 300
+	}
+	if m.BatchSize <= 0 {
+		m.BatchSize = 32
+	}
+	if m.LearningRate <= 0 {
+		m.LearningRate = 1e-3
+	}
+	if m.L2 < 0 {
+		m.L2 = 0
+	}
+}
+
+func (m *Regressor) act(v float64) float64 {
+	if m.Act == Tanh {
+		return math.Tanh(v)
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (m *Regressor) actGrad(pre float64) float64 {
+	if m.Act == Tanh {
+		t := math.Tanh(pre)
+		return 1 - t*t
+	}
+	if pre < 0 {
+		return 0
+	}
+	return 1
+}
+
+// Fit trains the network with Adam.
+func (m *Regressor) Fit(X [][]float64, y []float64) error {
+	if err := ml.CheckXY(X, y); err != nil {
+		return err
+	}
+	m.defaults()
+	for _, h := range m.Hidden {
+		if h < 1 {
+			return fmt.Errorf("ml/mlp: hidden width %d", h)
+		}
+	}
+	rng := rand.New(rand.NewSource(m.Seed))
+	in := len(X[0])
+	m.dims = append(append([]int{in}, m.Hidden...), 1)
+	L := len(m.dims) - 1
+	m.weights = make([][]float64, L)
+	m.biases = make([][]float64, L)
+	for l := 0; l < L; l++ {
+		fanIn, fanOut := m.dims[l], m.dims[l+1]
+		scale := math.Sqrt(2 / float64(fanIn)) // He init; fine for tanh too
+		w := make([]float64, fanIn*fanOut)
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.weights[l] = w
+		m.biases[l] = make([]float64, fanOut)
+	}
+
+	// Adam state.
+	mw := make([][]float64, L)
+	vw := make([][]float64, L)
+	mb := make([][]float64, L)
+	vb := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		mw[l] = make([]float64, len(m.weights[l]))
+		vw[l] = make([]float64, len(m.weights[l]))
+		mb[l] = make([]float64, len(m.biases[l]))
+		vb[l] = make([]float64, len(m.biases[l]))
+	}
+	const beta1, beta2, eps = 0.9, 0.999, 1e-8
+
+	n := len(X)
+	order := rng.Perm(n)
+	// Forward/backward scratch.
+	pre := make([][]float64, L) // pre-activations per layer
+	out := make([][]float64, L+1)
+	for l := 0; l < L; l++ {
+		pre[l] = make([]float64, m.dims[l+1])
+		out[l+1] = make([]float64, m.dims[l+1])
+	}
+	delta := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		delta[l] = make([]float64, m.dims[l+1])
+	}
+	gw := make([][]float64, L)
+	gb := make([][]float64, L)
+	for l := 0; l < L; l++ {
+		gw[l] = make([]float64, len(m.weights[l]))
+		gb[l] = make([]float64, len(m.biases[l]))
+	}
+
+	step := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for lo := 0; lo < n; lo += m.BatchSize {
+			hi := lo + m.BatchSize
+			if hi > n {
+				hi = n
+			}
+			batch := order[lo:hi]
+			for l := 0; l < L; l++ {
+				for i := range gw[l] {
+					gw[l][i] = 0
+				}
+				for i := range gb[l] {
+					gb[l][i] = 0
+				}
+			}
+			for _, idx := range batch {
+				// Forward.
+				out[0] = X[idx]
+				for l := 0; l < L; l++ {
+					fanIn := m.dims[l]
+					for j := 0; j < m.dims[l+1]; j++ {
+						s := m.biases[l][j]
+						wrow := m.weights[l][j*fanIn : (j+1)*fanIn]
+						for i2, v := range out[l] {
+							s += wrow[i2] * v
+						}
+						pre[l][j] = s
+						if l == L-1 {
+							out[l+1][j] = s // linear output
+						} else {
+							out[l+1][j] = m.act(s)
+						}
+					}
+				}
+				// Backward.
+				diff := out[L][0] - y[idx]
+				delta[L-1][0] = diff
+				for l := L - 2; l >= 0; l-- {
+					fanIn := m.dims[l+1]
+					for j := 0; j < m.dims[l+1]; j++ {
+						var s float64
+						for k2 := 0; k2 < m.dims[l+2]; k2++ {
+							s += m.weights[l+1][k2*fanIn+j] * delta[l+1][k2]
+						}
+						delta[l][j] = s * m.actGrad(pre[l][j])
+					}
+				}
+				for l := 0; l < L; l++ {
+					fanIn := m.dims[l]
+					for j := 0; j < m.dims[l+1]; j++ {
+						d := delta[l][j]
+						grow := gw[l][j*fanIn : (j+1)*fanIn]
+						for i2, v := range out[l] {
+							grow[i2] += d * v
+						}
+						gb[l][j] += d
+					}
+				}
+			}
+			// Adam update.
+			step++
+			bs := float64(len(batch))
+			corr1 := 1 - math.Pow(beta1, float64(step))
+			corr2 := 1 - math.Pow(beta2, float64(step))
+			for l := 0; l < L; l++ {
+				for i := range m.weights[l] {
+					g := gw[l][i]/bs + m.L2*m.weights[l][i]
+					mw[l][i] = beta1*mw[l][i] + (1-beta1)*g
+					vw[l][i] = beta2*vw[l][i] + (1-beta2)*g*g
+					m.weights[l][i] -= m.LearningRate * (mw[l][i] / corr1) / (math.Sqrt(vw[l][i]/corr2) + eps)
+				}
+				for i := range m.biases[l] {
+					g := gb[l][i] / bs
+					mb[l][i] = beta1*mb[l][i] + (1-beta1)*g
+					vb[l][i] = beta2*vb[l][i] + (1-beta2)*g*g
+					m.biases[l][i] -= m.LearningRate * (mb[l][i] / corr1) / (math.Sqrt(vb[l][i]/corr2) + eps)
+				}
+			}
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// Predict runs a forward pass.
+func (m *Regressor) Predict(x []float64) float64 {
+	if !m.fitted {
+		return 0
+	}
+	cur := x
+	L := len(m.dims) - 1
+	for l := 0; l < L; l++ {
+		fanIn := m.dims[l]
+		next := make([]float64, m.dims[l+1])
+		for j := range next {
+			s := m.biases[l][j]
+			wrow := m.weights[l][j*fanIn : (j+1)*fanIn]
+			for i, v := range cur {
+				s += wrow[i] * v
+			}
+			if l == L-1 {
+				next[j] = s
+			} else {
+				next[j] = m.act(s)
+			}
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+var _ ml.Regressor = (*Regressor)(nil)

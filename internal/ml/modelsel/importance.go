@@ -1,0 +1,72 @@
+package modelsel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ml"
+	"repro/internal/ml/metrics"
+)
+
+// FeatureImportance is one feature's permutation-importance measurement.
+type FeatureImportance struct {
+	Feature int
+	// MeanDrop is the average R² decrease when the feature column is
+	// shuffled on the evaluation set; larger means more valuable.
+	MeanDrop float64
+}
+
+// PermutationImportance implements the feature-value analysis the paper's
+// future work calls for ("the value of each feature needs to be evaluated
+// separately", Section V): for a model trained on the training split, each
+// feature column of the evaluation split is randomly permuted `repeats`
+// times and the mean R² drop recorded.
+func PermutationImportance(factory ml.Factory, X [][]float64, y []float64, split ml.Split, repeats int, seed int64) ([]FeatureImportance, error) {
+	if err := ml.CheckXY(X, y); err != nil {
+		return nil, err
+	}
+	if repeats < 1 {
+		return nil, fmt.Errorf("%w: repeats=%d", ml.ErrBadData, repeats)
+	}
+	if len(split.Train) == 0 || len(split.Test) == 0 {
+		return nil, fmt.Errorf("%w: empty split", ml.ErrBadData)
+	}
+	trX, trY := ml.Gather(X, y, split.Train)
+	teX, teY := ml.Gather(X, y, split.Test)
+	model := factory()
+	if err := model.Fit(trX, trY); err != nil {
+		return nil, fmt.Errorf("modelsel: importance fit: %w", err)
+	}
+	base := metrics.R2(teY, ml.PredictAll(model, teX))
+
+	rng := rand.New(rand.NewSource(seed))
+	d := len(X[0])
+	n := len(teX)
+	// Mutable copy of the evaluation rows.
+	work := make([][]float64, n)
+	for i, row := range teX {
+		work[i] = append([]float64(nil), row...)
+	}
+	out := make([]FeatureImportance, d)
+	perm := make([]int, n)
+	column := make([]float64, n)
+	for j := 0; j < d; j++ {
+		for i := range work {
+			column[i] = work[i][j]
+		}
+		var dropSum float64
+		for r := 0; r < repeats; r++ {
+			copy(perm, rng.Perm(n))
+			for i := range work {
+				work[i][j] = column[perm[i]]
+			}
+			score := metrics.R2(teY, ml.PredictAll(model, work))
+			dropSum += base - score
+		}
+		for i := range work {
+			work[i][j] = column[i] // restore
+		}
+		out[j] = FeatureImportance{Feature: j, MeanDrop: dropSum / float64(repeats)}
+	}
+	return out, nil
+}

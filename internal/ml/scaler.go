@@ -1,0 +1,173 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scaler learns a column-wise transformation on training data and applies it
+// to new rows. Implementations never modify their inputs.
+type Scaler interface {
+	Fit(X [][]float64) error
+	Transform(X [][]float64) [][]float64
+	TransformRow(x []float64) []float64
+}
+
+// StandardScaler centers each column to zero mean and scales to unit
+// variance (constant columns are centered only), matching scikit-learn's
+// StandardScaler. The zero value is ready for Fit.
+type StandardScaler struct {
+	mean  []float64
+	scale []float64
+}
+
+// Fit learns per-column means and standard deviations.
+func (s *StandardScaler) Fit(X [][]float64) error {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return fmt.Errorf("%w: empty matrix", ErrBadData)
+	}
+	cols := len(X[0])
+	s.mean = make([]float64, cols)
+	s.scale = make([]float64, cols)
+	n := float64(len(X))
+	for _, row := range X {
+		if len(row) != cols {
+			return fmt.Errorf("%w: ragged matrix", ErrBadData)
+		}
+		for j, v := range row {
+			s.mean[j] += v
+		}
+	}
+	for j := range s.mean {
+		s.mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.mean[j]
+			s.scale[j] += d * d
+		}
+	}
+	for j := range s.scale {
+		sd := math.Sqrt(s.scale[j] / n)
+		if sd == 0 {
+			sd = 1 // constant column: center only
+		}
+		s.scale[j] = sd
+	}
+	return nil
+}
+
+// TransformRow scales a single row.
+func (s *StandardScaler) TransformRow(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.mean[j]) / s.scale[j]
+	}
+	return out
+}
+
+// Transform scales every row.
+func (s *StandardScaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.TransformRow(row)
+	}
+	return out
+}
+
+// MinMaxScaler maps each column linearly onto [0,1] (constant columns map
+// to 0), matching scikit-learn's MinMaxScaler.
+type MinMaxScaler struct {
+	min  []float64
+	span []float64
+}
+
+// Fit learns per-column minima and ranges.
+func (s *MinMaxScaler) Fit(X [][]float64) error {
+	if len(X) == 0 || len(X[0]) == 0 {
+		return fmt.Errorf("%w: empty matrix", ErrBadData)
+	}
+	cols := len(X[0])
+	s.min = make([]float64, cols)
+	max := make([]float64, cols)
+	copy(s.min, X[0])
+	copy(max, X[0])
+	for _, row := range X {
+		if len(row) != cols {
+			return fmt.Errorf("%w: ragged matrix", ErrBadData)
+		}
+		for j, v := range row {
+			if v < s.min[j] {
+				s.min[j] = v
+			}
+			if v > max[j] {
+				max[j] = v
+			}
+		}
+	}
+	s.span = make([]float64, cols)
+	for j := range s.span {
+		d := max[j] - s.min[j]
+		if d == 0 {
+			d = 1
+		}
+		s.span[j] = d
+	}
+	return nil
+}
+
+// TransformRow scales a single row.
+func (s *MinMaxScaler) TransformRow(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.min[j]) / s.span[j]
+	}
+	return out
+}
+
+// Transform scales every row.
+func (s *MinMaxScaler) Transform(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.TransformRow(row)
+	}
+	return out
+}
+
+// Pipeline chains a scaler with a model; the scaler is fitted on the
+// training rows only, so cross-validation folds never leak statistics.
+// A nil Scaler passes features through unchanged.
+type Pipeline struct {
+	Scaler Scaler
+	Model  Regressor
+	fitted bool
+}
+
+// Fit fits the scaler, transforms the training rows and fits the model.
+func (p *Pipeline) Fit(X [][]float64, y []float64) error {
+	if err := CheckXY(X, y); err != nil {
+		return err
+	}
+	rows := X
+	if p.Scaler != nil {
+		if err := p.Scaler.Fit(X); err != nil {
+			return err
+		}
+		rows = p.Scaler.Transform(X)
+	}
+	if err := p.Model.Fit(rows, y); err != nil {
+		return err
+	}
+	p.fitted = true
+	return nil
+}
+
+// Predict transforms and predicts one row.
+func (p *Pipeline) Predict(x []float64) float64 {
+	if p.Scaler != nil {
+		x = p.Scaler.TransformRow(x)
+	}
+	return p.Model.Predict(x)
+}
+
+var _ Regressor = (*Pipeline)(nil)

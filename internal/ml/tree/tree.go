@@ -1,0 +1,215 @@
+// Package tree implements a CART regression tree — the Decision Tree
+// Regressor the paper lists as future work (Section V). Splits minimize the
+// weighted variance of the children (equivalently, maximize variance
+// reduction); leaves predict the mean target of their samples.
+package tree
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ml"
+)
+
+// Regressor is a CART regression tree. The zero value uses sane defaults
+// (unbounded depth, leaves of at least one sample).
+type Regressor struct {
+	// MaxDepth bounds the tree height; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples in each child (default 1).
+	MinSamplesLeaf int
+	// MinSamplesSplit is the minimum samples to attempt a split
+	// (default 2).
+	MinSamplesSplit int
+	// MaxFeatures restricts the features examined per split; 0 examines
+	// all. Random forests set this together with a per-tree RNG.
+	MaxFeatures int
+	// FeatureOrder, when non-nil, supplies the feature subset to examine
+	// at each split (used by ensembles for feature subsampling).
+	FeatureOrder func(numFeatures int) []int
+
+	root   *node
+	fitted bool
+}
+
+type node struct {
+	feature int     // split feature, -1 for leaves
+	thresh  float64 // go left when x[feature] <= thresh
+	value   float64 // leaf prediction
+	left    *node
+	right   *node
+}
+
+// New returns a tree with the given depth bound.
+func New(maxDepth int) *Regressor {
+	return &Regressor{MaxDepth: maxDepth, MinSamplesLeaf: 1, MinSamplesSplit: 2}
+}
+
+// Fit grows the tree.
+func (r *Regressor) Fit(X [][]float64, y []float64) error {
+	if err := ml.CheckXY(X, y); err != nil {
+		return err
+	}
+	if r.MinSamplesLeaf < 1 {
+		r.MinSamplesLeaf = 1
+	}
+	if r.MinSamplesSplit < 2 {
+		r.MinSamplesSplit = 2
+	}
+	if r.MaxFeatures < 0 {
+		return fmt.Errorf("ml/tree: MaxFeatures=%d", r.MaxFeatures)
+	}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	r.root = r.grow(X, y, idx, 0)
+	r.fitted = true
+	return nil
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+// sse returns the sum of squared errors around the mean for idx.
+func sse(y []float64, idx []int) float64 {
+	m := mean(y, idx)
+	var s float64
+	for _, i := range idx {
+		d := y[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func (r *Regressor) candidateFeatures(numFeatures int) []int {
+	if r.FeatureOrder != nil {
+		return r.FeatureOrder(numFeatures)
+	}
+	feats := make([]int, numFeatures)
+	for i := range feats {
+		feats[i] = i
+	}
+	if r.MaxFeatures > 0 && r.MaxFeatures < numFeatures {
+		return feats[:r.MaxFeatures]
+	}
+	return feats
+}
+
+func (r *Regressor) grow(X [][]float64, y []float64, idx []int, depth int) *node {
+	leaf := &node{feature: -1, value: mean(y, idx)}
+	if len(idx) < r.MinSamplesSplit {
+		return leaf
+	}
+	if r.MaxDepth > 0 && depth >= r.MaxDepth {
+		return leaf
+	}
+	parentSSE := sse(y, idx)
+	if parentSSE == 0 {
+		return leaf // pure node
+	}
+
+	bestGain := 0.0
+	bestFeature := -1
+	var bestThresh float64
+	order := make([]int, len(idx))
+	for _, f := range r.candidateFeatures(len(X[0])) {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		// Prefix sums over the sorted order for O(n) split evaluation.
+		var sumL, sumSqL float64
+		var sumR, sumSqR float64
+		for _, i := range order {
+			sumR += y[i]
+			sumSqR += y[i] * y[i]
+		}
+		nL := 0
+		nR := len(order)
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			sumL += y[i]
+			sumSqL += y[i] * y[i]
+			sumR -= y[i]
+			sumSqR -= y[i] * y[i]
+			nL++
+			nR--
+			// Can't split between equal feature values.
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			if nL < r.MinSamplesLeaf || nR < r.MinSamplesLeaf {
+				continue
+			}
+			sseL := sumSqL - sumL*sumL/float64(nL)
+			sseR := sumSqR - sumR*sumR/float64(nR)
+			gain := parentSSE - (sseL + sseR)
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeature = f
+				bestThresh = (X[order[k]][f] + X[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeature < 0 {
+		return leaf
+	}
+	var leftIdx, rightIdx []int
+	for _, i := range idx {
+		if X[i][bestFeature] <= bestThresh {
+			leftIdx = append(leftIdx, i)
+		} else {
+			rightIdx = append(rightIdx, i)
+		}
+	}
+	if len(leftIdx) == 0 || len(rightIdx) == 0 {
+		return leaf // numerical degeneracy
+	}
+	return &node{
+		feature: bestFeature,
+		thresh:  bestThresh,
+		value:   leaf.value,
+		left:    r.grow(X, y, leftIdx, depth+1),
+		right:   r.grow(X, y, rightIdx, depth+1),
+	}
+}
+
+// Predict walks the tree.
+func (r *Regressor) Predict(x []float64) float64 {
+	if !r.fitted {
+		return 0
+	}
+	n := r.root
+	for n.feature >= 0 {
+		if x[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth returns the height of the fitted tree (a leaf-only tree has
+// depth 0); -1 before Fit.
+func (r *Regressor) Depth() int {
+	if !r.fitted {
+		return -1
+	}
+	var rec func(*node) int
+	rec = func(n *node) int {
+		if n.feature < 0 {
+			return 0
+		}
+		l, rr := rec(n.left), rec(n.right)
+		return 1 + int(math.Max(float64(l), float64(rr)))
+	}
+	return rec(r.root)
+}
+
+var _ ml.Regressor = (*Regressor)(nil)

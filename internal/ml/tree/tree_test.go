@@ -1,0 +1,186 @@
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ml/metrics"
+)
+
+func stepData() ([][]float64, []float64) {
+	// Piecewise constant: y = 1 when x0 > 0.5, else 0; second feature is noise.
+	X := [][]float64{
+		{0.1, 5}, {0.2, -3}, {0.3, 1}, {0.4, 0},
+		{0.6, 2}, {0.7, -1}, {0.8, 4}, {0.9, 9},
+	}
+	y := []float64{0, 0, 0, 0, 1, 1, 1, 1}
+	return X, y
+}
+
+func TestFitsStepFunctionExactly(t *testing.T) {
+	X, y := stepData()
+	m := New(3)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	for i := range X {
+		if got := m.Predict(X[i]); got != y[i] {
+			t.Fatalf("Predict(%v) = %v, want %v", X[i], got, y[i])
+		}
+	}
+	if got := m.Predict([]float64{0.45, 0}); got != 0 {
+		t.Fatalf("left side = %v, want 0", got)
+	}
+	if got := m.Predict([]float64{0.55, 0}); got != 1 {
+		t.Fatalf("right side = %v, want 1", got)
+	}
+	if d := m.Depth(); d != 1 {
+		t.Fatalf("depth = %d, want 1 (single split suffices)", d)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64()}
+		y[i] = rng.Float64()
+	}
+	for _, depth := range []int{1, 2, 3, 5} {
+		m := New(depth)
+		if err := m.Fit(X, y); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		if got := m.Depth(); got > depth {
+			t.Fatalf("tree depth %d exceeds bound %d", got, depth)
+		}
+	}
+}
+
+func TestMinSamplesLeaf(t *testing.T) {
+	X, y := stepData()
+	m := &Regressor{MaxDepth: 10, MinSamplesLeaf: 5}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// 8 samples with min leaf 5 → no legal split → a single leaf.
+	if m.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0 leaf-only", m.Depth())
+	}
+	if got := m.Predict(X[0]); got != 0.5 {
+		t.Fatalf("leaf mean = %v, want 0.5", got)
+	}
+}
+
+func TestPureNodeStopsSplitting(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}}
+	y := []float64{7, 7, 7}
+	m := New(0)
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	if m.Depth() != 0 {
+		t.Fatalf("pure data must give leaf, depth=%d", m.Depth())
+	}
+}
+
+// Property: predictions are always within [min(y), max(y)] — leaves predict
+// means of training subsets.
+func TestPredictionRange(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(50)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		minY, maxY := math.Inf(1), math.Inf(-1)
+		for i := range X {
+			X[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+			y[i] = rng.NormFloat64()
+			if y[i] < minY {
+				minY = y[i]
+			}
+			if y[i] > maxY {
+				maxY = y[i]
+			}
+		}
+		m := New(6)
+		if err := m.Fit(X, y); err != nil {
+			return false
+		}
+		for k := 0; k < 20; k++ {
+			q := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2}
+			p := m.Predict(q)
+			if p < minY-1e-9 || p > maxY+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deeper trees never fit the training set worse.
+func TestDeeperTreesFitBetter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 100
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = []float64{rng.Float64() * 10}
+		y[i] = math.Sin(X[i][0])
+	}
+	var prev float64 = math.Inf(1)
+	for _, depth := range []int{1, 2, 4, 8} {
+		m := New(depth)
+		if err := m.Fit(X, y); err != nil {
+			t.Fatalf("Fit: %v", err)
+		}
+		yhat := make([]float64, n)
+		for i := range X {
+			yhat[i] = m.Predict(X[i])
+		}
+		rmse := metrics.RMSE(y, yhat)
+		if rmse > prev+1e-9 {
+			t.Fatalf("depth %d RMSE %v worse than shallower %v", depth, rmse, prev)
+		}
+		prev = rmse
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := New(1).Fit(nil, nil); err == nil {
+		t.Fatal("empty data must fail")
+	}
+	m := &Regressor{MaxFeatures: -1}
+	if err := m.Fit([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("negative MaxFeatures must fail")
+	}
+	fresh := New(1)
+	if got := fresh.Predict([]float64{1}); got != 0 {
+		t.Fatalf("unfitted Predict = %v", got)
+	}
+	if fresh.Depth() != -1 {
+		t.Fatal("unfitted Depth must be -1")
+	}
+}
+
+func TestMaxFeaturesSubsetting(t *testing.T) {
+	// With MaxFeatures=1 only feature 0 is examined (deterministic prefix),
+	// so a function of feature 1 cannot be fit.
+	X := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	y := []float64{0, 1, 0, 1} // y = x1
+	m := &Regressor{MaxDepth: 3, MaxFeatures: 1}
+	if err := m.Fit(X, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	// Feature 0 carries no signal → tree stays a leaf predicting 0.5.
+	if got := m.Predict([]float64{0, 1}); got != 0.5 {
+		t.Fatalf("Predict = %v, want 0.5 (cannot see feature 1)", got)
+	}
+}

@@ -1,0 +1,294 @@
+// Package netlist models gate-level circuits: a standard-cell library in the
+// style of the NanGate FreePDK45 Open Cell Library (logic function + drive
+// strength variants), netlists of cells and nets, a builder API used by the
+// structural circuit generators, a validator, and a plain-text serialization
+// format (.gnl) with parser and writer.
+//
+// The library replaces the paper's use of the NanGate FreePDK45 kit: the
+// methodology only consumes cell identity, pin structure and drive strength,
+// all of which are modelled here (see DESIGN.md, substitution table).
+package netlist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Func identifies the logic function of a cell type.
+type Func int
+
+// Supported logic functions. Sequential cells (FuncDFF) hold one bit of
+// state; everything else is combinational.
+const (
+	FuncConst0 Func = iota + 1 // ties output to logic 0 (TIEL)
+	FuncConst1                 // ties output to logic 1 (TIEH)
+	FuncBuf
+	FuncInv
+	FuncAnd
+	FuncOr
+	FuncNand
+	FuncNor
+	FuncXor
+	FuncXnor
+	FuncMux2  // output = S ? B : A, pins [A B S]
+	FuncAOI21 // output = !((A&B) | C), pins [A B C]
+	FuncOAI21 // output = !((A|B) & C), pins [A B C]
+	FuncDFF   // D flip-flop, pins [D]; clock is implicit and global
+)
+
+// String returns the mnemonic for f.
+func (f Func) String() string {
+	switch f {
+	case FuncConst0:
+		return "CONST0"
+	case FuncConst1:
+		return "CONST1"
+	case FuncBuf:
+		return "BUF"
+	case FuncInv:
+		return "INV"
+	case FuncAnd:
+		return "AND"
+	case FuncOr:
+		return "OR"
+	case FuncNand:
+		return "NAND"
+	case FuncNor:
+		return "NOR"
+	case FuncXor:
+		return "XOR"
+	case FuncXnor:
+		return "XNOR"
+	case FuncMux2:
+		return "MUX2"
+	case FuncAOI21:
+		return "AOI21"
+	case FuncOAI21:
+		return "OAI21"
+	case FuncDFF:
+		return "DFF"
+	default:
+		return fmt.Sprintf("Func(%d)", int(f))
+	}
+}
+
+// CellType describes one entry of the standard-cell library.
+type CellType struct {
+	Name   string // library name, e.g. "NAND2_X1"
+	Func   Func
+	Inputs int // number of input pins
+	Drive  int // drive strength: 1, 2 or 4 (the X suffix)
+}
+
+// IsSequential reports whether the cell holds state.
+func (ct *CellType) IsSequential() bool { return ct.Func == FuncDFF }
+
+// Library is an immutable set of cell types indexed by name.
+type Library struct {
+	byName map[string]*CellType
+	names  []string // sorted, for deterministic iteration
+}
+
+// Lookup returns the cell type with the given name.
+func (l *Library) Lookup(name string) (*CellType, error) {
+	ct, ok := l.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("netlist: unknown cell type %q", name)
+	}
+	return ct, nil
+}
+
+// Names returns the sorted list of cell type names.
+func (l *Library) Names() []string {
+	out := make([]string, len(l.names))
+	copy(out, l.names)
+	return out
+}
+
+// Variant returns the cell type with the same function and input count as ct
+// but the requested drive strength.
+func (l *Library) Variant(ct *CellType, drive int) (*CellType, error) {
+	if (ct.Func == FuncConst0 || ct.Func == FuncConst1) && drive != 1 {
+		return nil, fmt.Errorf("netlist: tie cells only come in X1, requested X%d", drive)
+	}
+	name := cellName(ct.Func, ct.Inputs, drive)
+	v, ok := l.byName[name]
+	if !ok {
+		return nil, fmt.Errorf("netlist: no %s variant with drive X%d", ct.Func, drive)
+	}
+	return v, nil
+}
+
+func cellName(f Func, inputs, drive int) string {
+	switch f {
+	case FuncConst0:
+		return "TIEL"
+	case FuncConst1:
+		return "TIEH"
+	case FuncBuf, FuncInv, FuncMux2, FuncAOI21, FuncOAI21, FuncDFF:
+		return fmt.Sprintf("%s_X%d", f, drive)
+	default:
+		return fmt.Sprintf("%s%d_X%d", f, inputs, drive)
+	}
+}
+
+// drives lists the drive-strength variants generated for every cell.
+var drives = []int{1, 2, 4}
+
+// StdLib returns the built-in standard-cell library, modelled on the NanGate
+// FreePDK45 Open Cell Library's logical views.
+func StdLib() *Library {
+	l := &Library{byName: make(map[string]*CellType, 96)}
+	add := func(f Func, inputs int, driveVariants []int) {
+		for _, d := range driveVariants {
+			ct := &CellType{Name: cellName(f, inputs, d), Func: f, Inputs: inputs, Drive: d}
+			l.byName[ct.Name] = ct
+		}
+	}
+	add(FuncConst0, 0, []int{1})
+	add(FuncConst1, 0, []int{1})
+	add(FuncBuf, 1, drives)
+	add(FuncInv, 1, drives)
+	for _, n := range []int{2, 3, 4} {
+		add(FuncAnd, n, drives)
+		add(FuncOr, n, drives)
+		add(FuncNand, n, drives)
+		add(FuncNor, n, drives)
+	}
+	add(FuncXor, 2, drives)
+	add(FuncXnor, 2, drives)
+	add(FuncMux2, 3, drives)
+	add(FuncAOI21, 3, drives)
+	add(FuncOAI21, 3, drives)
+	add(FuncDFF, 1, drives)
+	l.names = make([]string, 0, len(l.byName))
+	for n := range l.byName {
+		l.names = append(l.names, n)
+	}
+	sort.Strings(l.names)
+	return l
+}
+
+// EvalScalar computes the boolean output of a combinational function for the
+// given input bits. It is the scalar reference semantics; the bit-parallel
+// simulator must agree lane-wise (see internal/sim property tests).
+// Calling it for FuncDFF is a programming error and panics.
+func EvalScalar(f Func, in []bool) bool {
+	switch f {
+	case FuncConst0:
+		return false
+	case FuncConst1:
+		return true
+	case FuncBuf:
+		return in[0]
+	case FuncInv:
+		return !in[0]
+	case FuncAnd:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		return v
+	case FuncOr:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		return v
+	case FuncNand:
+		v := true
+		for _, b := range in {
+			v = v && b
+		}
+		return !v
+	case FuncNor:
+		v := false
+		for _, b := range in {
+			v = v || b
+		}
+		return !v
+	case FuncXor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		return v
+	case FuncXnor:
+		v := false
+		for _, b := range in {
+			v = v != b
+		}
+		return !v
+	case FuncMux2:
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	case FuncAOI21:
+		return !((in[0] && in[1]) || in[2])
+	case FuncOAI21:
+		return !((in[0] || in[1]) && in[2])
+	default:
+		panic(fmt.Sprintf("netlist: EvalScalar on non-combinational func %v", f))
+	}
+}
+
+// EvalPacked computes the 64-lane bit-parallel output of a combinational
+// function: bit k of every word belongs to independent simulation lane k.
+// Calling it for FuncDFF panics.
+func EvalPacked(f Func, in []uint64) uint64 {
+	switch f {
+	case FuncConst0:
+		return 0
+	case FuncConst1:
+		return ^uint64(0)
+	case FuncBuf:
+		return in[0]
+	case FuncInv:
+		return ^in[0]
+	case FuncAnd:
+		v := ^uint64(0)
+		for _, w := range in {
+			v &= w
+		}
+		return v
+	case FuncOr:
+		var v uint64
+		for _, w := range in {
+			v |= w
+		}
+		return v
+	case FuncNand:
+		v := ^uint64(0)
+		for _, w := range in {
+			v &= w
+		}
+		return ^v
+	case FuncNor:
+		var v uint64
+		for _, w := range in {
+			v |= w
+		}
+		return ^v
+	case FuncXor:
+		var v uint64
+		for _, w := range in {
+			v ^= w
+		}
+		return v
+	case FuncXnor:
+		var v uint64
+		for _, w := range in {
+			v ^= w
+		}
+		return ^v
+	case FuncMux2:
+		return (in[0] &^ in[2]) | (in[1] & in[2])
+	case FuncAOI21:
+		return ^((in[0] & in[1]) | in[2])
+	case FuncOAI21:
+		return ^((in[0] | in[1]) & in[2])
+	default:
+		panic(fmt.Sprintf("netlist: EvalPacked on non-combinational func %v", f))
+	}
+}

@@ -1,0 +1,182 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestStdLibLookup(t *testing.T) {
+	lib := StdLib()
+	for _, name := range []string{
+		"TIEL", "TIEH", "INV_X1", "BUF_X4", "AND2_X1", "AND4_X2", "OR3_X4",
+		"NAND2_X1", "NOR4_X4", "XOR2_X1", "XNOR2_X2", "MUX2_X1", "AOI21_X1",
+		"OAI21_X2", "DFF_X1", "DFF_X4",
+	} {
+		ct, err := lib.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if ct.Name != name {
+			t.Fatalf("Lookup(%q).Name = %q", name, ct.Name)
+		}
+	}
+	if _, err := lib.Lookup("FANCY_X9"); err == nil {
+		t.Fatal("expected error for unknown cell")
+	}
+}
+
+func TestStdLibNamesSortedAndComplete(t *testing.T) {
+	lib := StdLib()
+	names := lib.Names()
+	if len(names) < 40 {
+		t.Fatalf("library too small: %d types", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+	// Names() must return a copy.
+	names[0] = "mutated"
+	if lib.Names()[0] == "mutated" {
+		t.Fatal("Names leaked internal slice")
+	}
+}
+
+func TestVariant(t *testing.T) {
+	lib := StdLib()
+	ct, _ := lib.Lookup("NAND2_X1")
+	v, err := lib.Variant(ct, 4)
+	if err != nil {
+		t.Fatalf("Variant: %v", err)
+	}
+	if v.Name != "NAND2_X4" || v.Drive != 4 {
+		t.Fatalf("Variant = %+v", v)
+	}
+	if _, err := lib.Variant(ct, 8); err == nil {
+		t.Fatal("expected error for missing drive")
+	}
+	tie, _ := lib.Lookup("TIEL")
+	if _, err := lib.Variant(tie, 2); err == nil {
+		t.Fatal("TIEL has only X1")
+	}
+}
+
+func TestIsSequential(t *testing.T) {
+	lib := StdLib()
+	dff, _ := lib.Lookup("DFF_X2")
+	if !dff.IsSequential() {
+		t.Fatal("DFF must be sequential")
+	}
+	and2, _ := lib.Lookup("AND2_X1")
+	if and2.IsSequential() {
+		t.Fatal("AND2 must not be sequential")
+	}
+}
+
+func TestFuncString(t *testing.T) {
+	if FuncNand.String() != "NAND" || FuncMux2.String() != "MUX2" {
+		t.Fatal("Func.String wrong")
+	}
+	if Func(99).String() == "" {
+		t.Fatal("unknown func must stringify")
+	}
+}
+
+// truthCases pin down the scalar semantics of every combinational function.
+func TestEvalScalarTruthTables(t *testing.T) {
+	cases := []struct {
+		f    Func
+		in   []bool
+		want bool
+	}{
+		{FuncConst0, nil, false},
+		{FuncConst1, nil, true},
+		{FuncBuf, []bool{true}, true},
+		{FuncInv, []bool{true}, false},
+		{FuncAnd, []bool{true, true, false}, false},
+		{FuncAnd, []bool{true, true, true}, true},
+		{FuncOr, []bool{false, false}, false},
+		{FuncOr, []bool{false, true}, true},
+		{FuncNand, []bool{true, true}, false},
+		{FuncNand, []bool{true, false}, true},
+		{FuncNor, []bool{false, false}, true},
+		{FuncNor, []bool{true, false}, false},
+		{FuncXor, []bool{true, true}, false},
+		{FuncXor, []bool{true, false}, true},
+		{FuncXnor, []bool{true, true}, true},
+		{FuncXnor, []bool{true, false}, false},
+		{FuncMux2, []bool{true, false, false}, true},  // sel=0 → A
+		{FuncMux2, []bool{true, false, true}, false},  // sel=1 → B
+		{FuncAOI21, []bool{true, true, false}, false}, // (A&B)|C = 1 → 0
+		{FuncAOI21, []bool{true, false, false}, true},
+		{FuncOAI21, []bool{false, false, true}, true}, // (A|B)&C = 0 → 1
+		{FuncOAI21, []bool{true, false, true}, false},
+	}
+	for _, c := range cases {
+		if got := EvalScalar(c.f, c.in); got != c.want {
+			t.Errorf("EvalScalar(%v, %v) = %v, want %v", c.f, c.in, got, c.want)
+		}
+	}
+}
+
+func TestEvalScalarPanicsOnDFF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EvalScalar(FuncDFF, []bool{true})
+}
+
+func TestEvalPackedPanicsOnDFF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EvalPacked(FuncDFF, []uint64{0})
+}
+
+// Property: EvalPacked agrees with EvalScalar on every lane for every
+// combinational function and random inputs.
+func TestEvalPackedMatchesScalar(t *testing.T) {
+	funcs := []struct {
+		f Func
+		n int
+	}{
+		{FuncConst0, 0}, {FuncConst1, 0}, {FuncBuf, 1}, {FuncInv, 1},
+		{FuncAnd, 2}, {FuncAnd, 3}, {FuncAnd, 4},
+		{FuncOr, 2}, {FuncOr, 3}, {FuncOr, 4},
+		{FuncNand, 2}, {FuncNand, 3}, {FuncNand, 4},
+		{FuncNor, 2}, {FuncNor, 3}, {FuncNor, 4},
+		{FuncXor, 2}, {FuncXnor, 2},
+		{FuncMux2, 3}, {FuncAOI21, 3}, {FuncOAI21, 3},
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, fc := range funcs {
+			words := make([]uint64, fc.n)
+			for i := range words {
+				words[i] = rng.Uint64()
+			}
+			packed := EvalPacked(fc.f, words)
+			for lane := 0; lane < 64; lane++ {
+				bits := make([]bool, fc.n)
+				for i := range bits {
+					bits[i] = (words[i]>>uint(lane))&1 == 1
+				}
+				want := EvalScalar(fc.f, bits)
+				got := (packed>>uint(lane))&1 == 1
+				if got != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

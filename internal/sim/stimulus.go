@@ -1,0 +1,217 @@
+package sim
+
+import "fmt"
+
+// Stimulus is an open-loop input trace plus loopback rules. Open-loop
+// stimulus is what makes bit-parallel fault simulation sound: every lane
+// receives the same port vectors, so lanes differ only through injected
+// faults (and through loopback, which is per-lane by construction).
+type Stimulus struct {
+	cycles   int
+	ports    []int
+	vectors  [][]bool // [port][cycle]
+	loopback []Loopback
+}
+
+// Loopback feeds output port Out (sampled each cycle) into input port In on
+// the following cycle, independently per lane. For cycle 0, the value is the
+// output's post-reset state, which is well defined for registered outputs.
+type Loopback struct {
+	In  int
+	Out int
+}
+
+// NewStimulus returns an empty stimulus covering the given number of cycles.
+func NewStimulus(cycles int) *Stimulus {
+	return &Stimulus{cycles: cycles}
+}
+
+// Cycles returns the trace length.
+func (s *Stimulus) Cycles() int { return s.cycles }
+
+// DrivePort registers an input port for vector driving and returns a setter
+// for its per-cycle values. Undriven cycles default to 0.
+func (s *Stimulus) DrivePort(port int) func(cycle int, v bool) {
+	s.ports = append(s.ports, port)
+	vec := make([]bool, s.cycles)
+	s.vectors = append(s.vectors, vec)
+	return func(cycle int, v bool) {
+		vec[cycle] = v
+	}
+}
+
+// DriveBus registers a bus of input ports and returns a setter that writes a
+// value across the bus (LSB first) at a cycle.
+func (s *Stimulus) DriveBus(ports []int) func(cycle int, v uint64) {
+	setters := make([]func(int, bool), len(ports))
+	for i, p := range ports {
+		setters[i] = s.DrivePort(p)
+	}
+	return func(cycle int, v uint64) {
+		for i := range setters {
+			setters[i](cycle, v>>uint(i)&1 == 1)
+		}
+	}
+}
+
+// AddLoopback wires output port out into input port in with one cycle of
+// delay, per lane.
+func (s *Stimulus) AddLoopback(in, out int) {
+	s.loopback = append(s.loopback, Loopback{In: in, Out: out})
+}
+
+// Trace records packed monitor words per cycle.
+type Trace struct {
+	Monitors []int // output port indices, in recording order
+	words    []uint64
+	cycles   int
+}
+
+// NewTrace allocates a trace for the given monitors and cycle count.
+func NewTrace(monitors []int, cycles int) *Trace {
+	return &Trace{
+		Monitors: monitors,
+		words:    make([]uint64, cycles*len(monitors)),
+		cycles:   cycles,
+	}
+}
+
+// Cycles returns the number of recorded cycles.
+func (t *Trace) Cycles() int { return t.cycles }
+
+// Word returns the packed word of monitor m at the given cycle.
+func (t *Trace) Word(cycle, m int) uint64 { return t.words[cycle*len(t.Monitors)+m] }
+
+// Bit returns monitor m's bit in the given lane at the given cycle.
+func (t *Trace) Bit(cycle, m, lane int) bool {
+	return t.Word(cycle, m)>>uint(lane)&1 == 1
+}
+
+// Activity aggregates the paper's dynamic features per flip-flop over a run:
+// cycles spent at logic 1 (@1; @0 is the complement) and the number of state
+// changes, both observed on lane 0.
+type Activity struct {
+	Ones    []int64
+	Toggles []int64
+	Cycles  int
+}
+
+// RunConfig controls a simulation run.
+type RunConfig struct {
+	// Monitors lists output ports to record; nil records nothing.
+	Monitors []int
+	// PreEval, when non-nil, is invoked every cycle after inputs are
+	// driven and before combinational evaluation — the injection hook.
+	PreEval func(cycle int)
+	// CollectActivity enables per-FF activity statistics (lane 0).
+	CollectActivity bool
+}
+
+// Run executes the stimulus on a freshly reset engine and returns the
+// recorded trace (nil when cfg.Monitors is nil) and activity statistics
+// (nil unless requested).
+func Run(e *Engine, stim *Stimulus, cfg RunConfig) (*Trace, *Activity) {
+	e.Reset()
+	var trace *Trace
+	if cfg.Monitors != nil {
+		trace = NewTrace(cfg.Monitors, stim.cycles)
+	}
+	var act *Activity
+	var prev []bool
+	if cfg.CollectActivity {
+		n := e.p.NumFFs()
+		act = &Activity{Ones: make([]int64, n), Toggles: make([]int64, n), Cycles: stim.cycles}
+		prev = make([]bool, n)
+		for i := 0; i < n; i++ {
+			prev[i] = e.FFState(i)&1 == 1
+		}
+	}
+	lb := make([]uint64, len(stim.loopback))
+	for i, l := range stim.loopback {
+		lb[i] = e.Output(l.Out)
+	}
+	for c := 0; c < stim.cycles; c++ {
+		for k, port := range stim.ports {
+			e.SetInputBool(port, stim.vectors[k][c])
+		}
+		for i, l := range stim.loopback {
+			e.SetInput(l.In, lb[i])
+		}
+		if cfg.PreEval != nil {
+			cfg.PreEval(c)
+		}
+		e.Eval()
+		for i, l := range stim.loopback {
+			lb[i] = e.Output(l.Out)
+		}
+		if trace != nil {
+			base := c * len(cfg.Monitors)
+			for m, port := range cfg.Monitors {
+				trace.words[base+m] = e.Output(port)
+			}
+		}
+		if act != nil {
+			for i := range act.Ones {
+				bit := e.FFState(i)&1 == 1
+				if bit {
+					act.Ones[i]++
+				}
+				if bit != prev[i] {
+					act.Toggles[i]++
+					prev[i] = bit
+				}
+			}
+		}
+		e.Commit()
+	}
+	return trace, act
+}
+
+// RunScalar executes the stimulus on a scalar engine, recording a single
+// lane. It mirrors Run and exists to cross-validate the packed engine.
+func RunScalar(e *ScalarEngine, stim *Stimulus, monitors []int, preEval func(cycle int)) [][]bool {
+	e.Reset()
+	out := make([][]bool, stim.cycles)
+	lb := make([]bool, len(stim.loopback))
+	for i, l := range stim.loopback {
+		lb[i] = e.Output(l.Out)
+	}
+	for c := 0; c < stim.cycles; c++ {
+		for k, port := range stim.ports {
+			e.SetInput(port, stim.vectors[k][c])
+		}
+		for i, l := range stim.loopback {
+			e.SetInput(l.In, lb[i])
+		}
+		if preEval != nil {
+			preEval(c)
+		}
+		e.Eval()
+		for i, l := range stim.loopback {
+			lb[i] = e.Output(l.Out)
+		}
+		row := make([]bool, len(monitors))
+		for m, port := range monitors {
+			row[m] = e.Output(port)
+		}
+		out[c] = row
+		e.Commit()
+	}
+	return out
+}
+
+// CheckLaneAgainstScalar verifies that lane `lane` of a packed trace matches
+// a scalar run row-for-row; it returns a descriptive error on mismatch.
+func CheckLaneAgainstScalar(t *Trace, scalar [][]bool, lane int) error {
+	if t.cycles != len(scalar) {
+		return fmt.Errorf("sim: trace has %d cycles, scalar %d", t.cycles, len(scalar))
+	}
+	for c := 0; c < t.cycles; c++ {
+		for m := range t.Monitors {
+			if t.Bit(c, m, lane) != scalar[c][m] {
+				return fmt.Errorf("sim: lane %d differs from scalar at cycle %d monitor %d", lane, c, m)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package sim
+
+import "testing"
+
+func TestTraceAccessors(t *testing.T) {
+	tr := NewTrace([]int{0, 1}, 3)
+	if tr.Cycles() != 3 {
+		t.Fatalf("Cycles = %d", tr.Cycles())
+	}
+	tr.words[1*2+1] = 0b10
+	if !tr.Bit(1, 1, 1) || tr.Bit(1, 1, 0) {
+		t.Fatal("Bit extraction wrong")
+	}
+	if tr.Word(1, 1) != 2 {
+		t.Fatal("Word extraction wrong")
+	}
+}
