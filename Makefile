@@ -1,0 +1,31 @@
+# Local mirror of the CI pipeline (.github/workflows/ci.yml): every CI step
+# is one of these targets, so local and CI invocations stay identical.
+
+GO ?= go
+
+# Injection budget for the benchmark smoke run. The paper's 170/FF budget
+# takes far too long for a smoke check; 2/FF exercises every code path.
+FFR_INJECTIONS ?= 2
+
+.PHONY: all build test race lint bench
+
+all: lint build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	$(GO) vet ./...
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi
+
+bench:
+	FFR_INJECTIONS=$(FFR_INJECTIONS) $(GO) test -bench=. -benchtime=1x -run='^$$' .

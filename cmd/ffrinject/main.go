@@ -3,17 +3,27 @@
 // active window, classified against the golden run, yielding per-flip-flop
 // Functional De-Rating factors.
 //
+// The campaign executes on the sharded runner: the plan is split into
+// fixed-size chunks, and with -checkpoint the completed-chunk state is
+// periodically persisted so an interrupted campaign can be picked up with
+// -resume, producing bit-identical results to an uninterrupted run.
+//
 // Usage:
 //
 //	ffrinject [-n 170] [-seed 2019] [-workers 0] [-csv fdr.csv]
+//	          [-checkpoint state.ffr] [-resume] [-shards 0] [-progress]
 package main
 
 import (
+	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro"
@@ -29,62 +39,119 @@ func main() {
 
 func run() error {
 	var (
-		n       = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
-		seed    = flag.Int64("seed", 2019, "injection plan seed")
-		workers = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		csvOut  = flag.String("csv", "", "write per-FF results to this CSV file")
+		n          = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
+		seed       = flag.Int64("seed", 2019, "injection plan seed")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		csvOut     = flag.String("csv", "", "write per-FF results to this CSV file")
+		checkpoint = flag.String("checkpoint", "", "periodically save campaign state to this file")
+		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists")
+		shards     = flag.Int("shards", 0, "split the plan into about this many shard chunks (rounded to whole 64-lane batches; must match on -resume; 0 = default chunk size)")
+		progress   = flag.Bool("progress", false, "print live campaign progress to stderr")
 	)
 	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %v", args)
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be >= 1 (got %d)", *n)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be >= 0 (got %d)", *shards)
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume requires -checkpoint")
+	}
 
 	cfg := repro.DefaultStudyConfig()
 	cfg.InjectionsPerFF = *n
 	cfg.CampaignSeed = *seed
 	cfg.Workers = *workers
+	cfg.Checkpoint = *checkpoint
+	cfg.Resume = *resume
+	cfg.Shards = *shards
+	if *progress {
+		cfg.Progress = func(p repro.CampaignProgress) {
+			fmt.Fprintf(os.Stderr, "\rinjected %d/%d jobs (%.1f%%), chunks %d/%d, elapsed %s, eta %s   ",
+				p.JobsDone, p.JobsTotal, 100*float64(p.JobsDone)/float64(p.JobsTotal),
+				p.ChunksDone, p.ChunksTotal,
+				p.Elapsed.Round(time.Second), p.ETA.Round(time.Second))
+		}
+	}
 	study, err := repro.NewStudy(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("device: %d flip-flops, testbench: %d cycles (%d active)\n",
 		study.NumFFs(), study.Bench.Stim.Cycles(), study.Bench.ActiveCycles)
+
+	// Ctrl-C / SIGTERM interrupts the campaign gracefully: in-flight
+	// chunks finish, the checkpoint is flushed, and the run can be picked
+	// up with -resume. Unregistering on the first signal restores default
+	// delivery, so a second Ctrl-C force-quits.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	context.AfterFunc(ctx, stop)
+
 	start := time.Now()
-	res, err := study.RunGroundTruth()
+	res, err := study.RunGroundTruthContext(ctx)
 	if err != nil {
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		if errors.Is(err, repro.ErrCampaignInterrupted) && *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "ffrinject: campaign state saved to %s; rerun with -resume to continue\n", *checkpoint)
+		}
 		return err
 	}
-	fmt.Printf("campaign finished in %v\n\n", time.Since(start).Round(time.Millisecond))
+	if *progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	fmt.Printf("campaign finished in %v (%d chunks", time.Since(start).Round(time.Millisecond), res.Chunks)
+	if res.ResumedChunks > 0 {
+		fmt.Printf(", %d resumed from checkpoint", res.ResumedChunks)
+	}
+	fmt.Printf(")\n\n")
 	if err := repro.RenderCampaign(os.Stdout, res); err != nil {
 		return err
 	}
 
 	if *csvOut != "" {
-		f, err := os.Create(*csvOut)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		cw := csv.NewWriter(f)
-		if err := cw.Write([]string{"instance", "injections", "failures", "fdr", "ci95_lo", "ci95_hi"}); err != nil {
-			return err
-		}
-		for ff := 0; ff < study.NumFFs(); ff++ {
-			cell := study.Netlist.Cells[study.Program.FFCell(ff)]
-			lo, hi := fault.WilsonInterval(res.Failures[ff], res.Injections[ff], 1.96)
-			if err := cw.Write([]string{
-				cell.Name,
-				strconv.Itoa(res.Injections[ff]),
-				strconv.Itoa(res.Failures[ff]),
-				strconv.FormatFloat(res.FDR[ff], 'g', -1, 64),
-				strconv.FormatFloat(lo, 'g', -1, 64),
-				strconv.FormatFloat(hi, 'g', -1, 64),
-			}); err != nil {
-				return err
-			}
-		}
-		cw.Flush()
-		if err := cw.Error(); err != nil {
+		if err := writeCSV(*csvOut, study, res); err != nil {
 			return err
 		}
 		fmt.Printf("\nwrote %d rows to %s\n", study.NumFFs(), *csvOut)
 	}
 	return nil
+}
+
+func writeCSV(path string, study *repro.Study, res *repro.CampaignResult) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"instance", "injections", "failures", "fdr", "ci95_lo", "ci95_hi"}); err != nil {
+		return err
+	}
+	for ff := 0; ff < study.NumFFs(); ff++ {
+		cell := study.Netlist.Cells[study.Program.FFCell(ff)]
+		lo, hi := fault.WilsonInterval(res.Failures[ff], res.Injections[ff], 1.96)
+		if err := cw.Write([]string{
+			cell.Name,
+			strconv.Itoa(res.Injections[ff]),
+			strconv.Itoa(res.Failures[ff]),
+			strconv.FormatFloat(res.FDR[ff], 'g', -1, 64),
+			strconv.FormatFloat(lo, 'g', -1, 64),
+			strconv.FormatFloat(hi, 'g', -1, 64),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/fault"
 )
 
 // Re-exported domain types. The facade intentionally aliases the internal
@@ -51,6 +52,16 @@ type (
 	MACConfig = circuit.MACConfig
 	// MACBenchConfig parameterizes the testbench workload.
 	MACBenchConfig = circuit.MACBenchConfig
+	// CampaignRunner is the sharded, checkpointable campaign runtime.
+	CampaignRunner = fault.Runner
+	// CampaignRunnerConfig parameterizes a CampaignRunner.
+	CampaignRunnerConfig = fault.RunnerConfig
+	// CampaignProgress is a point-in-time view of a running campaign.
+	CampaignProgress = fault.Progress
+	// CampaignResult is the outcome of a fault-injection campaign.
+	CampaignResult = fault.Result
+	// CampaignCheckpoint is the on-disk state of a partial campaign.
+	CampaignCheckpoint = fault.Checkpoint
 )
 
 // Paper protocol constants (Section IV-B).
@@ -83,7 +94,17 @@ var (
 	RenderFoldPrediction = core.RenderFoldPrediction
 	// RenderCampaign summarizes the flat fault-injection campaign.
 	RenderCampaign = core.RenderCampaign
+	// NewCampaignRunner builds a sharded campaign runner directly; most
+	// callers go through Study, which wires one up with a shared golden
+	// trace and the StudyConfig checkpoint knobs.
+	NewCampaignRunner = fault.NewRunner
+	// LoadCampaignCheckpoint reads and validates a campaign checkpoint.
+	LoadCampaignCheckpoint = fault.LoadCheckpoint
 )
+
+// ErrCampaignInterrupted reports a campaign stopped by cancellation after
+// flushing its checkpoint.
+var ErrCampaignInterrupted = fault.ErrInterrupted
 
 // EnvStudyConfig returns DefaultStudyConfig adjusted by environment
 // variables, which the benchmarks honour so constrained machines can

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/circuit"
@@ -32,6 +33,28 @@ type StudyConfig struct {
 	// CheckStats includes the statistics readout in the failure
 	// criterion (see fault.MACClassifier).
 	CheckStats bool
+
+	// Campaign runtime knobs (see fault.RunnerConfig).
+
+	// ChunkJobs is the shard chunk size for the ground-truth campaign;
+	// 0 uses the runner default.
+	ChunkJobs int
+	// Shards, when positive, overrides ChunkJobs by splitting the
+	// ground-truth plan into about this many equal shard chunks. The
+	// derived chunk size is rounded up to whole 64-lane batches, so the
+	// actual chunk count can be lower than requested; resuming a
+	// checkpoint requires the same shard geometry.
+	Shards int
+	// Checkpoint enables periodic campaign checkpointing to this file.
+	Checkpoint string
+	// Resume restarts an interrupted ground-truth campaign from
+	// Checkpoint instead of from scratch.
+	Resume bool
+	// CheckpointEvery is the number of completed chunks between
+	// checkpoint flushes (0 = runner default).
+	CheckpointEvery int
+	// Progress, when non-nil, receives campaign progress updates.
+	Progress func(fault.Progress)
 }
 
 // DefaultStudyConfig reproduces the paper's setup: the 1054-FF circuit and
@@ -62,6 +85,7 @@ type Study struct {
 
 	classifier *fault.MACClassifier
 	golden     *sim.Trace
+	runner     *fault.Runner
 }
 
 // NewStudy builds the device, synthesizes it, compiles the simulator,
@@ -101,6 +125,27 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		return nil, fmt.Errorf("core: feature extraction: %w", err)
 	}
 
+	classifier := fault.NewMACClassifier(bench, cfg.CheckStats)
+	chunkJobs := cfg.ChunkJobs
+	if cfg.Shards > 0 {
+		total := p.NumFFs() * cfg.InjectionsPerFF
+		chunkJobs = (total + cfg.Shards - 1) / cfg.Shards
+	}
+	// The ground-truth runner reuses the study's golden trace across all
+	// shards and calls instead of re-simulating it per campaign.
+	runner, err := fault.NewRunner(p, bench.Stim, bench.Monitors, classifier, fault.RunnerConfig{
+		ChunkJobs:       chunkJobs,
+		Workers:         cfg.Workers,
+		Golden:          golden,
+		CheckpointPath:  cfg.Checkpoint,
+		CheckpointEvery: cfg.CheckpointEvery,
+		Resume:          cfg.Resume,
+		OnProgress:      cfg.Progress,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: campaign runner: %w", err)
+	}
+
 	return &Study{
 		Config:     cfg,
 		Netlist:    nl,
@@ -108,8 +153,9 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		Bench:      bench,
 		Activity:   act,
 		Features:   fm,
-		classifier: fault.NewMACClassifier(bench, cfg.CheckStats),
+		classifier: classifier,
 		golden:     golden,
+		runner:     runner,
 	}, nil
 }
 
@@ -117,19 +163,32 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 func (s *Study) NumFFs() int { return s.Program.NumFFs() }
 
 // RunGroundTruth executes the paper's full flat statistical fault-injection
-// campaign (Section IV-A) and stores the resulting per-FF FDR reference.
+// campaign (Section IV-A) on the sharded runner and stores the resulting
+// per-FF FDR reference. When the study is configured with a checkpoint it
+// periodically persists campaign state and can resume an interrupted run.
 // It is idempotent: repeated calls reuse the first result.
 func (s *Study) RunGroundTruth() (*fault.Result, error) {
+	return s.RunGroundTruthContext(context.Background())
+}
+
+// RunGroundTruthContext is RunGroundTruth with cancellation: on ctx
+// cancellation the campaign flushes its checkpoint (when configured) and
+// returns an error wrapping fault.ErrInterrupted.
+func (s *Study) RunGroundTruthContext(ctx context.Context) (*fault.Result, error) {
 	if s.Campaign != nil {
 		return s.Campaign, nil
 	}
-	res, err := fault.RunCampaign(s.Program, s.Bench.Stim, s.Bench.Monitors, s.classifier,
-		fault.CampaignConfig{
-			InjectionsPerFF: s.Config.InjectionsPerFF,
-			ActiveCycles:    s.Bench.ActiveCycles,
-			Seed:            s.Config.CampaignSeed,
-			Workers:         s.Config.Workers,
-		})
+	cfg := fault.CampaignConfig{
+		InjectionsPerFF: s.Config.InjectionsPerFF,
+		ActiveCycles:    s.Bench.ActiveCycles,
+		Seed:            s.Config.CampaignSeed,
+		Workers:         s.Config.Workers,
+	}
+	if err := cfg.Validate(s.Bench.Stim.Cycles()); err != nil {
+		return nil, fmt.Errorf("core: ground-truth campaign: %w", err)
+	}
+	jobs := fault.NewPlan(s.NumFFs(), cfg.InjectionsPerFF, cfg.ActiveCycles, cfg.Seed)
+	res, err := s.runner.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, fmt.Errorf("core: ground-truth campaign: %w", err)
 	}
@@ -139,6 +198,9 @@ func (s *Study) RunGroundTruth() (*fault.Result, error) {
 
 // RunPartialCampaign fault-injects only the given flip-flops — the flow's
 // cost-saving mode: the training subset is measured, the rest predicted.
+// Partial plans run on an ephemeral uncheckpointed runner (their plan
+// fingerprint differs from the ground truth's) but still reuse the study's
+// golden trace.
 func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
 	plan := make([]fault.Job, 0, len(ffs)*s.Config.InjectionsPerFF)
 	full := fault.NewPlan(s.NumFFs(), s.Config.InjectionsPerFF, s.Bench.ActiveCycles, s.Config.CampaignSeed)

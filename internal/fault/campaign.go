@@ -5,16 +5,17 @@
 // per-flip-flop Functional De-Rating factor is the fraction of failing runs.
 //
 // The campaign exploits the 64-lane bit-parallel engine: 64 independent
-// injection runs execute per simulation pass, and batches fan out across a
-// bounded worker pool. Results are merged deterministically, so worker count
-// never changes the outcome.
+// injection runs execute per simulation pass. Execution is owned by Runner,
+// which shards the plan into fixed-size chunks, fans them out across a
+// bounded worker pool, merges partial results deterministically (worker
+// count and chunk size never change the outcome), and can checkpoint
+// completed-chunk state to disk for exact resume. RunCampaign and RunJobs
+// are thin convenience wrappers over Runner.
 package fault
 
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
-	"sync"
 
 	"repro/internal/sim"
 )
@@ -32,6 +33,14 @@ type Classifier interface {
 	// FailingLanes returns a bitmask of lanes in faulty that fail against
 	// golden. used is the mask of lanes carrying real jobs.
 	FailingLanes(golden, faulty *sim.Trace, used uint64) uint64
+}
+
+// ConfigFingerprinter is an optional Classifier extension: a stable digest
+// of the failure criterion's configuration. Checkpoints record it so a
+// campaign cannot be resumed under a different criterion than it was
+// started with (failure masks from two criteria must never be merged).
+type ConfigFingerprinter interface {
+	ConfigFingerprint() uint64
 }
 
 // CampaignConfig parameterizes RunCampaign.
@@ -74,6 +83,11 @@ type Result struct {
 	TotalRuns int
 	// Batches is the number of 64-lane simulation passes.
 	Batches int
+	// Chunks is the number of shard chunks the plan was split into.
+	Chunks int
+	// ResumedChunks is how many chunks were restored from a checkpoint
+	// instead of simulated.
+	ResumedChunks int
 }
 
 // NewPlan samples the paper's injection plan: for every flip-flop of p,
@@ -90,124 +104,27 @@ func NewPlan(numFFs, injectionsPerFF, activeCycles int, seed int64) []Job {
 	return jobs
 }
 
-// batchResult carries per-batch failure outcomes back to the merger.
-type batchResult struct {
-	index   int
-	failing uint64
-}
-
 // RunCampaign executes the full flat statistical campaign: a golden run,
 // then every job of the plan in 64-lane batches, classified by cls.
 func RunCampaign(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, cfg CampaignConfig) (*Result, error) {
 	if err := cfg.Validate(stim.Cycles()); err != nil {
 		return nil, err
 	}
-	goldenEngine := sim.NewEngine(p)
-	golden, _ := sim.Run(goldenEngine, stim, sim.RunConfig{Monitors: monitors})
-
+	r, err := NewRunner(p, stim, monitors, cls, RunnerConfig{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
 	jobs := NewPlan(p.NumFFs(), cfg.InjectionsPerFF, cfg.ActiveCycles, cfg.Seed)
-	return runJobs(p, stim, monitors, cls, golden, jobs, cfg.Workers)
+	return r.Run(jobs)
 }
 
 // RunJobs executes an explicit injection plan against a provided golden
 // trace. The core estimation flow uses it to fault-inject only the training
 // subset of flip-flops.
 func RunJobs(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, golden *sim.Trace, jobs []Job, workers int) (*Result, error) {
-	for _, j := range jobs {
-		if j.FF < 0 || j.FF >= p.NumFFs() {
-			return nil, fmt.Errorf("fault: job targets FF %d of %d", j.FF, p.NumFFs())
-		}
-		if j.Cycle < 0 || j.Cycle >= stim.Cycles() {
-			return nil, fmt.Errorf("fault: job at cycle %d of %d", j.Cycle, stim.Cycles())
-		}
+	r, err := NewRunner(p, stim, monitors, cls, RunnerConfig{Workers: workers, Golden: golden})
+	if err != nil {
+		return nil, err
 	}
-	return runJobs(p, stim, monitors, cls, golden, jobs, workers)
-}
-
-func runJobs(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, golden *sim.Trace, jobs []Job, workers int) (*Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	numBatches := (len(jobs) + sim.Lanes - 1) / sim.Lanes
-	failMasks := make([]uint64, numBatches)
-
-	indices := make(chan int)
-	results := make(chan batchResult)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			e := sim.NewEngine(p)
-			// Per-cycle flip schedule, rebuilt per batch.
-			type flip struct {
-				ff   int
-				mask uint64
-			}
-			byCycle := make(map[int][]flip)
-			for bi := range indices {
-				lo := bi * sim.Lanes
-				hi := lo + sim.Lanes
-				if hi > len(jobs) {
-					hi = len(jobs)
-				}
-				batch := jobs[lo:hi]
-				for c := range byCycle {
-					delete(byCycle, c)
-				}
-				var used uint64
-				for lane, job := range batch {
-					byCycle[job.Cycle] = append(byCycle[job.Cycle], flip{ff: job.FF, mask: 1 << uint(lane)})
-					used |= 1 << uint(lane)
-				}
-				faulty, _ := sim.Run(e, stim, sim.RunConfig{
-					Monitors: monitors,
-					PreEval: func(c int) {
-						for _, f := range byCycle[c] {
-							e.FlipFF(f.ff, f.mask)
-						}
-					},
-				})
-				results <- batchResult{index: bi, failing: cls.FailingLanes(golden, faulty, used)}
-			}
-		}()
-	}
-	go func() {
-		for bi := 0; bi < numBatches; bi++ {
-			indices <- bi
-		}
-		close(indices)
-		wg.Wait()
-		close(results)
-	}()
-	for r := range results {
-		failMasks[r.index] = r.failing
-	}
-
-	res := &Result{
-		FDR:        make([]float64, p.NumFFs()),
-		Failures:   make([]int, p.NumFFs()),
-		Injections: make([]int, p.NumFFs()),
-		TotalRuns:  len(jobs),
-		Batches:    numBatches,
-	}
-	for bi, mask := range failMasks {
-		lo := bi * sim.Lanes
-		hi := lo + sim.Lanes
-		if hi > len(jobs) {
-			hi = len(jobs)
-		}
-		for lane, job := range jobs[lo:hi] {
-			res.Injections[job.FF]++
-			if mask>>uint(lane)&1 == 1 {
-				res.Failures[job.FF]++
-			}
-		}
-	}
-	for ff := range res.FDR {
-		if res.Injections[ff] > 0 {
-			res.FDR[ff] = float64(res.Failures[ff]) / float64(res.Injections[ff])
-		}
-	}
-	return res, nil
+	return r.Run(jobs)
 }

@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Checkpoint persistence: a campaign checkpoint is a single file holding a
+// human-readable JSON header line (format identification, version, campaign
+// fingerprints, shard geometry) followed by a gob-encoded payload mapping
+// completed chunk indices to their per-batch failure masks. The header makes
+// files inspectable and lets loaders reject foreign or stale checkpoints
+// before touching the binary payload; gob keeps the (potentially large) mask
+// payload compact. Saves are atomic: the file is written to a temp sibling
+// and renamed into place, so an interrupted save never corrupts an earlier
+// good checkpoint.
+
+const (
+	// checkpointMagic identifies the file format.
+	checkpointMagic = "repro/fault campaign checkpoint"
+	// CheckpointVersion is the current on-disk format version. Loaders
+	// reject any other version with ErrCheckpointVersion.
+	CheckpointVersion = 1
+)
+
+// Checkpoint errors, matchable with errors.Is.
+var (
+	// ErrCheckpointCorrupt marks files that are not parseable checkpoints.
+	ErrCheckpointCorrupt = errors.New("fault: corrupt checkpoint")
+	// ErrCheckpointVersion marks a parseable checkpoint of an unsupported
+	// format version.
+	ErrCheckpointVersion = errors.New("fault: unsupported checkpoint version")
+	// ErrCheckpointMismatch marks a well-formed checkpoint that belongs to
+	// a different campaign (plan, golden trace or shard geometry differ).
+	ErrCheckpointMismatch = errors.New("fault: checkpoint does not match campaign")
+)
+
+// Checkpoint is the on-disk state of a partially (or fully) completed
+// campaign: which shard chunks are done and what their failure masks were,
+// plus fingerprints pinning the exact campaign they belong to.
+type Checkpoint struct {
+	// PlanHash fingerprints the injection plan (see PlanFingerprint).
+	PlanHash uint64
+	// GoldenHash fingerprints the golden trace the masks were classified
+	// against (see sim.Trace.Fingerprint).
+	GoldenHash uint64
+	// ClassifierHash fingerprints the failure criterion (see
+	// ConfigFingerprinter); 0 when the classifier does not identify
+	// itself.
+	ClassifierHash uint64
+	// TotalJobs is the plan length.
+	TotalJobs int
+	// ChunkJobs is the shard chunk size in jobs (a multiple of sim.Lanes).
+	ChunkJobs int
+	// NumChunks is the total shard count of the campaign.
+	NumChunks int
+	// Chunks maps completed chunk index -> per-batch failure masks.
+	Chunks map[int][]uint64
+}
+
+// checkpointHeader is the JSON first line of a checkpoint file.
+type checkpointHeader struct {
+	Magic          string `json:"magic"`
+	Version        int    `json:"version"`
+	PlanHash       string `json:"plan_hash"`
+	GoldenHash     string `json:"golden_hash"`
+	ClassifierHash string `json:"classifier_hash"`
+	TotalJobs      int    `json:"total_jobs"`
+	ChunkJobs      int    `json:"chunk_jobs"`
+	NumChunks      int    `json:"num_chunks"`
+	Completed      int    `json:"completed_chunks"`
+}
+
+// PlanFingerprint returns a stable 64-bit digest of an injection plan. Two
+// plans fingerprint equal iff they contain the same jobs in the same order,
+// which is how checkpoints detect being resumed against a different seed,
+// budget or flip-flop population.
+func PlanFingerprint(jobs []Job) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	write(uint64(len(jobs)))
+	for _, j := range jobs {
+		write(uint64(j.FF))
+		write(uint64(j.Cycle))
+	}
+	return h.Sum64()
+}
+
+// SaveCheckpoint atomically writes c to path: the payload lands in a temp
+// file in the same directory first and is renamed over path only after a
+// successful flush, so readers never observe a torn file.
+func SaveCheckpoint(path string, c *Checkpoint) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fault: saving checkpoint: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	w := bufio.NewWriter(tmp)
+	hdr := checkpointHeader{
+		Magic:          checkpointMagic,
+		Version:        CheckpointVersion,
+		PlanHash:       strconv.FormatUint(c.PlanHash, 16),
+		GoldenHash:     strconv.FormatUint(c.GoldenHash, 16),
+		ClassifierHash: strconv.FormatUint(c.ClassifierHash, 16),
+		TotalJobs:      c.TotalJobs,
+		ChunkJobs:      c.ChunkJobs,
+		NumChunks:      c.NumChunks,
+		Completed:      len(c.Chunks),
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("fault: saving checkpoint: %w", err)
+	}
+	if _, err = w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("fault: saving checkpoint: %w", err)
+	}
+	if err = gob.NewEncoder(w).Encode(c.Chunks); err != nil {
+		return fmt.Errorf("fault: saving checkpoint: %w", err)
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("fault: saving checkpoint: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("fault: saving checkpoint: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("fault: saving checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("fault: saving checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and structurally validates a checkpoint file. It
+// returns ErrCheckpointCorrupt for unparseable files, ErrCheckpointVersion
+// for foreign format versions, and fs.ErrNotExist (via os.Open) when no
+// checkpoint exists. Campaign-level matching (does this checkpoint belong to
+// the plan being run?) is the caller's job.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: missing header", ErrCheckpointCorrupt, path)
+	}
+	var hdr checkpointHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: %s: bad header: %v", ErrCheckpointCorrupt, path, err)
+	}
+	if hdr.Magic != checkpointMagic {
+		return nil, fmt.Errorf("%w: %s: magic %q", ErrCheckpointCorrupt, path, hdr.Magic)
+	}
+	if hdr.Version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: %s: version %d, supported %d",
+			ErrCheckpointVersion, path, hdr.Version, CheckpointVersion)
+	}
+	planHash, err := strconv.ParseUint(hdr.PlanHash, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: bad plan hash %q", ErrCheckpointCorrupt, path, hdr.PlanHash)
+	}
+	goldenHash, err := strconv.ParseUint(hdr.GoldenHash, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: bad golden hash %q", ErrCheckpointCorrupt, path, hdr.GoldenHash)
+	}
+	classifierHash, err := strconv.ParseUint(hdr.ClassifierHash, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: bad classifier hash %q", ErrCheckpointCorrupt, path, hdr.ClassifierHash)
+	}
+
+	c := &Checkpoint{
+		PlanHash:       planHash,
+		GoldenHash:     goldenHash,
+		ClassifierHash: classifierHash,
+		TotalJobs:      hdr.TotalJobs,
+		ChunkJobs:      hdr.ChunkJobs,
+		NumChunks:      hdr.NumChunks,
+	}
+	if err := gob.NewDecoder(r).Decode(&c.Chunks); err != nil {
+		return nil, fmt.Errorf("%w: %s: bad payload: %v", ErrCheckpointCorrupt, path, err)
+	}
+
+	sh, err := newSharding(c.TotalJobs, c.ChunkJobs)
+	if err != nil || sh.chunkJobs != c.ChunkJobs || sh.numChunks != c.NumChunks {
+		return nil, fmt.Errorf("%w: %s: inconsistent shard geometry (%d jobs, %d/chunk, %d chunks)",
+			ErrCheckpointCorrupt, path, c.TotalJobs, c.ChunkJobs, c.NumChunks)
+	}
+	for ci, masks := range c.Chunks {
+		if ci < 0 || ci >= c.NumChunks {
+			return nil, fmt.Errorf("%w: %s: chunk %d of %d", ErrCheckpointCorrupt, path, ci, c.NumChunks)
+		}
+		if len(masks) != sh.chunkBatches(ci) {
+			return nil, fmt.Errorf("%w: %s: chunk %d has %d batches, want %d",
+				ErrCheckpointCorrupt, path, ci, len(masks), sh.chunkBatches(ci))
+		}
+	}
+	return c, nil
+}

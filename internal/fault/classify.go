@@ -2,6 +2,8 @@ package fault
 
 import (
 	"bytes"
+	"fmt"
+	"hash/fnv"
 	"sync"
 
 	"repro/internal/circuit"
@@ -31,6 +33,15 @@ type MACClassifier struct {
 // NewMACClassifier returns a classifier for the given compiled testbench.
 func NewMACClassifier(bench *circuit.MACBench, checkStats bool) *MACClassifier {
 	return &MACClassifier{Bench: bench, CheckStats: checkStats}
+}
+
+// ConfigFingerprint implements ConfigFingerprinter: it digests the failure
+// criterion (packet comparison, optionally widened by the statistics
+// readout) so checkpoints reject resumes under a different criterion.
+func (m *MACClassifier) ConfigFingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "mac-classifier/checkstats=%v", m.CheckStats)
+	return h.Sum64()
 }
 
 // FailingLanes implements Classifier.

@@ -1,0 +1,161 @@
+package fault_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// goldenTrace runs the small MAC fixture cleanly and returns its trace.
+func goldenTrace(t *testing.T) *sim.Trace {
+	t.Helper()
+	p, bench := smallMAC(t)
+	e := sim.NewEngine(p)
+	golden, _ := sim.Run(e, bench.Stim, sim.RunConfig{Monitors: bench.Monitors})
+	return golden
+}
+
+// A fault-free trace must never be classified as failing, whatever the used
+// mask says.
+func TestMACClassifierGoldenIsClean(t *testing.T) {
+	_, bench := smallMAC(t)
+	golden := goldenTrace(t)
+	for _, checkStats := range []bool{false, true} {
+		cls := fault.NewMACClassifier(bench, checkStats)
+		for _, used := range []uint64{0, 1, 0xff, ^uint64(0)} {
+			if got := cls.FailingLanes(golden, golden, used); got != 0 {
+				t.Fatalf("checkStats=%v used=%#x: golden classified failing: %#x", checkStats, used, got)
+			}
+		}
+	}
+}
+
+// faultyTrace simulates one 64-lane batch of real injections and returns the
+// faulty trace plus the jobs, one per lane.
+func faultyTrace(t *testing.T, seed int64) (*sim.Trace, []fault.Job) {
+	t.Helper()
+	p, bench := smallMAC(t)
+	jobs := fault.NewPlan(p.NumFFs(), 1, bench.ActiveCycles, seed)[:sim.Lanes]
+	e := sim.NewEngine(p)
+	faulty, _ := sim.Run(e, bench.Stim, sim.RunConfig{
+		Monitors: bench.Monitors,
+		PreEval: func(c int) {
+			for lane, j := range jobs {
+				if j.Cycle == c {
+					e.FlipFF(j.FF, 1<<uint(lane))
+				}
+			}
+		},
+	})
+	return faulty, jobs
+}
+
+// The used mask gates classification: lanes outside it must never be
+// reported, and restricting the mask must restrict the failing set.
+func TestMACClassifierRespectsUsedMask(t *testing.T) {
+	_, bench := smallMAC(t)
+	golden := goldenTrace(t)
+	faulty, _ := faultyTrace(t, 5)
+	cls := fault.NewMACClassifier(bench, true)
+
+	all := cls.FailingLanes(golden, faulty, ^uint64(0))
+	if all == 0 {
+		t.Fatal("fixture produced no failing lanes; classifier untestable")
+	}
+	for _, used := range []uint64{0, 1, 0xffff, 0xaaaaaaaaaaaaaaaa} {
+		got := cls.FailingLanes(golden, faulty, used)
+		if got&^used != 0 {
+			t.Fatalf("used=%#x: failing lanes %#x outside used mask", used, got)
+		}
+		if got != all&used {
+			t.Fatalf("used=%#x: failing = %#x, want %#x (restriction of full mask)", used, got, all&used)
+		}
+	}
+}
+
+// Classification must be pure: the same traces always produce the same mask,
+// including across classifier instances (the golden unpacking is cached but
+// must not be stateful beyond that).
+func TestMACClassifierDeterministic(t *testing.T) {
+	_, bench := smallMAC(t)
+	golden := goldenTrace(t)
+	faulty, _ := faultyTrace(t, 6)
+
+	cls := fault.NewMACClassifier(bench, true)
+	first := cls.FailingLanes(golden, faulty, ^uint64(0))
+	for i := 0; i < 3; i++ {
+		if got := cls.FailingLanes(golden, faulty, ^uint64(0)); got != first {
+			t.Fatalf("call %d: %#x, first %#x", i, got, first)
+		}
+	}
+	fresh := fault.NewMACClassifier(bench, true)
+	if got := fresh.FailingLanes(golden, faulty, ^uint64(0)); got != first {
+		t.Fatalf("fresh classifier: %#x, want %#x", got, first)
+	}
+}
+
+// Every lane the classifier flags must show a concrete applicative
+// difference (packet count, payload, error flag, or statistics readout), and
+// every unflagged used lane must not.
+func TestMACClassifierAgreesWithPacketComparison(t *testing.T) {
+	_, bench := smallMAC(t)
+	golden := goldenTrace(t)
+	faulty, _ := faultyTrace(t, 7)
+	goldenPkts := bench.LanePackets(golden, 0)
+	goldenStats := bench.LaneStats(golden, 0)
+
+	cls := fault.NewMACClassifier(bench, true)
+	failing := cls.FailingLanes(golden, faulty, ^uint64(0))
+	for lane := 0; lane < sim.Lanes; lane++ {
+		pkts := bench.LanePackets(faulty, lane)
+		stats := bench.LaneStats(faulty, lane)
+		wantFail := len(pkts) != len(goldenPkts)
+		if !wantFail {
+			for i := range pkts {
+				if pkts[i].Err != goldenPkts[i].Err || !bytes.Equal(pkts[i].Payload, goldenPkts[i].Payload) {
+					wantFail = true
+					break
+				}
+			}
+		}
+		if !wantFail && !bytes.Equal(stats, goldenStats) {
+			wantFail = true
+		}
+		if got := failing>>uint(lane)&1 == 1; got != wantFail {
+			t.Fatalf("lane %d: classified fail=%v, packet comparison says %v", lane, got, wantFail)
+		}
+	}
+}
+
+// The failure-criterion fingerprint must distinguish configurations and be
+// stable across instances.
+func TestMACClassifierConfigFingerprint(t *testing.T) {
+	_, bench := smallMAC(t)
+	strict := fault.NewMACClassifier(bench, true)
+	lax := fault.NewMACClassifier(bench, false)
+	if strict.ConfigFingerprint() == lax.ConfigFingerprint() {
+		t.Fatal("checkStats variants share a fingerprint")
+	}
+	if strict.ConfigFingerprint() != fault.NewMACClassifier(bench, true).ConfigFingerprint() {
+		t.Fatal("fingerprint not stable across instances")
+	}
+	if strict.ConfigFingerprint() == 0 || lax.ConfigFingerprint() == 0 {
+		t.Fatal("fingerprint must be nonzero (0 means anonymous classifier)")
+	}
+}
+
+// CheckStats only widens the failure criterion: every lane failing without
+// the statistics readout also fails with it.
+func TestMACClassifierCheckStatsWidens(t *testing.T) {
+	_, bench := smallMAC(t)
+	golden := goldenTrace(t)
+	faulty, _ := faultyTrace(t, 8)
+
+	noStats := fault.NewMACClassifier(bench, false).FailingLanes(golden, faulty, ^uint64(0))
+	withStats := fault.NewMACClassifier(bench, true).FailingLanes(golden, faulty, ^uint64(0))
+	if noStats&^withStats != 0 {
+		t.Fatalf("lanes %#x fail without stats but pass with stats", noStats&^withStats)
+	}
+}

@@ -1,0 +1,458 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Runner is the sharded, resumable campaign runtime. It deterministically
+// splits an injection plan into fixed-size chunks of whole 64-lane batches,
+// fans the chunks out across a bounded worker pool, streams per-chunk
+// partial results through a merge stage, and (when configured) periodically
+// checkpoints completed-chunk state to disk so an interrupted campaign can
+// resume exactly where it stopped.
+//
+// Determinism is structural: a chunk's failure masks depend only on the plan
+// slice it covers and the golden trace, never on scheduling, worker count,
+// chunk size or how often the run was interrupted. Resuming from a
+// checkpoint therefore produces bit-identical per-FF failure counts to an
+// uninterrupted run — a property the tests pin.
+//
+// The golden trace is simulated at most once per Runner and reused across
+// all shards and Run calls (and can be supplied up front when the caller
+// already has it, as the core study does).
+
+// Default shard geometry and checkpoint cadence.
+const (
+	// DefaultChunkJobs is the default shard chunk size: 16 batches.
+	DefaultChunkJobs = 16 * sim.Lanes
+	// DefaultCheckpointEvery is the default number of completed chunks
+	// between checkpoint flushes.
+	DefaultCheckpointEvery = 4
+)
+
+// ErrInterrupted reports a campaign stopped by context cancellation. The
+// checkpoint (when configured) has been flushed with all completed chunks.
+var ErrInterrupted = errors.New("fault: campaign interrupted")
+
+// Progress is a point-in-time view of a running campaign, delivered to
+// RunnerConfig.OnProgress after every completed chunk.
+type Progress struct {
+	// JobsDone and JobsTotal count injection runs, including runs
+	// restored from a checkpoint.
+	JobsDone, JobsTotal int
+	// ChunksDone and ChunksTotal count shard chunks.
+	ChunksDone, ChunksTotal int
+	// ChunksResumed is how many of ChunksDone were restored from the
+	// checkpoint rather than simulated in this run.
+	ChunksResumed int
+	// Elapsed is the wall time since Run started.
+	Elapsed time.Duration
+	// ETA estimates the remaining wall time from this run's own
+	// throughput; it is zero until at least one chunk has been simulated.
+	ETA time.Duration
+}
+
+// RunnerConfig parameterizes a Runner.
+type RunnerConfig struct {
+	// ChunkJobs is the shard chunk size in jobs; it is rounded up to a
+	// whole number of 64-lane batches. 0 means DefaultChunkJobs.
+	ChunkJobs int
+	// Workers bounds the worker pool; 0 means GOMAXPROCS.
+	Workers int
+	// Golden optionally supplies a precomputed golden trace. When nil the
+	// Runner simulates it once on first use.
+	Golden *sim.Trace
+	// CheckpointPath enables checkpointing to this file; "" disables it.
+	CheckpointPath string
+	// CheckpointEvery is the number of completed chunks between flushes;
+	// 0 means DefaultCheckpointEvery.
+	CheckpointEvery int
+	// Resume loads CheckpointPath (if it exists) before running and skips
+	// its completed chunks. Requires CheckpointPath.
+	Resume bool
+	// OnProgress, when non-nil, is invoked from the merge stage after
+	// every completed chunk.
+	OnProgress func(Progress)
+}
+
+// Runner executes injection plans; see the package comment above.
+type Runner struct {
+	p        *sim.Program
+	stim     *sim.Stimulus
+	monitors []int
+	cls      Classifier
+	cfg      RunnerConfig
+
+	goldenOnce sync.Once
+	golden     *sim.Trace
+}
+
+// NewRunner validates the configuration and returns a Runner.
+func NewRunner(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, cfg RunnerConfig) (*Runner, error) {
+	if p == nil || stim == nil || cls == nil {
+		return nil, fmt.Errorf("fault: runner needs a program, stimulus and classifier")
+	}
+	if cfg.ChunkJobs < 0 {
+		return nil, fmt.Errorf("fault: negative ChunkJobs %d", cfg.ChunkJobs)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("fault: negative Workers %d", cfg.Workers)
+	}
+	if cfg.CheckpointEvery < 0 {
+		return nil, fmt.Errorf("fault: negative CheckpointEvery %d", cfg.CheckpointEvery)
+	}
+	if cfg.Resume && cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("fault: Resume requires a CheckpointPath")
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = DefaultCheckpointEvery
+	}
+	return &Runner{p: p, stim: stim, monitors: monitors, cls: cls, cfg: cfg, golden: cfg.Golden}, nil
+}
+
+// Golden returns the golden reference trace, simulating it on first use.
+// Every shard of every Run call classifies against this one trace.
+func (r *Runner) Golden() *sim.Trace {
+	r.goldenOnce.Do(func() {
+		if r.golden == nil {
+			e := sim.NewEngine(r.p)
+			r.golden, _ = sim.Run(e, r.stim, sim.RunConfig{Monitors: r.monitors})
+		}
+	})
+	return r.golden
+}
+
+// Run executes the plan to completion (or until the checkpoint says it
+// already completed). It is RunContext with a background context.
+func (r *Runner) Run(jobs []Job) (*Result, error) {
+	return r.RunContext(context.Background(), jobs)
+}
+
+// RunContext executes the plan. On context cancellation it finishes the
+// chunks already in flight, flushes the checkpoint (when configured) and
+// returns an error wrapping ErrInterrupted; a later call with Resume set
+// picks up from the flushed state.
+func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
+	// Internal cancellation lets the merge stage stop dispatching new
+	// chunks as soon as a checkpoint save fails.
+	ctx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	for _, j := range jobs {
+		if j.FF < 0 || j.FF >= r.p.NumFFs() {
+			return nil, fmt.Errorf("fault: job targets FF %d of %d", j.FF, r.p.NumFFs())
+		}
+		if j.Cycle < 0 || j.Cycle >= r.stim.Cycles() {
+			return nil, fmt.Errorf("fault: job at cycle %d of %d", j.Cycle, r.stim.Cycles())
+		}
+	}
+	sh, err := newSharding(len(jobs), r.cfg.ChunkJobs)
+	if err != nil {
+		return nil, err
+	}
+	golden := r.Golden()
+
+	// Restore completed chunks from the checkpoint, if resuming.
+	done := make(map[int][]uint64, sh.numChunks)
+	if r.cfg.Resume {
+		ck, err := LoadCheckpoint(r.cfg.CheckpointPath)
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Nothing to resume; run from scratch.
+		case err != nil:
+			return nil, err
+		default:
+			if err := r.matchCheckpoint(ck, jobs, sh, golden); err != nil {
+				return nil, err
+			}
+			for ci, masks := range ck.Chunks {
+				done[ci] = masks
+			}
+		}
+	}
+	resumed := len(done)
+
+	pending := make([]int, 0, sh.numChunks-resumed)
+	for ci := 0; ci < sh.numChunks; ci++ {
+		if _, ok := done[ci]; !ok {
+			pending = append(pending, ci)
+		}
+	}
+
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pending) {
+		// Zero pending (fully resumed) means zero workers: wg.Wait
+		// returns immediately and the merge loop is a no-op.
+		workers = len(pending)
+	}
+
+	type chunkResult struct {
+		index int
+		masks []uint64
+	}
+	chunks := make(chan int)
+	results := make(chan chunkResult)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e := sim.NewEngine(r.p)
+			for ci := range chunks {
+				results <- chunkResult{index: ci, masks: r.runChunk(e, golden, jobs, sh, ci)}
+			}
+		}()
+	}
+	go func() {
+		defer close(chunks)
+		for _, ci := range pending {
+			select {
+			case <-ctx.Done():
+				return
+			case chunks <- ci:
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Merge stage: collect chunk results, report progress, checkpoint.
+	start := time.Now()
+	sinceFlush := 0
+	var saveErr error
+	for cr := range results {
+		done[cr.index] = cr.masks
+		sinceFlush++
+		r.reportProgress(sh, done, resumed, len(done)-resumed, start)
+		if r.cfg.CheckpointPath != "" && sinceFlush >= r.cfg.CheckpointEvery && saveErr == nil {
+			if saveErr = r.saveCheckpoint(jobs, sh, golden, done); saveErr != nil {
+				// Fail fast: a broken checkpoint sink would silently
+				// turn the campaign non-resumable, so stop dispatching
+				// instead of simulating chunks that can't be persisted.
+				cancelRun()
+			}
+			sinceFlush = 0
+		}
+	}
+	if saveErr != nil {
+		return nil, saveErr
+	}
+
+	if len(done) < sh.numChunks {
+		// Interrupted: flush everything completed so far and bail. The
+		// flush is unconditional so a resumable file exists even when
+		// the interrupt landed before the first periodic save.
+		if r.cfg.CheckpointPath != "" {
+			if err := r.saveCheckpoint(jobs, sh, golden, done); err != nil {
+				return nil, err
+			}
+		}
+		return nil, fmt.Errorf("%w after %d of %d chunks: %v",
+			ErrInterrupted, len(done), sh.numChunks, context.Cause(ctx))
+	}
+	if r.cfg.CheckpointPath != "" && sinceFlush > 0 {
+		if err := r.saveCheckpoint(jobs, sh, golden, done); err != nil {
+			return nil, err
+		}
+	}
+	return r.merge(jobs, sh, done, resumed), nil
+}
+
+// runChunk simulates every 64-lane batch of chunk ci and returns the
+// per-batch failure masks.
+func (r *Runner) runChunk(e *sim.Engine, golden *sim.Trace, jobs []Job, sh sharding, ci int) []uint64 {
+	lo, hi := sh.chunkRange(ci)
+	masks := make([]uint64, 0, sh.chunkBatches(ci))
+	// Per-cycle flip schedule, rebuilt per batch.
+	type flip struct {
+		ff   int
+		mask uint64
+	}
+	byCycle := make(map[int][]flip)
+	for blo := lo; blo < hi; blo += sim.Lanes {
+		bhi := blo + sim.Lanes
+		if bhi > hi {
+			bhi = hi
+		}
+		batch := jobs[blo:bhi]
+		for c := range byCycle {
+			delete(byCycle, c)
+		}
+		var used uint64
+		for lane, job := range batch {
+			byCycle[job.Cycle] = append(byCycle[job.Cycle], flip{ff: job.FF, mask: 1 << uint(lane)})
+			used |= 1 << uint(lane)
+		}
+		faulty, _ := sim.Run(e, r.stim, sim.RunConfig{
+			Monitors: r.monitors,
+			PreEval: func(c int) {
+				for _, f := range byCycle[c] {
+					e.FlipFF(f.ff, f.mask)
+				}
+			},
+		})
+		masks = append(masks, r.cls.FailingLanes(golden, faulty, used))
+	}
+	return masks
+}
+
+// merge folds completed chunk masks into the final per-FF Result. The fold
+// visits chunks in index order, so the outcome is independent of completion
+// order and of which chunks came from a checkpoint.
+func (r *Runner) merge(jobs []Job, sh sharding, done map[int][]uint64, resumed int) *Result {
+	res := &Result{
+		FDR:           make([]float64, r.p.NumFFs()),
+		Failures:      make([]int, r.p.NumFFs()),
+		Injections:    make([]int, r.p.NumFFs()),
+		TotalRuns:     len(jobs),
+		Batches:       sh.numBatches(),
+		Chunks:        sh.numChunks,
+		ResumedChunks: resumed,
+	}
+	for ci := 0; ci < sh.numChunks; ci++ {
+		lo, hi := sh.chunkRange(ci)
+		for bi, mask := range done[ci] {
+			blo := lo + bi*sim.Lanes
+			bhi := blo + sim.Lanes
+			if bhi > hi {
+				bhi = hi
+			}
+			for lane, job := range jobs[blo:bhi] {
+				res.Injections[job.FF]++
+				if mask>>uint(lane)&1 == 1 {
+					res.Failures[job.FF]++
+				}
+			}
+		}
+	}
+	for ff := range res.FDR {
+		if res.Injections[ff] > 0 {
+			res.FDR[ff] = float64(res.Failures[ff]) / float64(res.Injections[ff])
+		}
+	}
+	return res
+}
+
+func (r *Runner) reportProgress(sh sharding, done map[int][]uint64, resumed, computed int, start time.Time) {
+	if r.cfg.OnProgress == nil {
+		return
+	}
+	jobsDone := 0
+	for ci := range done {
+		lo, hi := sh.chunkRange(ci)
+		jobsDone += hi - lo
+	}
+	p := Progress{
+		JobsDone:      jobsDone,
+		JobsTotal:     sh.totalJobs,
+		ChunksDone:    len(done),
+		ChunksTotal:   sh.numChunks,
+		ChunksResumed: resumed,
+		Elapsed:       time.Since(start),
+	}
+	if computed > 0 && len(done) < sh.numChunks {
+		perChunk := p.Elapsed / time.Duration(computed)
+		p.ETA = perChunk * time.Duration(sh.numChunks-len(done))
+	}
+	r.cfg.OnProgress(p)
+}
+
+// classifierFingerprint digests the failure criterion when the classifier
+// identifies itself; 0 otherwise.
+func (r *Runner) classifierFingerprint() uint64 {
+	if cf, ok := r.cls.(ConfigFingerprinter); ok {
+		return cf.ConfigFingerprint()
+	}
+	return 0
+}
+
+// matchCheckpoint verifies that a loaded checkpoint belongs to exactly this
+// campaign: same plan, same golden trace, same failure criterion, same
+// shard geometry.
+func (r *Runner) matchCheckpoint(ck *Checkpoint, jobs []Job, sh sharding, golden *sim.Trace) error {
+	if ck.PlanHash != PlanFingerprint(jobs) {
+		return fmt.Errorf("%w: plan fingerprint differs (checkpoint %x)", ErrCheckpointMismatch, ck.PlanHash)
+	}
+	if ck.GoldenHash != golden.Fingerprint() {
+		return fmt.Errorf("%w: golden trace fingerprint differs (checkpoint %x)", ErrCheckpointMismatch, ck.GoldenHash)
+	}
+	if ck.ClassifierHash != r.classifierFingerprint() {
+		return fmt.Errorf("%w: failure-criterion fingerprint differs (checkpoint %x)", ErrCheckpointMismatch, ck.ClassifierHash)
+	}
+	if ck.TotalJobs != sh.totalJobs || ck.ChunkJobs != sh.chunkJobs || ck.NumChunks != sh.numChunks {
+		return fmt.Errorf("%w: shard geometry differs (checkpoint %d jobs in %d chunks of %d, campaign %d/%d/%d)",
+			ErrCheckpointMismatch, ck.TotalJobs, ck.NumChunks, ck.ChunkJobs,
+			sh.totalJobs, sh.numChunks, sh.chunkJobs)
+	}
+	return nil
+}
+
+func (r *Runner) saveCheckpoint(jobs []Job, sh sharding, golden *sim.Trace, done map[int][]uint64) error {
+	return SaveCheckpoint(r.cfg.CheckpointPath, &Checkpoint{
+		PlanHash:       PlanFingerprint(jobs),
+		GoldenHash:     golden.Fingerprint(),
+		ClassifierHash: r.classifierFingerprint(),
+		TotalJobs:      sh.totalJobs,
+		ChunkJobs:      sh.chunkJobs,
+		NumChunks:      sh.numChunks,
+		Chunks:         done,
+	})
+}
+
+// sharding is the deterministic chunk geometry of a plan: totalJobs jobs in
+// numChunks chunks of chunkJobs jobs each (the last possibly short), every
+// chunk a whole number of 64-lane batches.
+type sharding struct {
+	totalJobs int
+	chunkJobs int
+	numChunks int
+}
+
+func newSharding(totalJobs, chunkJobs int) (sharding, error) {
+	if totalJobs < 0 {
+		return sharding{}, fmt.Errorf("fault: negative job count %d", totalJobs)
+	}
+	if chunkJobs <= 0 {
+		chunkJobs = DefaultChunkJobs
+	}
+	// Round up to whole batches so chunk boundaries never split a batch.
+	chunkJobs = (chunkJobs + sim.Lanes - 1) / sim.Lanes * sim.Lanes
+	return sharding{
+		totalJobs: totalJobs,
+		chunkJobs: chunkJobs,
+		numChunks: (totalJobs + chunkJobs - 1) / chunkJobs,
+	}, nil
+}
+
+// chunkRange returns the half-open job interval of chunk ci.
+func (s sharding) chunkRange(ci int) (lo, hi int) {
+	lo = ci * s.chunkJobs
+	hi = lo + s.chunkJobs
+	if hi > s.totalJobs {
+		hi = s.totalJobs
+	}
+	return lo, hi
+}
+
+// chunkBatches returns the number of 64-lane batches in chunk ci.
+func (s sharding) chunkBatches(ci int) int {
+	lo, hi := s.chunkRange(ci)
+	return (hi - lo + sim.Lanes - 1) / sim.Lanes
+}
+
+// numBatches returns the total number of 64-lane batches across all chunks.
+func (s sharding) numBatches() int {
+	return (s.totalJobs + sim.Lanes - 1) / sim.Lanes
+}

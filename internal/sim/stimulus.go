@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
 
 // Stimulus is an open-loop input trace plus loopback rules. Open-loop
 // stimulus is what makes bit-parallel fault simulation sound: every lane
@@ -85,6 +89,51 @@ func (t *Trace) Word(cycle, m int) uint64 { return t.words[cycle*len(t.Monitors)
 // Bit returns monitor m's bit in the given lane at the given cycle.
 func (t *Trace) Bit(cycle, m, lane int) bool {
 	return t.Word(cycle, m)>>uint(lane)&1 == 1
+}
+
+// Fingerprint returns a stable 64-bit digest of the trace: its shape (cycles,
+// monitor ports) and every packed monitor word. Two traces fingerprint equal
+// iff they record the same monitors over the same cycles with identical
+// values, which lets campaign checkpoints pin the golden reference they were
+// classified against without storing the trace itself.
+func (t *Trace) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	write(uint64(t.cycles))
+	write(uint64(len(t.Monitors)))
+	for _, m := range t.Monitors {
+		write(uint64(m))
+	}
+	for _, w := range t.words {
+		write(w)
+	}
+	return h.Sum64()
+}
+
+// Equal reports whether two traces record identical monitors, cycle counts
+// and monitor words.
+func (t *Trace) Equal(o *Trace) bool {
+	if t == o {
+		return true
+	}
+	if t == nil || o == nil || t.cycles != o.cycles || len(t.Monitors) != len(o.Monitors) {
+		return false
+	}
+	for i, m := range t.Monitors {
+		if o.Monitors[i] != m {
+			return false
+		}
+	}
+	for i, w := range t.words {
+		if o.words[i] != w {
+			return false
+		}
+	}
+	return true
 }
 
 // Activity aggregates the paper's dynamic features per flip-flop over a run:

@@ -2,6 +2,30 @@ package sim
 
 import "testing"
 
+func TestTraceFingerprintAndEqual(t *testing.T) {
+	a := NewTrace([]int{0, 1}, 3)
+	b := NewTrace([]int{0, 1}, 3)
+	if a.Fingerprint() != b.Fingerprint() || !a.Equal(b) {
+		t.Fatal("identical traces must fingerprint equal")
+	}
+	b.words[2] = 7
+	if a.Fingerprint() == b.Fingerprint() || a.Equal(b) {
+		t.Fatal("differing words must change the fingerprint")
+	}
+	// Shape differences matter even with identical (all-zero) words.
+	c := NewTrace([]int{0, 1}, 4)
+	if a.Fingerprint() == c.Fingerprint() || a.Equal(c) {
+		t.Fatal("cycle count must be part of the fingerprint")
+	}
+	d := NewTrace([]int{0, 2}, 3)
+	if a.Fingerprint() == d.Fingerprint() || a.Equal(d) {
+		t.Fatal("monitor ports must be part of the fingerprint")
+	}
+	if !a.Equal(a) || a.Equal(nil) {
+		t.Fatal("Equal edge cases wrong")
+	}
+}
+
 func TestTraceAccessors(t *testing.T) {
 	tr := NewTrace([]int{0, 1}, 3)
 	if tr.Cycles() != 3 {
