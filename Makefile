@@ -7,12 +7,21 @@ GO ?= go
 # takes far too long for a smoke check; 2/FF exercises every code path.
 FFR_INJECTIONS ?= 2
 
-.PHONY: all build test race lint bench
+# Injection budget for the ffrserve smoke fixture: 2/FF trains a usable
+# (if noisy) artifact in seconds.
+SMOKE_INJECTIONS ?= 2
+# A 25-zero feature vector (features.NumFeatures wide) for the smoke predict.
+SMOKE_VECTOR := [0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]
 
-all: lint build test
+.PHONY: all build examples test race lint bench serve-smoke
+
+all: lint build examples test
 
 build:
 	$(GO) build ./...
+
+examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...
@@ -29,3 +38,23 @@ lint:
 
 bench:
 	FFR_INJECTIONS=$(FFR_INJECTIONS) $(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# End-to-end service smoke: train a tiny k-NN artifact, serve it, and
+# assert /healthz and one /v1/predict both return 200.
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ffrtrain ./cmd/ffrtrain; \
+	$(GO) build -o $$tmp/ffrserve ./cmd/ffrserve; \
+	$$tmp/ffrtrain -model "k-NN" -n $(SMOKE_INJECTIONS) -save $$tmp/knn.ffrm; \
+	$$tmp/ffrserve -addr 127.0.0.1:18080 -model $$tmp/knn.ffrm & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; \
+		kill -0 $$pid 2>/dev/null || { echo "ffrserve exited early"; exit 1; }; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://127.0.0.1:18080/healthz; echo; \
+	curl -fsS -X POST -d '{"model":"k-NN","vector":$(SMOKE_VECTOR)}' \
+		http://127.0.0.1:18080/v1/predict; echo; \
+	echo "serve smoke OK"

@@ -14,8 +14,13 @@
 package repro_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -23,6 +28,8 @@ import (
 	"repro"
 	"repro/internal/fault"
 	"repro/internal/features"
+	"repro/internal/persist"
+	"repro/internal/serve"
 )
 
 var printOnce sync.Map
@@ -342,5 +349,129 @@ func BenchmarkPCADimensionality(b *testing.B) {
 func BenchmarkWilsonInterval(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		fault.WilsonInterval(i%171, 170, 1.96)
+	}
+}
+
+// trainedKNN is the shared fixture of the persistence/serving benchmarks:
+// the paper's k-NN fitted once on the full study dataset and wrapped as a
+// model artifact.
+var trainedKNN struct {
+	once sync.Once
+	art  *persist.Artifact
+	err  error
+}
+
+func trainedArtifact(b *testing.B) *persist.Artifact {
+	b.Helper()
+	study := sharedStudy(b)
+	trainedKNN.once.Do(func() {
+		y, err := study.FDR()
+		if err != nil {
+			trainedKNN.err = err
+			return
+		}
+		X := study.FeatureRows()
+		spec := repro.PaperModels()[1]
+		model := spec.Factory()
+		if err := model.Fit(X, y); err != nil {
+			trainedKNN.err = err
+			return
+		}
+		art := persist.New(spec.Name, model, features.Names())
+		art.TrainRows = len(X)
+		art.TrainHash = persist.DataFingerprint(X, y)
+		trainedKNN.art = art
+	})
+	if trainedKNN.err != nil {
+		b.Fatal(trainedKNN.err)
+	}
+	return trainedKNN.art
+}
+
+// BenchmarkPredictThroughput measures raw single-vector Predict calls on
+// the trained k-NN across all CPUs — the ceiling the prediction service
+// can serve at (ns/op is per prediction).
+func BenchmarkPredictThroughput(b *testing.B) {
+	study := sharedStudy(b)
+	art := trainedArtifact(b)
+	X := study.FeatureRows()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_ = art.Model.Predict(X[i%len(X)])
+			i++
+		}
+	})
+}
+
+// BenchmarkModelArtifactRoundTrip measures one full save → load cycle of
+// the trained k-NN artifact (the dominant non-prediction cost of the
+// train-once/predict-forever path).
+func BenchmarkModelArtifactRoundTrip(b *testing.B) {
+	art := trainedArtifact(b)
+	path := filepath.Join(b.TempDir(), "knn.ffrm")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := persist.Save(path, art); err != nil {
+			b.Fatal(err)
+		}
+		loaded, err := persist.Load(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if got, want := loaded.Model.Predict(sharedStudy(b).FeatureRows()[0]),
+				art.Model.Predict(sharedStudy(b).FeatureRows()[0]); got != want {
+				b.Fatalf("reloaded model predicts %v, want %v", got, want)
+			}
+			if fi, err := os.Stat(path); err == nil {
+				b.ReportMetric(float64(fi.Size()), "artifact_bytes")
+			}
+		}
+	}
+}
+
+// BenchmarkServeBatchPredict measures the prediction service end to end:
+// one POST /v1/predict carrying the entire study feature matrix through a
+// real HTTP stack (cache disabled so every vector hits the model; ns/op is
+// per batch — divide by vectors/op for per-prediction cost).
+func BenchmarkServeBatchPredict(b *testing.B) {
+	study := sharedStudy(b)
+	art := trainedArtifact(b)
+	srv := serve.New(serve.Config{CacheSize: -1})
+	if err := srv.Add(art); err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	X := study.FeatureRows()
+	body, err := json.Marshal(struct {
+		Model   string      `json:"model"`
+		Vectors [][]float64 `json:"vectors"`
+	}{Model: art.Name, Vectors: X})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pr struct {
+			Predictions []float64 `json:"predictions"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+			b.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || len(pr.Predictions) != len(X) {
+			b.Fatalf("status %d, %d predictions for %d vectors", resp.StatusCode, len(pr.Predictions), len(X))
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(X)), "vectors/op")
+		}
 	}
 }

@@ -7,14 +7,20 @@
 // Usage:
 //
 //	ffrexp -exp table1|table1x|fig2a|fig2b|fig3a|fig3b|fig4a|fig4b|
-//	            campaign|search|ablation|budget|all
-//	       [-n 170] [-csvdir DIR]
+//	            campaign|search|ablation|budget|predict|all
+//	       [-n 170] [-csvdir DIR] [-load model.ffrm]
+//
+// The predict experiment is the train-once/predict-forever fast path: it
+// loads a saved model artifact (ffrtrain -save) and predicts the FDR of
+// every flip-flop from features alone — no fault-injection campaign, no
+// retraining.
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -39,14 +45,28 @@ func run() error {
 		n      = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
 		seed   = flag.Int64("seed", 1, "evaluation split seed")
 		csvDir = flag.String("csvdir", "", "directory for figure CSV series")
+		load   = flag.String("load", "", "model artifact for -exp predict")
 	)
 	flag.Parse()
+
+	if *load != "" && *exp != "predict" {
+		return fmt.Errorf("-load only applies to -exp predict")
+	}
+	if *exp == "predict" && *load == "" {
+		return fmt.Errorf("-exp predict requires -load")
+	}
 
 	cfg := repro.DefaultStudyConfig()
 	cfg.InjectionsPerFF = *n
 	study, err := repro.NewStudy(cfg)
 	if err != nil {
 		return err
+	}
+	// The predict fast path never runs the campaign: features come from the
+	// golden simulation the study build already did, predictions from the
+	// loaded artifact.
+	if *exp == "predict" {
+		return predictFromArtifact(study, *load)
 	}
 	start := time.Now()
 	if _, err := study.RunGroundTruth(); err != nil {
@@ -91,6 +111,52 @@ func run() error {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 	return f()
+}
+
+// predictFromArtifact is the -exp predict implementation: load, validate
+// the schema against the study's features, predict every flip-flop.
+func predictFromArtifact(study *repro.Study, path string) error {
+	start := time.Now()
+	art, err := repro.LoadModel(path)
+	if err != nil {
+		return err
+	}
+	names := repro.FeatureNames()
+	if len(art.FeatureNames) != len(names) {
+		return fmt.Errorf("artifact schema has %d features, study extracts %d",
+			len(art.FeatureNames), len(names))
+	}
+	for i, name := range names {
+		if art.FeatureNames[i] != name {
+			return fmt.Errorf("artifact feature %d is %q, study extracts %q",
+				i, art.FeatureNames[i], name)
+		}
+	}
+	fmt.Printf("loaded %q (%s, trained on %d flip-flops, hash %x) from %s\n",
+		art.Name, art.Kind, art.TrainRows, art.TrainHash, path)
+	if len(art.Metrics) > 0 {
+		fmt.Printf("training-time CV metrics: %v\n", art.Metrics)
+	}
+
+	X := study.FeatureRows()
+	preds := make([]float64, len(X))
+	var mean float64
+	max := math.Inf(-1)
+	for i, x := range X {
+		preds[i] = art.Model.Predict(x)
+		mean += preds[i]
+		if preds[i] > max {
+			max = preds[i]
+		}
+	}
+	mean /= float64(len(preds))
+	fmt.Printf("\npredicted FDR for %d flip-flops in %v — no campaign, no retraining\n",
+		len(preds), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("mean predicted FDR: %.4f, max: %.3f\n\nfirst predictions:\n", mean, max)
+	for i := 0; i < 8 && i < len(preds); i++ {
+		fmt.Printf("  %-28s %.3f\n", study.Netlist.Cells[study.Program.FFCell(i)].Name, preds[i])
+	}
+	return nil
 }
 
 type runner struct {

@@ -1,0 +1,117 @@
+// Command ffrserve is the FFR prediction service: it loads trained model
+// artifacts (written by ffrtrain -save) and serves predictions over HTTP,
+// so the expensive train-once path never has to run in the serving path.
+//
+// Usage:
+//
+//	ffrserve -model knn.ffrm [-model svr.ffrm ...] [-addr :8080]
+//	         [-workers 0] [-cache 4096]
+//
+// Endpoints: POST /v1/predict (single + batch), GET /v1/models, GET /healthz.
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// stringList collects a repeatable -model flag.
+type stringList []string
+
+func (l *stringList) String() string { return strings.Join(*l, ",") }
+
+func (l *stringList) Set(v string) error {
+	if v == "" {
+		return fmt.Errorf("empty path")
+	}
+	*l = append(*l, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var models stringList
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("workers", 0, "concurrent model evaluations across all requests (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 0, "LRU response cache capacity in vectors (0 = default 4096, negative disables)")
+	)
+	flag.Var(&models, "model", "model artifact file to serve (repeatable)")
+	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %v (run 'ffrserve -h' for usage)", args)
+	}
+	if len(models) == 0 {
+		return fmt.Errorf("at least one -model artifact is required (run 'ffrserve -h' for usage)")
+	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
+	}
+
+	srv := serve.New(serve.Config{Workers: *workers, CacheSize: *cache})
+	for _, path := range models {
+		a, err := srv.LoadArtifact(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %q (%s, %d features, trained on %d rows) from %s\n",
+			a.Name, a.Kind, a.NumFeatures(), a.TrainRows, path)
+	}
+	if err := srv.Ready(); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// SIGINT/SIGTERM triggers a graceful drain: stop accepting, finish
+	// in-flight predictions, then exit. A second signal force-quits
+	// (NotifyContext unregisters itself once fired).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("ffrserve: listening on %s (%d models)\n", ln.Addr(), srv.NumModels())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "ffrserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

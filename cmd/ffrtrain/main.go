@@ -2,9 +2,16 @@
 // problem and reports the paper's five metrics, optionally running the
 // random-search + grid-refinement hyperparameter procedure first.
 //
+// With -save the final model — refitted on every flip-flop's measured FDR —
+// is written as a versioned artifact together with the feature schema, the
+// training-data fingerprint and the cross-validation metrics, ready to be
+// served by ffrserve or reloaded with ffrexp -load: the campaign and the
+// training run once, predictions are forever.
+//
 // Usage:
 //
 //	ffrtrain [-model "k-NN"] [-train 0.5] [-splits 10] [-n 170] [-tune]
+//	         [-samples 20] [-save model.ffrm]
 //
 // Model names: "Linear Least Squares", "k-NN", "SVR w/ RBF Kernel",
 // "Decision Tree", "Random Forest", "Gradient Boosting", "MLP".
@@ -33,8 +40,25 @@ func run() error {
 		n       = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
 		tune    = flag.Bool("tune", false, "random+grid hyperparameter search before evaluation")
 		samples = flag.Int("samples", 20, "random-search samples when -tune is set")
+		save    = flag.String("save", "", "write the final fitted model to this artifact file")
 	)
 	flag.Parse()
+
+	if args := flag.Args(); len(args) > 0 {
+		return fmt.Errorf("unexpected arguments: %v (run 'ffrtrain -h' for usage)", args)
+	}
+	if *train <= 0 || *train >= 1 {
+		return fmt.Errorf("-train must be in (0,1) exclusive (got %g)", *train)
+	}
+	if *splits < 1 {
+		return fmt.Errorf("-splits must be >= 1 (got %d)", *splits)
+	}
+	if *n < 1 {
+		return fmt.Errorf("-n must be >= 1 (got %d)", *n)
+	}
+	if *samples < 1 {
+		return fmt.Errorf("-samples must be >= 1 (got %d)", *samples)
+	}
 
 	spec, err := repro.FindModel(*model)
 	if err != nil {
@@ -59,11 +83,56 @@ func run() error {
 			out.Random.Best, out.Random.BestScore, out.Random.Evaluated)
 		fmt.Printf("grid refine:   best %v (R²=%.3f over %d points)\n",
 			out.Grid.Best, out.Grid.BestScore, out.Grid.Evaluated)
+		// The search winner becomes the model under evaluation — and the
+		// model -save persists — not the paper defaults.
+		if spec.Tunable != nil {
+			best, build := out.Grid.Best, spec.Tunable.Build
+			spec.Factory = func() repro.Regressor { return build(best) }
+			fmt.Printf("evaluating and saving with tuned parameters %v\n", best)
+		}
 	}
 
 	rows, err := study.Table1([]repro.ModelSpec{spec}, *splits, *train, 1)
 	if err != nil {
 		return err
 	}
-	return repro.RenderTable1(os.Stdout, rows)
+	if err := repro.RenderTable1(os.Stdout, rows); err != nil {
+		return err
+	}
+
+	if *save != "" {
+		if err := saveArtifact(*save, study, spec, rows[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveArtifact refits the model on the full measured dataset (the CV above
+// estimated its quality; serving wants every flip-flop's evidence) and
+// persists it with schema, fingerprint and the CV metrics.
+func saveArtifact(path string, study *repro.Study, spec repro.ModelSpec, row repro.TableRow) error {
+	X := study.FeatureRows()
+	y, err := study.FDR()
+	if err != nil {
+		return err
+	}
+	model := spec.Factory()
+	if err := model.Fit(X, y); err != nil {
+		return fmt.Errorf("final fit: %w", err)
+	}
+	art := repro.NewModelArtifact(spec.Name, model, repro.FeatureNames())
+	art.TrainRows = len(X)
+	art.TrainHash = repro.ModelDataFingerprint(X, y)
+	art.Metrics = map[string]float64{
+		"cv_mae": row.MAE, "cv_max": row.MAX, "cv_rmse": row.RMSE,
+		"cv_ev": row.EV, "cv_r2": row.R2,
+	}
+	if err := repro.SaveModel(path, art); err != nil {
+		return err
+	}
+	fmt.Printf("\nsaved %q (%s) trained on %d flip-flops to %s\n",
+		art.Name, art.Kind, art.TrainRows, path)
+	fmt.Printf("serve it with: ffrserve -model %s\n", path)
+	return nil
 }

@@ -27,6 +27,9 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/fault"
+	"repro/internal/features"
+	"repro/internal/ml"
+	"repro/internal/persist"
 )
 
 // Re-exported domain types. The facade intentionally aliases the internal
@@ -62,6 +65,13 @@ type (
 	CampaignResult = fault.Result
 	// CampaignCheckpoint is the on-disk state of a partial campaign.
 	CampaignCheckpoint = fault.Checkpoint
+	// Regressor is the supervised regression contract every model
+	// implements; Predict is safe for concurrent use after Fit.
+	Regressor = ml.Regressor
+	// ModelArtifact is a fitted model plus its serving metadata (feature
+	// schema, training fingerprint, CV metrics) — the unit the artifact
+	// store persists and ffrserve loads.
+	ModelArtifact = persist.Artifact
 )
 
 // Paper protocol constants (Section IV-B).
@@ -100,6 +110,22 @@ var (
 	NewCampaignRunner = fault.NewRunner
 	// LoadCampaignCheckpoint reads and validates a campaign checkpoint.
 	LoadCampaignCheckpoint = fault.LoadCheckpoint
+	// ModelNames lists every resolvable model name.
+	ModelNames = core.ModelNames
+	// FeatureNames is the canonical feature schema (the order every
+	// study feature matrix and saved artifact uses).
+	FeatureNames = features.Names
+	// NewModelArtifact assembles an artifact around a fitted model.
+	NewModelArtifact = persist.New
+	// SaveModel atomically writes a model artifact
+	// (train once, predict forever).
+	SaveModel = persist.Save
+	// LoadModel reads and validates a model artifact; the loaded model
+	// predicts bit-identically to the saved instance.
+	LoadModel = persist.Load
+	// ModelDataFingerprint digests a training set for artifact
+	// provenance.
+	ModelDataFingerprint = persist.DataFingerprint
 )
 
 // ErrCampaignInterrupted reports a campaign stopped by cancellation after

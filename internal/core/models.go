@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ml"
 	"repro/internal/ml/ensemble"
@@ -115,6 +116,17 @@ func ExtendedModels() []ModelSpec {
 	}
 }
 
+// ModelNames lists every resolvable model name (paper order, then the
+// Section V extensions) — the valid -model values of the cmd tools.
+func ModelNames() []string {
+	specs := append(PaperModels(), ExtendedModels()...)
+	names := make([]string, len(specs))
+	for i, spec := range specs {
+		names[i] = spec.Name
+	}
+	return names
+}
+
 // FindModel resolves a model by Table I name across paper and extended
 // specs.
 func FindModel(name string) (ModelSpec, error) {
@@ -123,5 +135,6 @@ func FindModel(name string) (ModelSpec, error) {
 			return spec, nil
 		}
 	}
-	return ModelSpec{}, fmt.Errorf("core: unknown model %q", name)
+	return ModelSpec{}, fmt.Errorf("core: unknown model %q (valid: %s)",
+		name, strings.Join(ModelNames(), ", "))
 }

@@ -1,0 +1,101 @@
+package ensemble
+
+import (
+	"encoding/gob"
+
+	"repro/internal/ml"
+	"repro/internal/ml/tree"
+)
+
+func init() {
+	gob.RegisterName("ffr/ensemble.RandomForest", &RandomForest{})
+	gob.RegisterName("ffr/ensemble.GradientBoosting", &GradientBoosting{})
+}
+
+// forestState is the explicit wire format of a fitted random forest; the
+// member trees serialize through tree.Regressor's own codec.
+type forestState struct {
+	Trees          int
+	MaxDepth       int
+	MinSamplesLeaf int
+	FeatureFrac    float64
+	Seed           int64
+	Members        []*tree.Regressor
+	Fitted         bool
+}
+
+// GobEncode exports the configuration and every member tree.
+func (f *RandomForest) GobEncode() ([]byte, error) {
+	return ml.GobState(forestState{
+		Trees:          f.Trees,
+		MaxDepth:       f.MaxDepth,
+		MinSamplesLeaf: f.MinSamplesLeaf,
+		FeatureFrac:    f.FeatureFrac,
+		Seed:           f.Seed,
+		Members:        f.members,
+		Fitted:         f.fitted,
+	})
+}
+
+// GobDecode restores a fitted random forest.
+func (f *RandomForest) GobDecode(data []byte) error {
+	var st forestState
+	if err := ml.UngobState(data, &st); err != nil {
+		return err
+	}
+	f.Trees = st.Trees
+	f.MaxDepth = st.MaxDepth
+	f.MinSamplesLeaf = st.MinSamplesLeaf
+	f.FeatureFrac = st.FeatureFrac
+	f.Seed = st.Seed
+	f.members = st.Members
+	f.fitted = st.Fitted
+	return nil
+}
+
+// boostingState is the explicit wire format of a fitted gradient-boosting
+// ensemble: configuration, base value, and the residual stage trees.
+type boostingState struct {
+	Stages         int
+	LearningRate   float64
+	MaxDepth       int
+	MinSamplesLeaf int
+	Subsample      float64
+	Seed           int64
+	Base           float64
+	StageTrees     []*tree.Regressor
+	Fitted         bool
+}
+
+// GobEncode exports the configuration, base value and stage trees.
+func (g *GradientBoosting) GobEncode() ([]byte, error) {
+	return ml.GobState(boostingState{
+		Stages:         g.Stages,
+		LearningRate:   g.LearningRate,
+		MaxDepth:       g.MaxDepth,
+		MinSamplesLeaf: g.MinSamplesLeaf,
+		Subsample:      g.Subsample,
+		Seed:           g.Seed,
+		Base:           g.base,
+		StageTrees:     g.stages,
+		Fitted:         g.fitted,
+	})
+}
+
+// GobDecode restores a fitted gradient-boosting ensemble.
+func (g *GradientBoosting) GobDecode(data []byte) error {
+	var st boostingState
+	if err := ml.UngobState(data, &st); err != nil {
+		return err
+	}
+	g.Stages = st.Stages
+	g.LearningRate = st.LearningRate
+	g.MaxDepth = st.MaxDepth
+	g.MinSamplesLeaf = st.MinSamplesLeaf
+	g.Subsample = st.Subsample
+	g.Seed = st.Seed
+	g.base = st.Base
+	g.stages = st.StageTrees
+	g.fitted = st.Fitted
+	return nil
+}

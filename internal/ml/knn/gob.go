@@ -1,0 +1,52 @@
+package knn
+
+import (
+	"encoding/gob"
+
+	"repro/internal/ml"
+)
+
+func init() {
+	gob.RegisterName("ffr/knn.Regressor", &Regressor{})
+}
+
+// knnState is the explicit wire format of a fitted k-NN model: the
+// configuration plus the memorized training set.
+type knnState struct {
+	K       int
+	Metric  Metric
+	P       float64
+	Weights Weighting
+	X       [][]float64
+	Y       []float64
+	Fitted  bool
+}
+
+// GobEncode exports the configuration and the memorized training set.
+func (r *Regressor) GobEncode() ([]byte, error) {
+	return ml.GobState(knnState{
+		K:       r.K,
+		Metric:  r.Metric,
+		P:       r.P,
+		Weights: r.Weights,
+		X:       r.x,
+		Y:       r.y,
+		Fitted:  r.fitted,
+	})
+}
+
+// GobDecode restores a fitted k-NN model.
+func (r *Regressor) GobDecode(data []byte) error {
+	var st knnState
+	if err := ml.UngobState(data, &st); err != nil {
+		return err
+	}
+	r.K = st.K
+	r.Metric = st.Metric
+	r.P = st.P
+	r.Weights = st.Weights
+	r.x = st.X
+	r.y = st.Y
+	r.fitted = st.Fitted
+	return nil
+}

@@ -1,0 +1,45 @@
+package linreg
+
+import (
+	"encoding/gob"
+
+	"repro/internal/ml"
+)
+
+func init() {
+	gob.RegisterName("ffr/linreg.LinearRegression", &LinearRegression{})
+}
+
+// linregState is the explicit wire format of a fitted linear model.
+type linregState struct {
+	Lambda      float64
+	NoIntercept bool
+	Weights     []float64
+	Intercept   float64
+	Fitted      bool
+}
+
+// GobEncode exports the configuration and learned coefficients.
+func (l *LinearRegression) GobEncode() ([]byte, error) {
+	return ml.GobState(linregState{
+		Lambda:      l.Lambda,
+		NoIntercept: l.NoIntercept,
+		Weights:     l.weights,
+		Intercept:   l.intercept,
+		Fitted:      l.fitted,
+	})
+}
+
+// GobDecode restores a fitted linear model.
+func (l *LinearRegression) GobDecode(data []byte) error {
+	var st linregState
+	if err := ml.UngobState(data, &st); err != nil {
+		return err
+	}
+	l.Lambda = st.Lambda
+	l.NoIntercept = st.NoIntercept
+	l.weights = st.Weights
+	l.intercept = st.Intercept
+	l.fitted = st.Fitted
+	return nil
+}

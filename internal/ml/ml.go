@@ -27,6 +27,12 @@ type Regressor interface {
 	// may reuse the slices.
 	Fit(X [][]float64, y []float64) error
 	// Predict returns the estimate for one feature vector.
+	//
+	// Concurrency contract: once Fit has returned, the fitted state is
+	// read-only and Predict must be safe to call from multiple goroutines
+	// simultaneously (the prediction service and the parallel batch
+	// evaluators rely on this). Fit itself is not safe to run concurrently
+	// with Predict on the same instance.
 	Predict(x []float64) float64
 }
 

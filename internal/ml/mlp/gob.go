@@ -1,0 +1,64 @@
+package mlp
+
+import (
+	"encoding/gob"
+
+	"repro/internal/ml"
+)
+
+func init() {
+	gob.RegisterName("ffr/mlp.Regressor", &Regressor{})
+}
+
+// mlpState is the explicit wire format of a fitted MLP: the architecture
+// and training configuration plus the learned weight matrices and biases.
+type mlpState struct {
+	Hidden       []int
+	Act          Activation
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	L2           float64
+	Seed         int64
+	Weights      [][]float64
+	Biases       [][]float64
+	Dims         []int
+	Fitted       bool
+}
+
+// GobEncode exports the configuration and the learned parameters.
+func (m *Regressor) GobEncode() ([]byte, error) {
+	return ml.GobState(mlpState{
+		Hidden:       m.Hidden,
+		Act:          m.Act,
+		Epochs:       m.Epochs,
+		BatchSize:    m.BatchSize,
+		LearningRate: m.LearningRate,
+		L2:           m.L2,
+		Seed:         m.Seed,
+		Weights:      m.weights,
+		Biases:       m.biases,
+		Dims:         m.dims,
+		Fitted:       m.fitted,
+	})
+}
+
+// GobDecode restores a fitted MLP.
+func (m *Regressor) GobDecode(data []byte) error {
+	var st mlpState
+	if err := ml.UngobState(data, &st); err != nil {
+		return err
+	}
+	m.Hidden = st.Hidden
+	m.Act = st.Act
+	m.Epochs = st.Epochs
+	m.BatchSize = st.BatchSize
+	m.LearningRate = st.LearningRate
+	m.L2 = st.L2
+	m.Seed = st.Seed
+	m.weights = st.Weights
+	m.biases = st.Biases
+	m.dims = st.Dims
+	m.fitted = st.Fitted
+	return nil
+}

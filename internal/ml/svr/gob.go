@@ -1,0 +1,64 @@
+package svr
+
+import (
+	"encoding/gob"
+
+	"repro/internal/ml"
+)
+
+func init() {
+	gob.RegisterName("ffr/svr.Regressor", &Regressor{})
+}
+
+// svrState is the explicit wire format of a fitted SVR: the hyperparameters
+// plus the support-vector expansion.
+type svrState struct {
+	Kernel  Kernel
+	C       float64
+	Epsilon float64
+	Gamma   float64
+	Coef0   float64
+	Degree  int
+	MaxIter int
+	Tol     float64
+	SV      [][]float64
+	Beta    []float64
+	Fitted  bool
+}
+
+// GobEncode exports the hyperparameters and the support-vector expansion.
+func (r *Regressor) GobEncode() ([]byte, error) {
+	return ml.GobState(svrState{
+		Kernel:  r.Kernel,
+		C:       r.C,
+		Epsilon: r.Epsilon,
+		Gamma:   r.Gamma,
+		Coef0:   r.Coef0,
+		Degree:  r.Degree,
+		MaxIter: r.MaxIter,
+		Tol:     r.Tol,
+		SV:      r.sv,
+		Beta:    r.beta,
+		Fitted:  r.fitted,
+	})
+}
+
+// GobDecode restores a fitted SVR.
+func (r *Regressor) GobDecode(data []byte) error {
+	var st svrState
+	if err := ml.UngobState(data, &st); err != nil {
+		return err
+	}
+	r.Kernel = st.Kernel
+	r.C = st.C
+	r.Epsilon = st.Epsilon
+	r.Gamma = st.Gamma
+	r.Coef0 = st.Coef0
+	r.Degree = st.Degree
+	r.MaxIter = st.MaxIter
+	r.Tol = st.Tol
+	r.sv = st.SV
+	r.beta = st.Beta
+	r.fitted = st.Fitted
+	return nil
+}

@@ -1,0 +1,113 @@
+package tree
+
+import (
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+func init() {
+	gob.RegisterName("ffr/tree.Regressor", &Regressor{})
+}
+
+// flatNode is one node of the fitted tree in the wire format: the tree is
+// flattened into a preorder slice with child indices (-1 = none), which
+// avoids deep recursive gob structures and keeps the format inspectable.
+type flatNode struct {
+	Feature     int
+	Thresh      float64
+	Value       float64
+	Left, Right int
+}
+
+// treeState is the explicit wire format of a fitted CART tree. FeatureOrder
+// is fit-time-only state (ensembles inject it for feature subsampling) and
+// intentionally does not survive serialization; a reloaded tree predicts
+// identically but cannot be refitted with the same subsampling closure.
+type treeState struct {
+	MaxDepth        int
+	MinSamplesLeaf  int
+	MinSamplesSplit int
+	MaxFeatures     int
+	Nodes           []flatNode
+	Fitted          bool
+}
+
+func flatten(n *node, out *[]flatNode) int {
+	if n == nil {
+		return -1
+	}
+	idx := len(*out)
+	*out = append(*out, flatNode{Feature: n.feature, Thresh: n.thresh, Value: n.value, Left: -1, Right: -1})
+	(*out)[idx].Left = flatten(n.left, out)
+	(*out)[idx].Right = flatten(n.right, out)
+	return idx
+}
+
+func unflatten(nodes []flatNode, idx int) (*node, error) {
+	if idx == -1 {
+		return nil, nil
+	}
+	if idx < 0 || idx >= len(nodes) {
+		return nil, fmt.Errorf("ml/tree: node index %d out of %d", idx, len(nodes))
+	}
+	fn := nodes[idx]
+	n := &node{feature: fn.Feature, thresh: fn.Thresh, value: fn.Value}
+	if fn.Feature >= 0 { // internal node: both children must exist
+		var err error
+		if n.left, err = unflatten(nodes, fn.Left); err != nil {
+			return nil, err
+		}
+		if n.right, err = unflatten(nodes, fn.Right); err != nil {
+			return nil, err
+		}
+		if n.left == nil || n.right == nil {
+			return nil, fmt.Errorf("ml/tree: internal node %d missing a child", idx)
+		}
+	}
+	return n, nil
+}
+
+// GobEncode exports the configuration and the flattened fitted tree.
+func (r *Regressor) GobEncode() ([]byte, error) {
+	st := treeState{
+		MaxDepth:        r.MaxDepth,
+		MinSamplesLeaf:  r.MinSamplesLeaf,
+		MinSamplesSplit: r.MinSamplesSplit,
+		MaxFeatures:     r.MaxFeatures,
+		Fitted:          r.fitted,
+	}
+	flatten(r.root, &st.Nodes)
+	return ml.GobState(st)
+}
+
+// GobDecode restores a fitted tree.
+func (r *Regressor) GobDecode(data []byte) error {
+	var st treeState
+	if err := ml.UngobState(data, &st); err != nil {
+		return err
+	}
+	root, err := unflatten(st.Nodes, rootIndex(st.Nodes))
+	if err != nil {
+		return err
+	}
+	if st.Fitted && root == nil {
+		return fmt.Errorf("ml/tree: fitted tree without nodes")
+	}
+	r.MaxDepth = st.MaxDepth
+	r.MinSamplesLeaf = st.MinSamplesLeaf
+	r.MinSamplesSplit = st.MinSamplesSplit
+	r.MaxFeatures = st.MaxFeatures
+	r.FeatureOrder = nil
+	r.root = root
+	r.fitted = st.Fitted
+	return nil
+}
+
+func rootIndex(nodes []flatNode) int {
+	if len(nodes) == 0 {
+		return -1
+	}
+	return 0
+}

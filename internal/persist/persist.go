@@ -1,0 +1,288 @@
+// Package persist is the model artifact store: the versioned on-disk format
+// that lets a regressor trained on one fault-injection campaign be reloaded
+// — bit-identical — by any later process, turning the paper's
+// train-once/predict-forever promise into a file.
+//
+// An artifact is a single file holding a human-readable JSON header line
+// (format identification, version, model name and kind, the feature schema,
+// a training-data fingerprint, CV metrics) followed by a gob payload with
+// the fitted model. The layout mirrors fault/checkpoint.go: the header lets
+// loaders reject foreign, stale or undecodable files before touching the
+// binary payload, and saves are atomic (temp sibling + rename) so an
+// interrupted save never corrupts an existing artifact.
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"repro/internal/ml"
+)
+
+const (
+	// artifactMagic identifies the file format.
+	artifactMagic = "repro/ffr model artifact"
+	// ArtifactVersion is the current on-disk format version. Loaders
+	// reject any other version with ErrArtifactVersion.
+	ArtifactVersion = 1
+)
+
+// Artifact errors, matchable with errors.Is.
+var (
+	// ErrArtifactCorrupt marks files that are not parseable artifacts.
+	ErrArtifactCorrupt = errors.New("persist: corrupt model artifact")
+	// ErrArtifactVersion marks a parseable artifact of an unsupported
+	// format version.
+	ErrArtifactVersion = errors.New("persist: unsupported artifact version")
+	// ErrUnknownKind marks an artifact whose model kind has no codec
+	// registered in this build.
+	ErrUnknownKind = errors.New("persist: unknown model kind")
+	// ErrSchemaMismatch marks a feature vector that does not match the
+	// artifact's feature schema.
+	ErrSchemaMismatch = errors.New("persist: feature schema mismatch")
+)
+
+// Artifact is a fitted model plus the metadata needed to use it safely:
+// the feature schema it expects, a fingerprint of the data it was trained
+// on, and the cross-validation metrics measured at training time.
+type Artifact struct {
+	// Name is the model's display name (the Table I row label).
+	Name string
+	// Kind is the registry codec kind; Save derives it from the model and
+	// Load restores it from the header.
+	Kind string
+	// FeatureNames is the ordered feature schema (features.Names() for
+	// study-trained models); prediction inputs must match its width.
+	FeatureNames []string
+	// TrainRows is the number of training rows.
+	TrainRows int
+	// TrainHash fingerprints the training data (see DataFingerprint).
+	TrainHash uint64
+	// Metrics carries evaluation scores measured at training time
+	// (MAE/MAX/RMSE/EV/R2 for Table I protocols); optional.
+	Metrics map[string]float64
+	// CreatedAt is the save timestamp.
+	CreatedAt time.Time
+	// Model is the fitted regressor. Its Predict must follow the
+	// ml.Regressor concurrency contract: read-only after Fit.
+	Model ml.Regressor
+}
+
+// New assembles an artifact around a fitted model, deriving its codec kind
+// when the model's type is registered (Save re-derives it and fails loudly
+// otherwise). The caller may fill TrainRows, TrainHash and Metrics before
+// Save.
+func New(name string, model ml.Regressor, featureNames []string) *Artifact {
+	kind, err := KindOf(model)
+	if err != nil {
+		kind = ""
+	}
+	return &Artifact{
+		Name:         name,
+		Kind:         kind,
+		FeatureNames: append([]string(nil), featureNames...),
+		Model:        model,
+	}
+}
+
+// NumFeatures is the width of the artifact's feature schema.
+func (a *Artifact) NumFeatures() int { return len(a.FeatureNames) }
+
+// CheckVector validates one prediction input against the feature schema.
+func (a *Artifact) CheckVector(x []float64) error {
+	if len(x) != len(a.FeatureNames) {
+		return fmt.Errorf("%w: vector has %d features, model %q wants %d",
+			ErrSchemaMismatch, len(x), a.Name, len(a.FeatureNames))
+	}
+	return nil
+}
+
+// DataFingerprint returns a stable 64-bit digest of a training set: exact
+// float bits of every row and target, in order. Two datasets fingerprint
+// equal iff they are bit-identical, letting artifact consumers detect which
+// campaign a model was trained on.
+func DataFingerprint(X [][]float64, y []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	write(uint64(len(X)))
+	for _, row := range X {
+		write(uint64(len(row)))
+		for _, v := range row {
+			write(math.Float64bits(v))
+		}
+	}
+	write(uint64(len(y)))
+	for _, v := range y {
+		write(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// artifactHeader is the JSON first line of an artifact file.
+type artifactHeader struct {
+	Magic     string             `json:"magic"`
+	Version   int                `json:"version"`
+	Name      string             `json:"name"`
+	Kind      string             `json:"kind"`
+	Features  []string           `json:"features"`
+	TrainRows int                `json:"train_rows"`
+	TrainHash string             `json:"train_hash"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	CreatedAt time.Time          `json:"created_at"`
+}
+
+// payload wraps the model so gob transmits the interface value (with the
+// concrete type name) rather than requiring a fixed concrete type.
+type payload struct {
+	Model ml.Regressor
+}
+
+// Save atomically writes the artifact: the bytes land in a temp sibling
+// first and are renamed over path only after a successful flush, so readers
+// never observe a torn file. It stamps a.Kind and a.CreatedAt.
+func Save(path string, a *Artifact) (err error) {
+	if a == nil || a.Model == nil {
+		return fmt.Errorf("persist: saving artifact: nil artifact or model")
+	}
+	if a.Name == "" {
+		return fmt.Errorf("persist: saving artifact: empty model name")
+	}
+	if len(a.FeatureNames) == 0 {
+		return fmt.Errorf("persist: saving artifact: empty feature schema")
+	}
+	kind, err := KindOf(a.Model)
+	if err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	a.Kind = kind
+	if a.CreatedAt.IsZero() {
+		a.CreatedAt = time.Now().UTC()
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	w := bufio.NewWriter(tmp)
+	hdr := artifactHeader{
+		Magic:     artifactMagic,
+		Version:   ArtifactVersion,
+		Name:      a.Name,
+		Kind:      a.Kind,
+		Features:  a.FeatureNames,
+		TrainRows: a.TrainRows,
+		TrainHash: strconv.FormatUint(a.TrainHash, 16),
+		Metrics:   a.Metrics,
+		CreatedAt: a.CreatedAt,
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	if _, err = w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	if err = gob.NewEncoder(w).Encode(payload{Model: a.Model}); err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: saving artifact: %w", err)
+	}
+	return nil
+}
+
+// Load reads and validates an artifact file. It returns ErrArtifactCorrupt
+// for unparseable files, ErrArtifactVersion for foreign format versions,
+// ErrUnknownKind for models this build has no codec for, and fs.ErrNotExist
+// (via os.Open) when the file is missing. The returned model predicts
+// bit-identically to the instance that was saved.
+func Load(path string) (*Artifact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	r := bufio.NewReader(f)
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: missing header", ErrArtifactCorrupt, path)
+	}
+	var hdr artifactHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: %s: bad header: %v", ErrArtifactCorrupt, path, err)
+	}
+	if hdr.Magic != artifactMagic {
+		return nil, fmt.Errorf("%w: %s: magic %q", ErrArtifactCorrupt, path, hdr.Magic)
+	}
+	if hdr.Version != ArtifactVersion {
+		return nil, fmt.Errorf("%w: %s: version %d, supported %d",
+			ErrArtifactVersion, path, hdr.Version, ArtifactVersion)
+	}
+	if hdr.Name == "" || len(hdr.Features) == 0 {
+		return nil, fmt.Errorf("%w: %s: missing name or feature schema", ErrArtifactCorrupt, path)
+	}
+	if !KnownKind(hdr.Kind) {
+		return nil, fmt.Errorf("%w: %s: kind %q (register its codec before loading)",
+			ErrUnknownKind, path, hdr.Kind)
+	}
+	trainHash, err := strconv.ParseUint(hdr.TrainHash, 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: bad train hash %q", ErrArtifactCorrupt, path, hdr.TrainHash)
+	}
+
+	var pl payload
+	if err := gob.NewDecoder(r).Decode(&pl); err != nil {
+		return nil, fmt.Errorf("%w: %s: bad payload: %v", ErrArtifactCorrupt, path, err)
+	}
+	if pl.Model == nil {
+		return nil, fmt.Errorf("%w: %s: payload without model", ErrArtifactCorrupt, path)
+	}
+	kind, err := KindOf(pl.Model)
+	if err != nil || kind != hdr.Kind {
+		return nil, fmt.Errorf("%w: %s: payload kind %q does not match header kind %q",
+			ErrArtifactCorrupt, path, kind, hdr.Kind)
+	}
+
+	return &Artifact{
+		Name:         hdr.Name,
+		Kind:         hdr.Kind,
+		FeatureNames: hdr.Features,
+		TrainRows:    hdr.TrainRows,
+		TrainHash:    trainHash,
+		Metrics:      hdr.Metrics,
+		CreatedAt:    hdr.CreatedAt,
+		Model:        pl.Model,
+	}, nil
+}

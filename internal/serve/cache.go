@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+)
+
+// lruCache is the response cache for repeated prediction vectors: a
+// fixed-capacity LRU keyed by (model, exact vector bits). FDR prediction
+// traffic is heavily repetitive — the same flip-flop populations get
+// re-scored whenever a derating report is refreshed — so a small cache
+// absorbs most of the duplicate work before it reaches a model.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	val float64
+}
+
+// newLRUCache returns a cache holding up to capacity predictions; a
+// non-positive capacity disables caching (every lookup misses).
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return &lruCache{}
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// cacheKey builds the lookup key from the model name and the exact bits of
+// the vector, so two vectors collide only when every float is identical.
+func cacheKey(model string, x []float64) string {
+	b := make([]byte, 0, len(model)+1+8*len(x))
+	b = append(b, model...)
+	b = append(b, 0)
+	var buf [8]byte
+	for _, v := range x {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		b = append(b, buf[:]...)
+	}
+	return string(b)
+}
+
+func (c *lruCache) get(key string) (float64, bool) {
+	if c.cap == 0 {
+		return 0, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return 0, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+func (c *lruCache) put(key string, val float64) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the current number of cached predictions.
+func (c *lruCache) len() int {
+	if c.cap == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

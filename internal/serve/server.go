@@ -1,0 +1,327 @@
+// Package serve is the FFR prediction service: it loads model artifacts
+// (internal/persist) into a concurrency-safe registry and serves
+// predictions over HTTP — the paper's trained-model-as-reliability-oracle,
+// deployed. Single vectors and batches ride the same path: cache lookup
+// first, then parallel evaluation of the misses on a server-wide worker
+// pool bounded independently of the request count, relying on the
+// ml.Regressor contract that Predict is read-only after Fit.
+//
+// Endpoints:
+//
+//	POST /v1/predict  {"model": "k-NN", "vector": [...]}            single
+//	POST /v1/predict  {"model": "k-NN", "vectors": [[...], ...]}    batch
+//	GET  /v1/models   artifact metadata for every loaded model
+//	GET  /healthz     liveness + model count
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/persist"
+)
+
+// MaxBatch bounds the vectors accepted in one predict request; larger
+// workloads should be split client-side so no single request can pin the
+// worker pool.
+const MaxBatch = 65536
+
+// Config parameterizes a Server.
+type Config struct {
+	// Workers bounds concurrent model evaluations across all in-flight
+	// requests (0 = GOMAXPROCS).
+	Workers int
+	// CacheSize is the LRU response-cache capacity in vectors
+	// (0 = default 4096, negative = caching disabled).
+	CacheSize int
+}
+
+// DefaultCacheSize is the response-cache capacity when Config.CacheSize
+// is zero.
+const DefaultCacheSize = 4096
+
+// Server is the model registry plus the HTTP handlers. Safe for concurrent
+// use: the registry is guarded, the cache is internally synchronized, and
+// loaded models are only read.
+type Server struct {
+	mu     sync.RWMutex
+	models map[string]*persist.Artifact
+	order  []string // registration order, for stable /v1/models listings
+
+	cache *lruCache
+	sem   chan struct{}
+}
+
+// New builds an empty server; load models with Add or LoadArtifact.
+func New(cfg Config) *Server {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := cfg.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	if cacheSize < 0 {
+		cacheSize = 0
+	}
+	return &Server{
+		models: make(map[string]*persist.Artifact),
+		cache:  newLRUCache(cacheSize),
+		sem:    make(chan struct{}, workers),
+	}
+}
+
+// Add registers a loaded artifact under its model name.
+func (s *Server) Add(a *persist.Artifact) error {
+	if a == nil || a.Model == nil {
+		return fmt.Errorf("serve: nil artifact or model")
+	}
+	if a.Name == "" || len(a.FeatureNames) == 0 {
+		return fmt.Errorf("serve: artifact without name or feature schema")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.models[a.Name]; dup {
+		return fmt.Errorf("serve: model %q already registered", a.Name)
+	}
+	s.models[a.Name] = a
+	s.order = append(s.order, a.Name)
+	return nil
+}
+
+// LoadArtifact loads a persist artifact file and registers it.
+func (s *Server) LoadArtifact(path string) (*persist.Artifact, error) {
+	a, err := persist.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Add(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// NumModels reports the registered model count.
+func (s *Server) NumModels() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.models)
+}
+
+func (s *Server) lookup(name string) (*persist.Artifact, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.models[name]
+	return a, ok
+}
+
+// ModelInfo is one /v1/models entry: the artifact header, minus the model.
+type ModelInfo struct {
+	Name        string             `json:"name"`
+	Kind        string             `json:"kind"`
+	NumFeatures int                `json:"num_features"`
+	Features    []string           `json:"features"`
+	TrainRows   int                `json:"train_rows"`
+	TrainHash   string             `json:"train_hash"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	CreatedAt   time.Time          `json:"created_at"`
+}
+
+// Models lists the registered artifacts in registration order.
+func (s *Server) Models() []ModelInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]ModelInfo, 0, len(s.order))
+	for _, name := range s.order {
+		a := s.models[name]
+		out = append(out, ModelInfo{
+			Name:        a.Name,
+			Kind:        a.Kind,
+			NumFeatures: a.NumFeatures(),
+			Features:    a.FeatureNames,
+			TrainRows:   a.TrainRows,
+			TrainHash:   strconv.FormatUint(a.TrainHash, 16),
+			Metrics:     a.Metrics,
+			CreatedAt:   a.CreatedAt,
+		})
+	}
+	return out
+}
+
+// Handler returns the service mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+type predictRequest struct {
+	Model   string      `json:"model"`
+	Vector  []float64   `json:"vector,omitempty"`
+	Vectors [][]float64 `json:"vectors,omitempty"`
+}
+
+type predictResponse struct {
+	Model       string    `json:"model"`
+	Predictions []float64 `json:"predictions"`
+	// Prediction mirrors Predictions[0] for single-vector requests.
+	Prediction *float64 `json:"prediction,omitempty"`
+	CacheHits  int      `json:"cache_hits"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
+	var req predictRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Model == "" {
+		writeError(w, http.StatusBadRequest, "missing model name")
+		return
+	}
+	single := req.Vector != nil
+	if single == (req.Vectors != nil) {
+		writeError(w, http.StatusBadRequest, "provide exactly one of vector or vectors")
+		return
+	}
+	a, ok := s.lookup(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		return
+	}
+	X := req.Vectors
+	if single {
+		X = [][]float64{req.Vector}
+	}
+	if len(X) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(X) > MaxBatch {
+		writeError(w, http.StatusBadRequest, "batch of %d vectors exceeds limit %d", len(X), MaxBatch)
+		return
+	}
+	for i, x := range X {
+		if err := a.CheckVector(x); err != nil {
+			writeError(w, http.StatusBadRequest, "vector %d: %v", i, err)
+			return
+		}
+	}
+
+	preds, hits, err := s.predictBatch(a, X)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	resp := predictResponse{Model: a.Name, Predictions: preds, CacheHits: hits}
+	if single {
+		resp.Prediction = &preds[0]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// predictBatch serves each vector from the cache when possible and
+// evaluates the misses in parallel on the shared worker pool. A panicking
+// model (e.g. an artifact whose payload was trained on a different width
+// than its header claims) is contained: the pool goroutines recover, the
+// request fails with an error, and the server keeps serving — net/http's
+// per-connection recover would not cover these goroutines.
+func (s *Server) predictBatch(a *persist.Artifact, X [][]float64) ([]float64, int, error) {
+	out := make([]float64, len(X))
+	keys := make([]string, len(X))
+	var misses []int
+	for i, x := range X {
+		keys[i] = cacheKey(a.Name, x)
+		if v, ok := s.cache.get(keys[i]); ok {
+			out[i] = v
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	var (
+		wg        sync.WaitGroup
+		panicMu   sync.Mutex
+		panicked  any
+		panicOnce bool
+	)
+	for _, i := range misses {
+		wg.Add(1)
+		s.sem <- struct{}{}
+		go func(i int) {
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicOnce {
+						panicked, panicOnce = r, true
+					}
+					panicMu.Unlock()
+				}
+				<-s.sem
+				wg.Done()
+			}()
+			out[i] = a.Model.Predict(X[i])
+		}(i)
+	}
+	wg.Wait()
+	if panicOnce {
+		return nil, 0, fmt.Errorf("model %q failed to evaluate: %v", a.Name, panicked)
+	}
+	for _, i := range misses {
+		s.cache.put(keys[i], out[i])
+	}
+	return out, len(X) - len(misses), nil
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Models []ModelInfo `json:"models"`
+	}{Models: s.Models()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	n := s.NumModels()
+	if n == 0 {
+		writeError(w, http.StatusServiceUnavailable, "no models loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Status string `json:"status"`
+		Models int    `json:"models"`
+		Cached int    `json:"cached"`
+	}{Status: "ok", Models: n, Cached: s.cache.len()})
+}
+
+// ErrNoModels is returned by Ready when the server has nothing to serve.
+var ErrNoModels = errors.New("serve: no models loaded")
+
+// Ready validates the server can serve traffic (at least one model).
+func (s *Server) Ready() error {
+	if s.NumModels() == 0 {
+		return ErrNoModels
+	}
+	return nil
+}

@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/ml"
+	"repro/internal/ml/knn"
+	"repro/internal/ml/linreg"
+	"repro/internal/persist"
+)
+
+// syntheticArtifact trains a small pipeline on a deterministic synthetic
+// problem and wraps it as an artifact.
+func syntheticArtifact(t testing.TB, name string, model ml.Regressor) *persist.Artifact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	X := make([][]float64, 120)
+	y := make([]float64, len(X))
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64() * 4, rng.Float64() * 10}
+		y[i] = X[i][0] + 2*X[i][1] - 0.3*X[i][2]
+	}
+	p := &ml.Pipeline{Scaler: &ml.StandardScaler{}, Model: model}
+	if err := p.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	a := persist.New(name, p, []string{"f0", "f1", "f2"})
+	a.TrainRows = len(X)
+	a.TrainHash = persist.DataFingerprint(X, y)
+	return a
+}
+
+func testServer(t testing.TB, cfg Config) (*Server, *persist.Artifact) {
+	t.Helper()
+	s := New(cfg)
+	knnArt := syntheticArtifact(t, "k-NN", knn.New(3, knn.Manhattan))
+	if err := s.Add(knnArt); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(syntheticArtifact(t, "Linear Least Squares", linreg.New())); err != nil {
+		t.Fatal(err)
+	}
+	return s, knnArt
+}
+
+func postPredict(t testing.TB, h http.Handler, body string) (*httptest.ResponseRecorder, predictResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp predictResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response body %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, resp
+}
+
+func TestPredictSingle(t *testing.T) {
+	s, art := testServer(t, Config{})
+	h := s.Handler()
+	x := []float64{0.5, 1.5, 3}
+	want := art.Model.Predict(x)
+
+	body := fmt.Sprintf(`{"model":"k-NN","vector":[%g,%g,%g]}`, x[0], x[1], x[2])
+	rec, resp := postPredict(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Predictions) != 1 || resp.Predictions[0] != want {
+		t.Fatalf("predictions %v, want [%v]", resp.Predictions, want)
+	}
+	if resp.Prediction == nil || *resp.Prediction != want {
+		t.Fatalf("single-vector response missing prediction field")
+	}
+	if resp.CacheHits != 0 {
+		t.Fatalf("first request reported %d cache hits", resp.CacheHits)
+	}
+
+	// The identical vector is now served from the LRU cache.
+	rec, resp = postPredict(t, h, body)
+	if rec.Code != http.StatusOK || resp.CacheHits != 1 {
+		t.Fatalf("repeat request: status %d, cache hits %d, want 200/1", rec.Code, resp.CacheHits)
+	}
+	if resp.Predictions[0] != want {
+		t.Fatalf("cached prediction %v, want %v", resp.Predictions[0], want)
+	}
+}
+
+func TestPredictBatch(t *testing.T) {
+	s, art := testServer(t, Config{Workers: 4})
+	h := s.Handler()
+	rng := rand.New(rand.NewSource(11))
+	X := make([][]float64, 40)
+	for i := range X {
+		X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	want := ml.PredictAll(art.Model, X)
+
+	body, _ := json.Marshal(predictRequest{Model: "k-NN", Vectors: X})
+	rec, resp := postPredict(t, h, string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if len(resp.Predictions) != len(X) {
+		t.Fatalf("%d predictions for %d vectors", len(resp.Predictions), len(X))
+	}
+	for i := range want {
+		if resp.Predictions[i] != want[i] {
+			t.Fatalf("vector %d: got %v, want %v", i, resp.Predictions[i], want[i])
+		}
+	}
+	if resp.Prediction != nil {
+		t.Fatal("batch response carries single-vector prediction field")
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		name     string
+		body     string
+		wantCode int
+		wantMsg  string
+	}{
+		{"bad json", `{"model":`, http.StatusBadRequest, "bad request body"},
+		{"missing model", `{"vector":[1,2,3]}`, http.StatusBadRequest, "missing model"},
+		{"unknown model", `{"model":"nope","vector":[1,2,3]}`, http.StatusNotFound, `unknown model "nope"`},
+		{"neither input", `{"model":"k-NN"}`, http.StatusBadRequest, "exactly one of"},
+		{"both inputs", `{"model":"k-NN","vector":[1,2,3],"vectors":[[1,2,3]]}`, http.StatusBadRequest, "exactly one of"},
+		{"empty batch", `{"model":"k-NN","vectors":[]}`, http.StatusBadRequest, "empty batch"},
+		{"narrow vector", `{"model":"k-NN","vector":[1,2]}`, http.StatusBadRequest, "wants 3"},
+		{"ragged batch", `{"model":"k-NN","vectors":[[1,2,3],[1,2,3,4]]}`, http.StatusBadRequest, "vector 1"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec, _ := postPredict(t, h, c.body)
+			if rec.Code != c.wantCode {
+				t.Fatalf("status %d, want %d (%s)", rec.Code, c.wantCode, rec.Body.String())
+			}
+			var er errorResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
+				t.Fatalf("error body not JSON: %q", rec.Body.String())
+			}
+			if !strings.Contains(er.Error, c.wantMsg) {
+				t.Fatalf("error %q does not mention %q", er.Error, c.wantMsg)
+			}
+		})
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/predict", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/predict: status %d, want 405", rec.Code)
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	req := httptest.NewRequest(http.MethodGet, "/v1/models", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Models) != 2 {
+		t.Fatalf("%d models listed, want 2", len(resp.Models))
+	}
+	if resp.Models[0].Name != "k-NN" || resp.Models[1].Name != "Linear Least Squares" {
+		t.Fatalf("listing order %q, %q not registration order", resp.Models[0].Name, resp.Models[1].Name)
+	}
+	if resp.Models[0].Kind != "pipeline[std,knn]" || resp.Models[0].NumFeatures != 3 {
+		t.Fatalf("k-NN metadata: kind %q, features %d", resp.Models[0].Kind, resp.Models[0].NumFeatures)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	empty := New(Config{})
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	empty.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty server healthz: status %d, want 503", rec.Code)
+	}
+	if err := empty.Ready(); err == nil {
+		t.Fatal("empty server reports ready")
+	}
+
+	s, _ := testServer(t, Config{})
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("loaded server healthz: status %d, want 200", rec.Code)
+	}
+	if err := s.Ready(); err != nil {
+		t.Fatalf("loaded server not ready: %v", err)
+	}
+}
+
+// TestConcurrentBatchPredict drives 64 concurrent batch requests through a
+// real HTTP stack; combined with `go test -race` this pins the concurrency
+// contract end to end: shared models, shared cache, shared worker pool,
+// zero failures.
+func TestConcurrentBatchPredict(t *testing.T) {
+	s, art := testServer(t, Config{Workers: 8, CacheSize: 256})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const clients = 64
+	const perBatch = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c % 8))) // overlapping seeds exercise the cache
+			X := make([][]float64, perBatch)
+			for i := range X {
+				X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			}
+			body, _ := json.Marshal(predictRequest{Model: "k-NN", Vectors: X})
+			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, b)
+				return
+			}
+			var pr predictResponse
+			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+				errs <- fmt.Errorf("client %d: decoding: %w", c, err)
+				return
+			}
+			if len(pr.Predictions) != perBatch {
+				errs <- fmt.Errorf("client %d: %d predictions", c, len(pr.Predictions))
+				return
+			}
+			for i, x := range X {
+				if want := art.Model.Predict(x); pr.Predictions[i] != want {
+					errs <- fmt.Errorf("client %d vector %d: got %v, want %v", c, i, pr.Predictions[i], want)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestLoadArtifactAndDuplicates(t *testing.T) {
+	art := syntheticArtifact(t, "k-NN", knn.New(3, knn.Manhattan))
+	path := filepath.Join(t.TempDir(), "knn.ffrm")
+	if err := persist.Save(path, art); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{})
+	loaded, err := s.LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "k-NN" || s.NumModels() != 1 {
+		t.Fatalf("loaded %q, %d models", loaded.Name, s.NumModels())
+	}
+	if _, err := s.LoadArtifact(path); err == nil {
+		t.Fatal("duplicate model name accepted")
+	}
+	if err := s.Add(nil); err == nil {
+		t.Fatal("nil artifact accepted")
+	}
+}
+
+// panicModel stands in for an artifact whose payload disagrees with its
+// header (e.g. trained on a different feature width): evaluation panics.
+type panicModel struct{}
+
+func (panicModel) Fit(X [][]float64, y []float64) error { return nil }
+func (panicModel) Predict(x []float64) float64          { panic("width mismatch") }
+
+// TestPredictContainsModelPanic pins that a panicking model fails the
+// request with a 500 instead of killing the process, and that the server
+// keeps serving healthy models afterwards.
+func TestPredictContainsModelPanic(t *testing.T) {
+	s, _ := testServer(t, Config{Workers: 2})
+	bad := &persist.Artifact{Name: "bad", FeatureNames: []string{"f0", "f1", "f2"}, Model: panicModel{}}
+	if err := s.Add(bad); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+
+	rec, _ := postPredict(t, h, `{"model":"bad","vectors":[[1,2,3],[4,5,6]]}`)
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 (%s)", rec.Code, rec.Body.String())
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || !strings.Contains(er.Error, "bad") {
+		t.Fatalf("error body %q does not name the model", rec.Body.String())
+	}
+
+	rec, resp := postPredict(t, h, `{"model":"k-NN","vector":[1,2,3]}`)
+	if rec.Code != http.StatusOK || len(resp.Predictions) != 1 {
+		t.Fatalf("healthy model unavailable after panic: status %d", rec.Code)
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := newLRUCache(2)
+	c.put("a", 1)
+	c.put("b", 2)
+	if v, ok := c.get("a"); !ok || v != 1 {
+		t.Fatal("a missing")
+	}
+	c.put("c", 3) // evicts b (a was just used)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len %d, want 2", c.len())
+	}
+	c.put("a", 9)
+	if v, _ := c.get("a"); v != 9 {
+		t.Fatal("update lost")
+	}
+
+	disabled := newLRUCache(-1)
+	disabled.put("a", 1)
+	if _, ok := disabled.get("a"); ok || disabled.len() != 0 {
+		t.Fatal("disabled cache stored an entry")
+	}
+
+	// Distinct vectors must produce distinct keys even when they print alike.
+	if cacheKey("m", []float64{1, 2}) == cacheKey("m", []float64{1, 2.0000000000000004}) {
+		t.Fatal("cache key ignores low-order float bits")
+	}
+	if cacheKey("m1", []float64{1}) == cacheKey("m2", []float64{1}) {
+		t.Fatal("cache key ignores model name")
+	}
+}
