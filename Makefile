@@ -13,7 +13,7 @@ SMOKE_INJECTIONS ?= 2
 # A 25-zero feature vector (features.NumFeatures wide) for the smoke predict.
 SMOKE_VECTOR := [0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]
 
-.PHONY: all build examples test race lint bench serve-smoke
+.PHONY: all build examples test race lint bench serve-smoke corpus-smoke
 
 all: lint build examples test
 
@@ -58,3 +58,33 @@ serve-smoke:
 	curl -fsS -X POST -d '{"model":"k-NN","vector":$(SMOKE_VECTOR)}' \
 		http://127.0.0.1:18080/v1/predict; echo; \
 	echo "serve smoke OK"
+
+# End-to-end corpus smoke: enumerate and validate every DUT family, sweep
+# the whole corpus (tiny geometry) through generate→synthesize→simulate→
+# inject→extract→train with per-scenario artifact saving, run one
+# cross-circuit train/predict transfer matrix, then serve the swept
+# artifacts and assert the scenario tags surface in /v1/models.
+corpus-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ffrcorpus ./cmd/ffrcorpus; \
+	$(GO) build -o $$tmp/ffrexp ./cmd/ffrexp; \
+	$(GO) build -o $$tmp/ffrserve ./cmd/ffrserve; \
+	$$tmp/ffrcorpus -list; \
+	$$tmp/ffrcorpus -validate; \
+	$$tmp/ffrcorpus -sweep -n $(SMOKE_INJECTIONS) -shards 4 -out $$tmp/artifacts; \
+	$$tmp/ffrexp -exp cross -n $(SMOKE_INJECTIONS) \
+		-scenarios alupipe/randomops,rrarb/uniform,uartser/paced; \
+	$$tmp/ffrserve -addr 127.0.0.1:18081 \
+		-model $$tmp/artifacts/alupipe-randomops.ffrm \
+		-model $$tmp/artifacts/uartser-paced.ffrm & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18081/healthz >/dev/null 2>&1 && break; \
+		kill -0 $$pid 2>/dev/null || { echo "ffrserve exited early"; exit 1; }; \
+		sleep 0.2; \
+	done; \
+	curl -fsS http://127.0.0.1:18081/v1/models | tee $$tmp/models.json; echo; \
+	grep -q '"circuit":"alupipe"' $$tmp/models.json; \
+	grep -q '"workload":"paced"' $$tmp/models.json; \
+	echo "corpus smoke OK"

@@ -344,6 +344,97 @@ func BenchmarkPCADimensionality(b *testing.B) {
 	}
 }
 
+// BenchmarkCorpusSweep measures the corpus pipeline end to end: every
+// registered scenario materialized at small scale and carried through its
+// ground-truth campaign on the sharded runner (ns/op is for the whole
+// sweep; injections/op totals the SEU runs). The injection budget follows
+// FFR_INJECTIONS so CI can smoke it cheaply.
+func BenchmarkCorpusSweep(b *testing.B) {
+	cfg, err := repro.EnvStudyConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scenarios := repro.CorpusScenarios()
+	for i := 0; i < b.N; i++ {
+		totalRuns := 0
+		for _, sc := range scenarios {
+			study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
+				Scale:           repro.CorpusScaleSmall,
+				InjectionsPerFF: cfg.InjectionsPerFF,
+				Workers:         cfg.Workers,
+			})
+			if err != nil {
+				b.Fatalf("%s: %v", sc.ID(), err)
+			}
+			res, err := study.RunGroundTruth()
+			if err != nil {
+				b.Fatalf("%s: %v", sc.ID(), err)
+			}
+			totalRuns += res.TotalRuns
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(scenarios)), "scenarios/op")
+			b.ReportMetric(float64(totalRuns), "injections/op")
+		}
+	}
+}
+
+// BenchmarkCrossCircuitTransfer measures the cross-circuit generalization
+// experiment on three small corpus scenarios and reports how well the k-NN
+// ranking transfers (mean off-diagonal Kendall τ).
+func BenchmarkCrossCircuitTransfer(b *testing.B) {
+	cfg, err := repro.EnvStudyConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := []string{"alupipe/randomops", "rrarb/uniform", "uartser/paced"}
+	var studies []*repro.Study
+	for _, id := range ids {
+		sc, err := repro.FindCorpusScenario(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
+			Scale:           repro.CorpusScaleSmall,
+			InjectionsPerFF: cfg.InjectionsPerFF,
+			Workers:         cfg.Workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := study.RunGroundTruth(); err != nil {
+			b.Fatal(err)
+		}
+		studies = append(studies, study)
+	}
+	spec := repro.PaperModels()[1]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm, err := repro.CrossCircuit(studies, spec, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			printArtifact("Cross-circuit transfer matrix (k-NN, small corpus)", func() {
+				if err := repro.RenderTransferMatrix(os.Stdout, tm); err != nil {
+					b.Error(err)
+				}
+			})
+			var tauSum float64
+			cells := 0
+			for r := range tm.Cells {
+				for _, c := range tm.Cells[r] {
+					if !c.Diagonal {
+						tauSum += c.Tau
+						cells++
+					}
+				}
+			}
+			b.ReportMetric(tauSum/float64(cells), "mean_offdiag_tau")
+		}
+	}
+}
+
 // BenchmarkWilsonInterval pins the cost of the statistics helper used in
 // campaign reporting.
 func BenchmarkWilsonInterval(b *testing.B) {

@@ -7,13 +7,22 @@
 // Usage:
 //
 //	ffrexp -exp table1|table1x|fig2a|fig2b|fig3a|fig3b|fig4a|fig4b|
-//	            campaign|search|ablation|budget|predict|all
+//	            campaign|search|ablation|budget|predict|cross|all
 //	       [-n 170] [-csvdir DIR] [-load model.ffrm]
+//	       [-scenarios id,id,...] [-scale small|default]
 //
 // The predict experiment is the train-once/predict-forever fast path: it
 // loads a saved model artifact (ffrtrain -save) and predicts the FDR of
 // every flip-flop from features alone — no fault-injection campaign, no
 // retraining.
+//
+// The cross experiment is the corpus's cross-circuit generalization study:
+// it materializes each -scenarios entry (default: one representative
+// workload per DUT family), runs their ground-truth campaigns, trains the
+// paper's k-NN on each and predicts every other, and emits the
+// train-on-A/predict-on-B transfer matrices (R² and Kendall τ). -scale and
+// -n control the per-scenario cost; the defaults keep the experiment under
+// a minute.
 package main
 
 import (
@@ -24,6 +33,7 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro"
@@ -41,11 +51,14 @@ func main() {
 
 func run() error {
 	var (
-		exp    = flag.String("exp", "all", "experiment id")
-		n      = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
-		seed   = flag.Int64("seed", 1, "evaluation split seed")
-		csvDir = flag.String("csvdir", "", "directory for figure CSV series")
-		load   = flag.String("load", "", "model artifact for -exp predict")
+		exp       = flag.String("exp", "all", "experiment id")
+		n         = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
+		seed      = flag.Int64("seed", 1, "evaluation split seed")
+		csvDir    = flag.String("csvdir", "", "directory for figure CSV series")
+		load      = flag.String("load", "", "model artifact for -exp predict")
+		scenarios = flag.String("scenarios", "mac10ge/loopback,alupipe/randomops,rrarb/uniform,uartser/paced",
+			"comma-separated corpus scenarios for -exp cross")
+		scaleStr = flag.String("scale", "small", "corpus scale for -exp cross: small or default")
 	)
 	flag.Parse()
 
@@ -54,6 +67,26 @@ func run() error {
 	}
 	if *exp == "predict" && *load == "" {
 		return fmt.Errorf("-exp predict requires -load")
+	}
+	if *exp != "cross" {
+		var misused []string
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scenarios" || f.Name == "scale" {
+				misused = append(misused, "-"+f.Name)
+			}
+		})
+		if len(misused) > 0 {
+			return fmt.Errorf("%s only applies to -exp cross", strings.Join(misused, ", "))
+		}
+	}
+	// The cross experiment runs on corpus studies, not the MAC study, so it
+	// branches off before the (expensive) default study build.
+	if *exp == "cross" {
+		scale, err := repro.ParseCorpusScale(*scaleStr)
+		if err != nil {
+			return err
+		}
+		return crossExperiment(*scenarios, scale, *n, *seed, *csvDir)
 	}
 
 	cfg := repro.DefaultStudyConfig()
@@ -374,6 +407,90 @@ func (r runner) pca() error {
 	for _, p := range points {
 		fmt.Printf("%-14d %10.3f\n", p.Components, p.R2)
 	}
+	return nil
+}
+
+// crossExperiment runs the cross-circuit generalization study: ground truth
+// per scenario, the paper's k-NN trained on each, transfer scores on every
+// ordered pair.
+func crossExperiment(scenarioList string, scale repro.CorpusScale, n int, seed int64, csvDir string) error {
+	// Resolve and validate the whole list before the first (expensive)
+	// campaign so bad input fails in milliseconds, not minutes.
+	var selected []repro.CorpusScenario
+	seen := map[string]bool{}
+	for _, id := range strings.Split(scenarioList, ",") {
+		sc, err := repro.FindCorpusScenario(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		if seen[sc.ID()] {
+			return fmt.Errorf("scenario %q selected twice", sc.ID())
+		}
+		seen[sc.ID()] = true
+		selected = append(selected, sc)
+	}
+	if len(selected) < 2 {
+		return fmt.Errorf("-exp cross needs at least 2 scenarios, got %d", len(selected))
+	}
+
+	var studies []*repro.Study
+	for _, sc := range selected {
+		start := time.Now()
+		study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
+			Scale:           scale,
+			InjectionsPerFF: n,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := study.RunGroundTruth(); err != nil {
+			return fmt.Errorf("%s: %w", sc.ID(), err)
+		}
+		fmt.Printf("# %-22s ground truth: %4d FFs x %d injections in %v\n",
+			sc.ID(), study.NumFFs(), study.Config.InjectionsPerFF,
+			time.Since(start).Round(time.Millisecond))
+		studies = append(studies, study)
+	}
+	fmt.Println()
+
+	spec := repro.PaperModels()[1] // k-NN, the paper's best model
+	tm, err := repro.CrossCircuit(studies, spec, seed)
+	if err != nil {
+		return err
+	}
+	if err := repro.RenderTransferMatrix(os.Stdout, tm); err != nil {
+		return err
+	}
+	if csvDir == "" {
+		return nil
+	}
+	path := filepath.Join(csvDir, "cross.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write([]string{"train", "test", "diagonal", "r2", "kendall_tau", "mae"}); err != nil {
+		return err
+	}
+	for i := range tm.Cells {
+		for _, c := range tm.Cells[i] {
+			if err := cw.Write([]string{
+				c.TrainID, c.TestID, strconv.FormatBool(c.Diagonal),
+				strconv.FormatFloat(c.R2, 'g', -1, 64),
+				strconv.FormatFloat(c.Tau, 'g', -1, 64),
+				strconv.FormatFloat(c.MAE, 'g', -1, 64),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	fmt.Printf("\nwrote %s\n", path)
 	return nil
 }
 

@@ -122,6 +122,8 @@ func saveArtifact(path string, study *repro.Study, spec repro.ModelSpec, row rep
 		return fmt.Errorf("final fit: %w", err)
 	}
 	art := repro.NewModelArtifact(spec.Name, model, repro.FeatureNames())
+	art.Circuit = study.CircuitName
+	art.Workload = study.WorkloadName
 	art.TrainRows = len(X)
 	art.TrainHash = repro.ModelDataFingerprint(X, y)
 	art.Metrics = map[string]float64{

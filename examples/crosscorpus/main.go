@@ -1,0 +1,76 @@
+// Crosscorpus: the cross-circuit generalization question in one page —
+// materialize two corpus scenarios (a pipelined ALU and a UART serializer),
+// measure their fault-injection ground truth, train the paper's k-NN on the
+// ALU and predict the UART's per-flip-flop FDR sight unseen, then compare
+// against the within-circuit baseline. The ranking metric (Kendall τ) is
+// what selective-hardening decisions consume; watch how much better it
+// transfers than absolute calibration (R²).
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "crosscorpus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	ids := []string{"alupipe/randomops", "uartser/paced"}
+	var studies []*repro.Study
+	for _, id := range ids {
+		sc, err := repro.FindCorpusScenario(id)
+		if err != nil {
+			return err
+		}
+		study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
+			Scale:           repro.CorpusScaleSmall,
+			InjectionsPerFF: 32,
+		})
+		if err != nil {
+			return err
+		}
+		campaign, err := study.RunGroundTruth()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %3d flip-flops, %5d SEU injections, ground truth ready\n",
+			study.ScenarioID(), study.NumFFs(), campaign.TotalRuns)
+		studies = append(studies, study)
+	}
+
+	spec, err := repro.FindModel("k-NN")
+	if err != nil {
+		return err
+	}
+	tm, err := repro.CrossCircuit(studies, spec, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := repro.RenderTransferMatrix(os.Stdout, tm); err != nil {
+		return err
+	}
+
+	cross, err := tm.Cell(ids[0], ids[1])
+	if err != nil {
+		return err
+	}
+	self, err := tm.Cell(ids[1], ids[1])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrain on %s, predict %s: R²=%.3f, τ=%.3f\n",
+		cross.TrainID, cross.TestID, cross.R2, cross.Tau)
+	fmt.Printf("within-%s baseline (held-out 50%%): R²=%.3f, τ=%.3f\n",
+		self.TestID, self.R2, self.Tau)
+	fmt.Println("\nabsolute calibration rarely survives a circuit change; the vulnerability")
+	fmt.Println("ranking often does — and the ranking is what hardening decisions need.")
+	return nil
+}

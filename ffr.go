@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/corpus"
 	"repro/internal/fault"
 	"repro/internal/features"
 	"repro/internal/ml"
@@ -69,9 +70,31 @@ type (
 	// implements; Predict is safe for concurrent use after Fit.
 	Regressor = ml.Regressor
 	// ModelArtifact is a fitted model plus its serving metadata (feature
-	// schema, training fingerprint, CV metrics) — the unit the artifact
-	// store persists and ffrserve loads.
+	// schema, training fingerprint, CV metrics, scenario tags) — the unit
+	// the artifact store persists and ffrserve loads.
 	ModelArtifact = persist.Artifact
+	// CorpusEntry is one DUT family of the circuit corpus.
+	CorpusEntry = corpus.Entry
+	// CorpusWorkload is one testbench variant of a DUT family.
+	CorpusWorkload = corpus.Workload
+	// CorpusScenario is a (family, workload) pair — the unit of the
+	// corpus, identified as "family/workload".
+	CorpusScenario = corpus.Scenario
+	// CorpusScale selects the circuit/workload size of a scenario.
+	CorpusScale = corpus.Scale
+	// CorpusStudyConfig assembles a study from a corpus scenario.
+	CorpusStudyConfig = core.CorpusStudyConfig
+	// TransferMatrix is the cross-circuit generalization experiment
+	// result: train-on-row, predict-on-column scores.
+	TransferMatrix = core.TransferMatrix
+	// TransferCell is one (train → test) transfer measurement.
+	TransferCell = core.TransferCell
+)
+
+// Corpus scales.
+const (
+	CorpusScaleSmall   = corpus.ScaleSmall
+	CorpusScaleDefault = corpus.ScaleDefault
 )
 
 // Paper protocol constants (Section IV-B).
@@ -126,6 +149,25 @@ var (
 	// ModelDataFingerprint digests a training set for artifact
 	// provenance.
 	ModelDataFingerprint = persist.DataFingerprint
+	// CorpusFamilies lists every registered DUT family.
+	CorpusFamilies = corpus.Families
+	// CorpusScenarios enumerates every registered (family, workload) pair.
+	CorpusScenarios = corpus.List
+	// CorpusScenarioIDs lists every scenario identifier.
+	CorpusScenarioIDs = corpus.IDs
+	// FindCorpusScenario resolves "family/workload" (or "family" for the
+	// family's first workload).
+	FindCorpusScenario = corpus.Find
+	// RegisterCorpusEntry adds a DUT family to the corpus.
+	RegisterCorpusEntry = corpus.Register
+	// ParseCorpusScale resolves a -scale flag value (small, default).
+	ParseCorpusScale = corpus.ParseScale
+	// NewCorpusStudy materializes a corpus scenario into a Study.
+	NewCorpusStudy = core.NewCorpusStudy
+	// CrossCircuit measures FDR-model transfer across a set of studies.
+	CrossCircuit = core.CrossCircuit
+	// RenderTransferMatrix writes the R² and Kendall-τ transfer matrices.
+	RenderTransferMatrix = core.RenderTransferMatrix
 )
 
 // ErrCampaignInterrupted reports a campaign stopped by cancellation after

@@ -1,0 +1,224 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// RRArb is a round-robin arbiter with per-port input queues — a one-output
+// slice of a switch fabric, and the corpus's control-dominated DUT family.
+// Each requester port buffers incoming bytes in its own FIFO; a rotating
+// round-robin pointer grants one non-empty queue per cycle, pops it, and
+// forwards the byte (tagged with the port index) to the registered output.
+//
+// Hardening is deliberately asymmetric, mirroring the MAC's selective-TMR
+// populations: the round-robin pointer and the even-port grant counters are
+// TMR protected, odd-port counters and the data queues are not.
+//
+// Port summary (P ports, W-bit payload):
+//
+//	inputs:  req[P]          per-port enqueue request
+//	         data[W]         payload (shared bus, latched into port i on req[i])
+//	outputs: out_valid       a grant happened last cycle
+//	         out_data[W]     granted payload
+//	         out_port[log2P] granted port index
+//	         gnt<i>[8]       per-port grant counters
+//	         qstat[P]        per-port queue-empty flags
+//	         sig[W]          XOR-rotate signature of the granted stream
+
+// ArbConfig parameterizes the RRArb generator. Generation is fully
+// deterministic: the same configuration always produces a
+// fingerprint-identical netlist.
+type ArbConfig struct {
+	// Ports is the requester count (power of two, 2..8).
+	Ports int
+	// QueueDepth is the per-port FIFO depth (power of two ≥ 2).
+	QueueDepth int
+	// DataWidth is the payload width in bits (4..16).
+	DataWidth int
+	// TargetFFs, when non-zero, pads with a diagnostic trace buffer to
+	// exactly this flip-flop count.
+	TargetFFs int
+}
+
+// DefaultArbConfig is the corpus default: a 4×8-deep byte switch slice.
+func DefaultArbConfig() ArbConfig {
+	return ArbConfig{Ports: 4, QueueDepth: 8, DataWidth: 8, TargetFFs: 448}
+}
+
+// SmallArbConfig is the smoke-test scale.
+func SmallArbConfig() ArbConfig {
+	return ArbConfig{Ports: 4, QueueDepth: 4, DataWidth: 8}
+}
+
+// Validate checks the configuration.
+func (c ArbConfig) Validate() error {
+	if c.Ports < 2 || c.Ports > 8 || c.Ports&(c.Ports-1) != 0 {
+		return fmt.Errorf("circuit: arbiter ports %d must be a power of two in [2,8]", c.Ports)
+	}
+	if c.QueueDepth < 2 || c.QueueDepth&(c.QueueDepth-1) != 0 {
+		return fmt.Errorf("circuit: queue depth %d must be a power of two >= 2", c.QueueDepth)
+	}
+	if c.DataWidth < 4 || c.DataWidth > 16 {
+		return fmt.Errorf("circuit: data width %d out of range [4,16]", c.DataWidth)
+	}
+	if c.TargetFFs < 0 {
+		return fmt.Errorf("circuit: negative TargetFFs %d", c.TargetFFs)
+	}
+	return nil
+}
+
+// NewRRArb generates the round-robin arbiter netlist.
+func NewRRArb(cfg ArbConfig) (*netlist.Netlist, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	P := cfg.Ports
+	W := cfg.DataWidth
+	ptrBits := 0
+	for 1<<uint(ptrBits) < P {
+		ptrBits++
+	}
+	b := netlist.NewBuilder("rrarb")
+
+	req := make([]netlist.NetID, P)
+	for i := range req {
+		req[i] = b.Input(fmt.Sprintf("req[%d]", i))
+	}
+	data := b.InputBus("data", W)
+
+	// ---- Per-port input queues -------------------------------------------
+	grantPh := make([]*netlist.Placeholder, P)
+	fifos := make([]*FIFO, P)
+	notEmpty := make([]netlist.NetID, P)
+	for i := 0; i < P; i++ {
+		grantPh[i] = b.NewPlaceholder()
+		fifos[i] = NewFIFO(b, fmt.Sprintf("q%d", i), cfg.QueueDepth, data, req[i], grantPh[i].Net())
+		notEmpty[i] = b.Not(fifos[i].Empty)
+	}
+
+	// ---- Round-robin grant ------------------------------------------------
+	// The pointer names the highest-priority port; the grant goes to the
+	// first non-empty queue at or after it (wrapping). The pointer is TMR
+	// hardened: a single upset would permanently skew fairness.
+	grantFor := func(isPtr []netlist.NetID, i int) netlist.NetID {
+		var terms []netlist.NetID
+		for p := 0; p < P; p++ {
+			// Pointer at p, ports p..i-1 (wrapping) all empty, i ready.
+			cond := b.And(isPtr[p], notEmpty[i])
+			for j := p; j%P != i; j++ {
+				cond = b.And(cond, b.Not(notEmpty[j%P]))
+			}
+			terms = append(terms, cond)
+		}
+		return b.Or(terms...)
+	}
+
+	// The voted pointer value is consumed only inside the state function
+	// (via the grant network), so the voter output itself is unused.
+	var grants []netlist.NetID
+	TMRWord(b, "rr/ptr", ptrBits, 0, func(cur Word) Word {
+		isPtr := Decoder(b, cur)
+		g := make([]netlist.NetID, P)
+		for i := 0; i < P; i++ {
+			g[i] = grantFor(isPtr, i)
+		}
+		if grants == nil {
+			grants = g
+		}
+		// Next pointer: granted port + 1 (mod P), held when idle.
+		next := make(Word, ptrBits)
+		for bit := 0; bit < ptrBits; bit++ {
+			var terms []netlist.NetID
+			for i := 0; i < P; i++ {
+				if (i+1)%P>>uint(bit)&1 == 1 {
+					terms = append(terms, g[i])
+				}
+			}
+			if terms == nil {
+				next[bit] = b.Const0()
+			} else {
+				next[bit] = b.Or(terms...)
+			}
+		}
+		anyG := b.Or(g...)
+		return WordMux(b, cur, next, anyG)
+	})
+	for i := 0; i < P; i++ {
+		grantPh[i].Close(grants[i])
+	}
+	anyGrant := b.Or(grants...)
+
+	// ---- Output stage -----------------------------------------------------
+	// Binary-encode the granted port and mux the granted payload.
+	gport := make(Word, ptrBits)
+	for bit := 0; bit < ptrBits; bit++ {
+		var terms []netlist.NetID
+		for i := 0; i < P; i++ {
+			if i>>uint(bit)&1 == 1 {
+				terms = append(terms, grants[i])
+			}
+		}
+		if terms == nil {
+			gport[bit] = b.Const0()
+		} else {
+			gport[bit] = b.Or(terms...)
+		}
+	}
+	gdata := make(Word, W)
+	for bit := 0; bit < W; bit++ {
+		var terms []netlist.NetID
+		for i := 0; i < P; i++ {
+			terms = append(terms, b.And(grants[i], fifos[i].Out[bit]))
+		}
+		gdata[bit] = b.Or(terms...)
+	}
+
+	outValid := b.DFF("out/valid", anyGrant, false)
+	outData := Register(b, "out/data", gdata, anyGrant, 0)
+	outPort := Register(b, "out/port", gport, anyGrant, 0)
+
+	// ---- Grant accounting -------------------------------------------------
+	// Even ports hardened, odd ports not: structurally identical counters
+	// with opposite vulnerability.
+	gntCnt := make([]Word, P)
+	for i := 0; i < P; i++ {
+		name := fmt.Sprintf("gnt%d", i)
+		if i%2 == 0 {
+			gntCnt[i] = TMRCounter(b, name, 8, grants[i], b.Const0())
+		} else {
+			gntCnt[i] = Counter(b, name, 8, grants[i], b.Const0())
+		}
+	}
+
+	// Stream signature over (data, port): rotate left, XOR in the grant.
+	sig := StateWord(b, "out/sig", W, 1, func(cur Word) Word {
+		rot := append(append(Word{}, cur[W-1:]...), cur[:W-1]...)
+		mixed := WordXor(b, rot, gdata)
+		mixed[0] = b.Xor(mixed[0], gport[0])
+		return WordMux(b, cur, mixed, anyGrant)
+	})
+
+	// ---- Diagnostic trace buffer ------------------------------------------
+	tracePar, err := DiagTraceBuffer(b, cfg.TargetFFs, 4, b.Xor(outData[0], outValid))
+	if err != nil {
+		return nil, err
+	}
+
+	b.Output("out_valid", outValid)
+	b.OutputBus("out_data", outData)
+	b.OutputBus("out_port", outPort)
+	for i := 0; i < P; i++ {
+		b.OutputBus(fmt.Sprintf("gnt%d", i), gntCnt[i])
+		b.Output(fmt.Sprintf("qstat[%d]", i), fifos[i].Empty)
+	}
+	b.OutputBus("sig", sig)
+	b.Output("trace_par", tracePar)
+
+	nl, err := b.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("circuit: building RRArb: %w", err)
+	}
+	return nl, nil
+}

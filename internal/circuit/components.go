@@ -242,6 +242,30 @@ func ByteDelayLine(b *netlist.Builder, name string, depth int, d Word, en netlis
 	return stages
 }
 
+// DiagTraceBuffer builds the corpus DUTs' shared FF-budget padding: a live
+// shift register sampling `in` whose XOR parity is the returned net (expose
+// it through an output so trace faults stay functionally relevant). With
+// targetFFs > 0 the depth is chosen to land the builder's flip-flop count
+// exactly on targetFFs; otherwise defaultDepth is used. It fails when the
+// budget is already exceeded.
+func DiagTraceBuffer(b *netlist.Builder, targetFFs, defaultDepth int, in netlist.NetID) (netlist.NetID, error) {
+	depth := defaultDepth
+	if targetFFs > 0 {
+		remaining := targetFFs - b.FFCount()
+		if remaining < 1 {
+			return 0, fmt.Errorf("circuit: TargetFFs %d below structural minimum %d",
+				targetFFs, b.FFCount()+1)
+		}
+		depth = remaining
+	}
+	trace := ShiftRegister(b, "diag/trace", depth, in, b.Const1())
+	parity := trace[0]
+	for _, t := range trace[1:] {
+		parity = b.Xor(parity, t)
+	}
+	return parity, nil
+}
+
 // Majority returns the two-of-three majority vote of a, b, c.
 func Majority(bd *netlist.Builder, a, b, c netlist.NetID) netlist.NetID {
 	return bd.Or(bd.And(a, b), bd.And(a, c), bd.And(b, c))

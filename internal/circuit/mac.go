@@ -310,20 +310,9 @@ func NewMAC10GE(cfg MACConfig) (*netlist.Netlist, error) {
 	// A live shift register sampling the transmit line; its parity is
 	// observable through the statistics readout, so trace faults are
 	// functionally relevant.
-	traceDepth := 8
-	if cfg.TargetFFs > 0 {
-		remaining := cfg.TargetFFs - b.FFCount()
-		if remaining < 1 {
-			return nil, fmt.Errorf("circuit: TargetFFs %d below structural minimum %d",
-				cfg.TargetFFs, b.FFCount()+1)
-		}
-		traceDepth = remaining
-	}
-	traceIn := b.Xor(txgData[0], txgCtl)
-	trace := ShiftRegister(b, "diag/trace", traceDepth, traceIn, b.Const1())
-	tracePar := trace[0]
-	for _, t := range trace[1:] {
-		tracePar = b.Xor(tracePar, t)
+	tracePar, err := DiagTraceBuffer(b, cfg.TargetFFs, 8, b.Xor(txgData[0], txgCtl))
+	if err != nil {
+		return nil, err
 	}
 
 	// ---- Statistics readout ----------------------------------------------------

@@ -18,10 +18,18 @@ type RandomConfig struct {
 // RandomCircuit generates a random, valid, acyclic-combinational netlist.
 // Gates read only previously created nets, which guarantees a combinational
 // DAG; flip-flop D pins may read any net, producing realistic sequential
-// feedback. The same seed yields the same circuit.
+// feedback.
+//
+// Determinism contract (required of every corpus generator): all randomness
+// flows from the explicit seed through a single rand.Source — no global
+// rand, no time, no map iteration — so the same (cfg, seed) pair always
+// produces a Fingerprint-identical netlist. Campaign results, golden traces
+// and saved model artifacts for a corpus scenario are only comparable across
+// runs and machines because of this property; a regression test pins it.
 //
 // Property tests use these circuits to cross-check the two simulation
-// engines on arbitrary structures.
+// engines on arbitrary structures, and the corpus exposes them as the
+// "random" DUT family.
 func RandomCircuit(cfg RandomConfig, seed int64) (*netlist.Netlist, error) {
 	rng := rand.New(rand.NewSource(seed))
 	b := netlist.NewBuilder(fmt.Sprintf("random_%d", seed))

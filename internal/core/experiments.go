@@ -249,8 +249,8 @@ func (s *Study) InjectionBudgetAblation(budgets []int, spec ModelSpec, nSplits i
 	X := s.FeatureRows()
 	out := make([]BudgetPoint, 0, len(budgets))
 	for _, budget := range budgets {
-		plan := fault.NewPlan(s.NumFFs(), budget, s.Bench.ActiveCycles, s.Config.CampaignSeed+int64(budget))
-		res, err := fault.RunJobs(s.Program, s.Bench.Stim, s.Bench.Monitors, s.classifier, s.golden, plan, s.Config.Workers)
+		plan := fault.NewPlan(s.NumFFs(), budget, s.activeCycles, s.Config.CampaignSeed+int64(budget))
+		res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier, s.golden, plan, s.Config.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("core: budget %d campaign: %w", budget, err)
 		}

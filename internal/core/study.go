@@ -72,20 +72,35 @@ func DefaultStudyConfig() StudyConfig {
 // Study is a materialized experiment context: the synthesized netlist, its
 // compiled simulation program, the testbench, extracted features, and —
 // after RunGroundTruth — the per-flip-flop FDR reference.
+//
+// Two constructors produce studies: NewStudy builds the paper's MAC
+// loopback flow (Bench is then the compiled MAC testbench), and
+// NewCorpusStudy materializes any registered corpus scenario (Bench is nil;
+// the workload is reachable through Stim/Monitors/ActiveCycles). Every
+// method works identically on both.
 type Study struct {
 	Config   StudyConfig
 	Netlist  *netlist.Netlist
 	Program  *sim.Program
-	Bench    *circuit.MACBench
+	Bench    *circuit.MACBench // MAC studies only; nil for corpus studies
 	Activity *sim.Activity
 	Features *features.Matrix
+
+	// CircuitName and WorkloadName tag the scenario this study measures
+	// ("mac10ge"/"loopback" for NewStudy); they flow into saved model
+	// artifacts so the prediction service can tell models apart.
+	CircuitName  string
+	WorkloadName string
 
 	// Ground truth, populated by RunGroundTruth.
 	Campaign *fault.Result
 
-	classifier *fault.MACClassifier
-	golden     *sim.Trace
-	runner     *fault.Runner
+	classifier   fault.Classifier
+	golden       *sim.Trace
+	runner       *fault.Runner
+	stim         *sim.Stimulus
+	monitors     []int
+	activeCycles int
 }
 
 // NewStudy builds the device, synthesizes it, compiles the simulator,
@@ -126,11 +141,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	}
 
 	classifier := fault.NewMACClassifier(bench, cfg.CheckStats)
-	chunkJobs := cfg.ChunkJobs
-	if cfg.Shards > 0 {
-		total := p.NumFFs() * cfg.InjectionsPerFF
-		chunkJobs = (total + cfg.Shards - 1) / cfg.Shards
-	}
+	chunkJobs := chunkJobsFor(p.NumFFs()*cfg.InjectionsPerFF, cfg.Shards, cfg.ChunkJobs)
 	// The ground-truth runner reuses the study's golden trace across all
 	// shards and calls instead of re-simulating it per campaign.
 	runner, err := fault.NewRunner(p, bench.Stim, bench.Monitors, classifier, fault.RunnerConfig{
@@ -147,20 +158,50 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	}
 
 	return &Study{
-		Config:     cfg,
-		Netlist:    nl,
-		Program:    p,
-		Bench:      bench,
-		Activity:   act,
-		Features:   fm,
-		classifier: classifier,
-		golden:     golden,
-		runner:     runner,
+		Config:       cfg,
+		Netlist:      nl,
+		Program:      p,
+		Bench:        bench,
+		Activity:     act,
+		Features:     fm,
+		CircuitName:  "mac10ge",
+		WorkloadName: "loopback",
+		classifier:   classifier,
+		golden:       golden,
+		runner:       runner,
+		stim:         bench.Stim,
+		monitors:     bench.Monitors,
+		activeCycles: bench.ActiveCycles,
 	}, nil
+}
+
+// chunkJobsFor derives the runner chunk size: a requested shard count
+// splits the full plan into about that many equal chunks (rounded up to
+// whole 64-lane batches by the runner); otherwise the explicit chunk size
+// passes through. Both study constructors share this policy so the same
+// -shards flag shards MAC and corpus campaigns identically.
+func chunkJobsFor(totalJobs, shards, chunkJobs int) int {
+	if shards > 0 {
+		return (totalJobs + shards - 1) / shards
+	}
+	return chunkJobs
 }
 
 // NumFFs returns the number of flip-flops under study.
 func (s *Study) NumFFs() int { return s.Program.NumFFs() }
+
+// ScenarioID returns the "circuit/workload" tag of the study.
+func (s *Study) ScenarioID() string { return s.CircuitName + "/" + s.WorkloadName }
+
+// Stim returns the workload stimulus.
+func (s *Study) Stim() *sim.Stimulus { return s.stim }
+
+// ActiveCycles returns the injection window [0, ActiveCycles).
+func (s *Study) ActiveCycles() int { return s.activeCycles }
+
+// GoldenTrace returns the fault-free reference trace every campaign of this
+// study classifies against.
+func (s *Study) GoldenTrace() *sim.Trace { return s.golden }
 
 // RunGroundTruth executes the paper's full flat statistical fault-injection
 // campaign (Section IV-A) on the sharded runner and stores the resulting
@@ -180,11 +221,11 @@ func (s *Study) RunGroundTruthContext(ctx context.Context) (*fault.Result, error
 	}
 	cfg := fault.CampaignConfig{
 		InjectionsPerFF: s.Config.InjectionsPerFF,
-		ActiveCycles:    s.Bench.ActiveCycles,
+		ActiveCycles:    s.activeCycles,
 		Seed:            s.Config.CampaignSeed,
 		Workers:         s.Config.Workers,
 	}
-	if err := cfg.Validate(s.Bench.Stim.Cycles()); err != nil {
+	if err := cfg.Validate(s.stim.Cycles()); err != nil {
 		return nil, fmt.Errorf("core: ground-truth campaign: %w", err)
 	}
 	jobs := fault.NewPlan(s.NumFFs(), cfg.InjectionsPerFF, cfg.ActiveCycles, cfg.Seed)
@@ -203,7 +244,7 @@ func (s *Study) RunGroundTruthContext(ctx context.Context) (*fault.Result, error
 // golden trace.
 func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
 	plan := make([]fault.Job, 0, len(ffs)*s.Config.InjectionsPerFF)
-	full := fault.NewPlan(s.NumFFs(), s.Config.InjectionsPerFF, s.Bench.ActiveCycles, s.Config.CampaignSeed)
+	full := fault.NewPlan(s.NumFFs(), s.Config.InjectionsPerFF, s.activeCycles, s.Config.CampaignSeed)
 	want := make(map[int]bool, len(ffs))
 	for _, ff := range ffs {
 		want[ff] = true
@@ -213,7 +254,7 @@ func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
 			plan = append(plan, j)
 		}
 	}
-	res, err := fault.RunJobs(s.Program, s.Bench.Stim, s.Bench.Monitors, s.classifier,
+	res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier,
 		s.golden, plan, s.Config.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: partial campaign: %w", err)

@@ -1,0 +1,86 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/features"
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// Materialized is a scenario carried through the front half of the Fig. 1
+// flow: generated and synthesized netlist, compiled simulator, compiled
+// workload, golden trace with activity, and the extracted per-flip-flop
+// feature matrix. It holds everything a fault campaign or a study needs;
+// the golden trace is computed once here and reused by every downstream
+// consumer (runner shards, classifiers, feature extraction).
+type Materialized struct {
+	Scenario Scenario
+	Scale    Scale
+	Seed     int64
+
+	Netlist  *netlist.Netlist
+	Program  *sim.Program
+	Bench    *Bench
+	Golden   *sim.Trace
+	Activity *sim.Activity
+	Features *features.Matrix
+}
+
+// Materialize runs generate → synthesize → compile → build workload →
+// golden simulation (collecting activity) → feature extraction for the
+// scenario. The result is deterministic in (scenario, scale, seed).
+func (s Scenario) Materialize(scale Scale, seed int64) (*Materialized, error) {
+	nl, err := s.Entry.Generate(scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: generating %s: %w", s.ID(), err)
+	}
+	if err := circuit.Synthesize(nl); err != nil {
+		return nil, fmt.Errorf("corpus: synthesizing %s: %w", s.ID(), err)
+	}
+	p, err := sim.Compile(nl)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: compiling %s: %w", s.ID(), err)
+	}
+	bench, err := s.Workload.Build(p, scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: building workload %s: %w", s.ID(), err)
+	}
+	if bench.Classifier == nil {
+		return nil, fmt.Errorf("corpus: workload %s built a bench without a classifier", s.ID())
+	}
+	if bench.ActiveCycles < 1 || bench.ActiveCycles > bench.Stim.Cycles() {
+		return nil, fmt.Errorf("corpus: workload %s has injection window %d of %d cycles",
+			s.ID(), bench.ActiveCycles, bench.Stim.Cycles())
+	}
+
+	engine := sim.NewEngine(p)
+	golden, act := sim.Run(engine, bench.Stim, sim.RunConfig{
+		Monitors:        bench.Monitors,
+		CollectActivity: true,
+	})
+
+	ex, err := features.NewExtractor(nl)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: feature extraction for %s: %w", s.ID(), err)
+	}
+	fm, err := ex.Extract(act)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: feature extraction for %s: %w", s.ID(), err)
+	}
+	return &Materialized{
+		Scenario: s,
+		Scale:    scale,
+		Seed:     seed,
+		Netlist:  nl,
+		Program:  p,
+		Bench:    bench,
+		Golden:   golden,
+		Activity: act,
+		Features: fm,
+	}, nil
+}
+
+// NumFFs returns the flip-flop count of the materialized DUT.
+func (m *Materialized) NumFFs() int { return m.Program.NumFFs() }

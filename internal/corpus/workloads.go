@@ -1,0 +1,225 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// xorshift64 is the deterministic stimulus generator shared by the corpus
+// workloads; all workload randomness flows from the scenario seed through
+// one of these, never from global rand.
+type xorshift64 uint64
+
+func (x *xorshift64) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift64(v)
+	return v
+}
+
+// chance returns true with probability num/den.
+func (x *xorshift64) chance(num, den uint64) bool { return x.next()%den < num }
+
+// allOutputs lists every output port index of p — the monitor set of the
+// exact-compare scenarios.
+func allOutputs(p *sim.Program) []int {
+	out := make([]int, p.NumOutputs())
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// exactBench assembles the common corpus bench shape: every output
+// monitored, injections during [0, active), failures judged by exact
+// golden comparison over the whole run.
+func exactBench(stim *sim.Stimulus, p *sim.Program, active int) *Bench {
+	return &Bench{
+		Stim:         stim,
+		Monitors:     allOutputs(p),
+		ActiveCycles: active,
+		Classifier:   &fault.ExactClassifier{},
+	}
+}
+
+// ---- ALU workloads --------------------------------------------------------
+
+// aluOps drives the ALU pipeline with randomized operations: ~75 % valid
+// duty cycle, uniform opcodes and operands, then a short drain.
+func aluOps(p *sim.Program, width, ops int, seed int64) (*Bench, error) {
+	rng := xorshift64(uint64(seed)*2654435761 | 1)
+	const drain = 8
+	cycles := ops + drain
+	stim := sim.NewStimulus(cycles)
+
+	valid, err := p.InputIndex("in_valid")
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.InputBusIndices("op", 3)
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.InputBusIndices("a", width)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.InputBusIndices("b", width)
+	if err != nil {
+		return nil, err
+	}
+	setValid := stim.DrivePort(valid)
+	setOp := stim.DriveBus(op)
+	setA := stim.DriveBus(a)
+	setB := stim.DriveBus(b)
+
+	mask := uint64(1)<<uint(width) - 1
+	for c := 0; c < ops; c++ {
+		setValid(c, rng.chance(3, 4))
+		setOp(c, rng.next()%8)
+		setA(c, rng.next()&mask)
+		setB(c, rng.next()&mask)
+	}
+	return exactBench(stim, p, ops), nil
+}
+
+// aluStream drives back-to-back accumulating traffic: valid every cycle,
+// cycling opcodes, ramping operands — the all-lanes-busy profile.
+func aluStream(p *sim.Program, width, ops int, seed int64) (*Bench, error) {
+	rng := xorshift64(uint64(seed)*0x9E3779B9 | 1)
+	const drain = 8
+	cycles := ops + drain
+	stim := sim.NewStimulus(cycles)
+
+	valid, err := p.InputIndex("in_valid")
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.InputBusIndices("op", 3)
+	if err != nil {
+		return nil, err
+	}
+	a, err := p.InputBusIndices("a", width)
+	if err != nil {
+		return nil, err
+	}
+	b, err := p.InputBusIndices("b", width)
+	if err != nil {
+		return nil, err
+	}
+	setValid := stim.DrivePort(valid)
+	setOp := stim.DriveBus(op)
+	setA := stim.DriveBus(a)
+	setB := stim.DriveBus(b)
+
+	mask := uint64(1)<<uint(width) - 1
+	for c := 0; c < ops; c++ {
+		setValid(c, true)
+		setOp(c, uint64(c)%8)
+		setA(c, uint64(c)&mask)
+		setB(c, rng.next()&mask)
+	}
+	return exactBench(stim, p, ops), nil
+}
+
+// ---- Arbiter workloads ----------------------------------------------------
+
+// arbTraffic drives the switch slice with per-port request probabilities
+// prob[i]/16 and random payloads.
+func arbTraffic(p *sim.Program, ports, dataWidth, cycles int, prob []uint64, seed int64) (*Bench, error) {
+	rng := xorshift64(uint64(seed)*0x85EBCA6B | 1)
+	const drain = 48
+	stim := sim.NewStimulus(cycles + drain)
+
+	setReq := make([]func(int, bool), ports)
+	for i := 0; i < ports; i++ {
+		idx, err := p.InputIndex(fmt.Sprintf("req[%d]", i))
+		if err != nil {
+			return nil, err
+		}
+		setReq[i] = stim.DrivePort(idx)
+	}
+	data, err := p.InputBusIndices("data", dataWidth)
+	if err != nil {
+		return nil, err
+	}
+	setData := stim.DriveBus(data)
+
+	mask := uint64(1)<<uint(dataWidth) - 1
+	for c := 0; c < cycles; c++ {
+		for i := 0; i < ports; i++ {
+			setReq[i](c, rng.chance(prob[i], 16))
+		}
+		setData(c, rng.next()&mask)
+	}
+	return exactBench(stim, p, cycles), nil
+}
+
+// ---- UART workloads -------------------------------------------------------
+
+// uartBytes drives the serializer with one byte every `interval` cycles.
+func uartBytes(p *sim.Program, nBytes, interval, tail int, seed int64) (*Bench, error) {
+	rng := xorshift64(uint64(seed)*0xC2B2AE35 | 1)
+	cycles := nBytes*interval + tail
+	stim := sim.NewStimulus(cycles)
+
+	wr, err := p.InputIndex("wr")
+	if err != nil {
+		return nil, err
+	}
+	data, err := p.InputBusIndices("data", 8)
+	if err != nil {
+		return nil, err
+	}
+	setWr := stim.DrivePort(wr)
+	setData := stim.DriveBus(data)
+	for k := 0; k < nBytes; k++ {
+		c := k * interval
+		setWr(c, true)
+		setData(c, rng.next()&0xFF)
+	}
+	return exactBench(stim, p, cycles-tail/2), nil
+}
+
+// uartBurst pushes a burst of back-to-back bytes (saturating the FIFO),
+// then lets the line drain — the store-and-forward stress profile.
+func uartBurst(p *sim.Program, burst, drainCycles int, seed int64) (*Bench, error) {
+	rng := xorshift64(uint64(seed)*0x27D4EB2F | 1)
+	cycles := burst + drainCycles
+	stim := sim.NewStimulus(cycles)
+
+	wr, err := p.InputIndex("wr")
+	if err != nil {
+		return nil, err
+	}
+	data, err := p.InputBusIndices("data", 8)
+	if err != nil {
+		return nil, err
+	}
+	setWr := stim.DrivePort(wr)
+	setData := stim.DriveBus(data)
+	for c := 0; c < burst; c++ {
+		setWr(c, true)
+		setData(c, rng.next()&0xFF)
+	}
+	return exactBench(stim, p, cycles-drainCycles/2), nil
+}
+
+// ---- Random-circuit workload ----------------------------------------------
+
+// randomNoise toggles every primary input randomly each cycle.
+func randomNoise(p *sim.Program, cycles int, seed int64) (*Bench, error) {
+	rng := xorshift64(uint64(seed)*0x165667B1 | 1)
+	stim := sim.NewStimulus(cycles)
+	for i := 0; i < p.NumInputs(); i++ {
+		set := stim.DrivePort(i)
+		for c := 0; c < cycles; c++ {
+			set(c, rng.chance(1, 2))
+		}
+	}
+	return exactBench(stim, p, cycles), nil
+}

@@ -10,6 +10,42 @@ import (
 	"repro/internal/sim"
 )
 
+// ExactClassifier is the generic applicative failure criterion used by the
+// non-MAC corpus circuits: a lane fails when any monitored output word
+// differs from the golden run at any cycle of the check window
+// [CheckFrom, cycles). CheckFrom lets a scenario ignore a settle prefix
+// (e.g. pipeline fill); 0 checks the whole run.
+//
+// Unlike MACClassifier it has no notion of frame reconstruction, so a pure
+// latency shift counts as a failure — the right criterion for circuits whose
+// outputs are continuously meaningful (datapath results, grant vectors,
+// serial lines).
+type ExactClassifier struct {
+	// CheckFrom is the first checked cycle.
+	CheckFrom int
+}
+
+// ConfigFingerprint implements ConfigFingerprinter.
+func (e *ExactClassifier) ConfigFingerprint() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "exact-classifier/from=%d", e.CheckFrom)
+	return h.Sum64()
+}
+
+// FailingLanes implements Classifier: XOR of the packed monitor words flags
+// every divergent lane directly (the golden trace is lane-uniform).
+func (e *ExactClassifier) FailingLanes(golden, faulty *sim.Trace, used uint64) uint64 {
+	var diff uint64
+	cycles := golden.Cycles()
+	nm := len(golden.Monitors)
+	for c := e.CheckFrom; c < cycles; c++ {
+		for w := 0; w < nm; w++ {
+			diff |= golden.Word(c, w) ^ faulty.Word(c, w)
+		}
+	}
+	return diff & used
+}
+
 // MACClassifier implements the paper's applicative failure criterion for the
 // MAC loopback testbench: "the simulation run was considered a functional
 // failure when the final received packages contained payload corruption or

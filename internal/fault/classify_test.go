@@ -159,3 +159,55 @@ func TestMACClassifierCheckStatsWidens(t *testing.T) {
 		t.Fatalf("lanes %#x fail without stats but pass with stats", noStats&^withStats)
 	}
 }
+
+// ExactClassifier: a clean trace never fails, any monitored divergence in
+// the check window fails, divergence before CheckFrom is ignored, and the
+// used mask gates the result.
+func TestExactClassifier(t *testing.T) {
+	golden := goldenTrace(t)
+	faulty, _ := faultyTrace(t, 8)
+	cls := &fault.ExactClassifier{}
+
+	for _, used := range []uint64{0, 1, ^uint64(0)} {
+		if got := cls.FailingLanes(golden, golden, used); got != 0 {
+			t.Fatalf("used=%#x: golden classified failing: %#x", used, got)
+		}
+	}
+	all := cls.FailingLanes(golden, faulty, ^uint64(0))
+	if all == 0 {
+		t.Fatal("fixture produced no divergent lanes; classifier untestable")
+	}
+	for _, used := range []uint64{1, 0xffff, 0xaaaaaaaaaaaaaaaa} {
+		if got := cls.FailingLanes(golden, faulty, used); got != all&used {
+			t.Fatalf("used=%#x: failing = %#x, want %#x", used, got, all&used)
+		}
+	}
+	// A window starting past the end of the trace sees no divergence.
+	late := &fault.ExactClassifier{CheckFrom: golden.Cycles()}
+	if got := late.FailingLanes(golden, faulty, ^uint64(0)); got != 0 {
+		t.Fatalf("empty check window still fails lanes %#x", got)
+	}
+	// Exact classification is at least as strict as the MAC criterion: the
+	// exact mask must cover every applicatively failing lane.
+	_, bench := smallMAC(t)
+	mac := fault.NewMACClassifier(bench, true).FailingLanes(golden, faulty, ^uint64(0))
+	if mac&^all != 0 {
+		t.Fatalf("lanes %#x fail applicatively but match golden exactly", mac&^all)
+	}
+}
+
+// The exact-classifier fingerprint must distinguish check windows and be
+// stable across instances.
+func TestExactClassifierConfigFingerprint(t *testing.T) {
+	a := &fault.ExactClassifier{CheckFrom: 0}
+	b := &fault.ExactClassifier{CheckFrom: 10}
+	if a.ConfigFingerprint() == b.ConfigFingerprint() {
+		t.Fatal("check windows share a fingerprint")
+	}
+	if a.ConfigFingerprint() != (&fault.ExactClassifier{}).ConfigFingerprint() {
+		t.Fatal("fingerprint not stable across instances")
+	}
+	if a.ConfigFingerprint() == 0 || b.ConfigFingerprint() == 0 {
+		t.Fatal("fingerprint must be nonzero")
+	}
+}

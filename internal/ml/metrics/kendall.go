@@ -1,0 +1,41 @@
+package metrics
+
+import "math"
+
+// KendallTau is the Kendall rank correlation coefficient in its tau-b form,
+// which corrects for ties on either side. It measures how well a prediction
+// preserves the *ordering* of the truth — the quantity that matters when an
+// FDR model is used to rank flip-flops for selective hardening, where exact
+// magnitudes transfer poorly across circuits but rankings can survive.
+//
+// Range [-1, 1]; 1 is perfect concordance. When one side is constant
+// (no rank information) the coefficient is 0.
+func KendallTau(y, yhat []float64) float64 {
+	check(y, yhat)
+	n := len(y)
+	var concordant, discordant, tiesY, tiesYhat float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dy := y[i] - y[j]
+			dp := yhat[i] - yhat[j]
+			switch {
+			case dy == 0 && dp == 0:
+				// Tied on both sides: contributes to neither.
+			case dy == 0:
+				tiesY++
+			case dp == 0:
+				tiesYhat++
+			case (dy > 0) == (dp > 0):
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denomY := concordant + discordant + tiesY
+	denomP := concordant + discordant + tiesYhat
+	if denomY == 0 || denomP == 0 {
+		return 0
+	}
+	return (concordant - discordant) / math.Sqrt(denomY*denomP)
+}

@@ -1,0 +1,50 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestKendallTauPerfectOrders(t *testing.T) {
+	y := []float64{0.1, 0.2, 0.3, 0.4}
+	if got := KendallTau(y, []float64{1, 2, 3, 4}); !almostEq(got, 1) {
+		t.Errorf("concordant tau = %v, want 1", got)
+	}
+	if got := KendallTau(y, []float64{4, 3, 2, 1}); !almostEq(got, -1) {
+		t.Errorf("reversed tau = %v, want -1", got)
+	}
+}
+
+func TestKendallTauConstantSide(t *testing.T) {
+	y := []float64{1, 2, 3}
+	if got := KendallTau(y, []float64{5, 5, 5}); got != 0 {
+		t.Errorf("constant prediction tau = %v, want 0", got)
+	}
+	if got := KendallTau([]float64{7, 7, 7}, y); got != 0 {
+		t.Errorf("constant truth tau = %v, want 0", got)
+	}
+}
+
+func TestKendallTauTieCorrection(t *testing.T) {
+	// y: one tie (pairs: 6 total, 1 tied in y). yhat strictly increasing.
+	y := []float64{1, 1, 2, 3}
+	yhat := []float64{1, 2, 3, 4}
+	// Pairs: (0,1) tie in y; the other 5 concordant.
+	// tau-b = 5 / sqrt((5+0+1)*(5+0+0)) = 5/sqrt(30)
+	want := 5 / math.Sqrt(30)
+	if got := KendallTau(y, yhat); !almostEq(got, want) {
+		t.Errorf("tau-b = %v, want %v", got, want)
+	}
+}
+
+func TestKendallTauMixed(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	yhat := []float64{1, 3, 2, 4}
+	// 5 concordant, 1 discordant → (5-1)/6
+	want := 4.0 / 6.0
+	if got := KendallTau(y, yhat); !almostEq(got, want) {
+		t.Errorf("tau = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,59 @@
+package netlist
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Fingerprint returns a stable 64-bit digest of the netlist structure: the
+// design name, every net (name and driver), every cell (name, type, drive,
+// pin connectivity and initial state) and the port bindings, all in
+// definition order. Two netlists fingerprint equal iff a generator produced
+// them identically, which lets the circuit corpus pin generator determinism
+// ("same config and seed → the same circuit") without storing golden
+// netlist files.
+func (n *Netlist) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeInt := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeInt(int64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeStr(n.Name)
+	writeInt(int64(len(n.Nets)))
+	for i := range n.Nets {
+		writeStr(n.Nets[i].Name)
+		writeInt(int64(n.Nets[i].Driver))
+	}
+	writeInt(int64(len(n.Cells)))
+	for i := range n.Cells {
+		c := &n.Cells[i]
+		writeStr(c.Name)
+		writeStr(c.Type.Name)
+		writeInt(int64(c.Type.Drive))
+		writeInt(int64(len(c.Inputs)))
+		for _, in := range c.Inputs {
+			writeInt(int64(in))
+		}
+		writeInt(int64(c.Output))
+		if c.Init {
+			writeInt(1)
+		} else {
+			writeInt(0)
+		}
+	}
+	writeInt(int64(len(n.Inputs)))
+	for _, in := range n.Inputs {
+		writeInt(int64(in))
+	}
+	writeInt(int64(len(n.Outputs)))
+	for i, out := range n.Outputs {
+		writeStr(n.OutputNames[i])
+		writeInt(int64(out))
+	}
+	return h.Sum64()
+}

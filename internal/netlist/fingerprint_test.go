@@ -1,0 +1,58 @@
+package netlist
+
+import "testing"
+
+// buildFPFixture assembles a tiny two-FF circuit via the Builder.
+func buildFPFixture(t *testing.T, name string, inv bool) *Netlist {
+	t.Helper()
+	b := NewBuilder(name)
+	in := b.Input("in")
+	q1, set1 := b.DFFDecl("q1", false)
+	q2, set2 := b.DFFDecl("q2", true)
+	x := b.And(in, q2)
+	if inv {
+		x = b.Not(x)
+	}
+	set1(x)
+	set2(q1)
+	b.Output("out", q1)
+	nl, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return nl
+}
+
+func TestFingerprintStableAndDiscriminating(t *testing.T) {
+	a := buildFPFixture(t, "fp", false)
+	b := buildFPFixture(t, "fp", false)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical constructions fingerprint differently")
+	}
+	if a.Fingerprint() != a.Fingerprint() {
+		t.Fatal("fingerprint not idempotent")
+	}
+	if a.Fingerprint() == 0 {
+		t.Fatal("fingerprint is zero")
+	}
+	if got := buildFPFixture(t, "fp2", false).Fingerprint(); got == a.Fingerprint() {
+		t.Fatal("renamed design shares a fingerprint")
+	}
+	if got := buildFPFixture(t, "fp", true).Fingerprint(); got == a.Fingerprint() {
+		t.Fatal("structurally different design shares a fingerprint")
+	}
+}
+
+func TestFingerprintSensitiveToInit(t *testing.T) {
+	a := buildFPFixture(t, "fp", false)
+	b := buildFPFixture(t, "fp", false)
+	for ci := range b.Cells {
+		if b.Cells[ci].Type.IsSequential() {
+			b.Cells[ci].Init = !b.Cells[ci].Init
+			break
+		}
+	}
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("flipping a reset value did not change the fingerprint")
+	}
+}

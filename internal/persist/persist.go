@@ -64,6 +64,12 @@ type Artifact struct {
 	// FeatureNames is the ordered feature schema (features.Names() for
 	// study-trained models); prediction inputs must match its width.
 	FeatureNames []string
+	// Circuit and Workload tag the corpus scenario whose campaign trained
+	// this model ("mac10ge"/"loopback" for the paper's flow); empty on
+	// artifacts from before the corpus existed. The prediction service
+	// surfaces them so multi-scenario deployments can tell models apart.
+	Circuit  string
+	Workload string
 	// TrainRows is the number of training rows.
 	TrainRows int
 	// TrainHash fingerprints the training data (see DataFingerprint).
@@ -132,12 +138,16 @@ func DataFingerprint(X [][]float64, y []float64) uint64 {
 	return h.Sum64()
 }
 
-// artifactHeader is the JSON first line of an artifact file.
+// artifactHeader is the JSON first line of an artifact file. Circuit and
+// Workload are additive optional fields: version-1 artifacts written before
+// the corpus load cleanly with empty tags.
 type artifactHeader struct {
 	Magic     string             `json:"magic"`
 	Version   int                `json:"version"`
 	Name      string             `json:"name"`
 	Kind      string             `json:"kind"`
+	Circuit   string             `json:"circuit,omitempty"`
+	Workload  string             `json:"workload,omitempty"`
 	Features  []string           `json:"features"`
 	TrainRows int                `json:"train_rows"`
 	TrainHash string             `json:"train_hash"`
@@ -191,6 +201,8 @@ func Save(path string, a *Artifact) (err error) {
 		Version:   ArtifactVersion,
 		Name:      a.Name,
 		Kind:      a.Kind,
+		Circuit:   a.Circuit,
+		Workload:  a.Workload,
 		Features:  a.FeatureNames,
 		TrainRows: a.TrainRows,
 		TrainHash: strconv.FormatUint(a.TrainHash, 16),
@@ -278,6 +290,8 @@ func Load(path string) (*Artifact, error) {
 	return &Artifact{
 		Name:         hdr.Name,
 		Kind:         hdr.Kind,
+		Circuit:      hdr.Circuit,
+		Workload:     hdr.Workload,
 		FeatureNames: hdr.Features,
 		TrainRows:    hdr.TrainRows,
 		TrainHash:    trainHash,

@@ -266,3 +266,48 @@ func TestCheckVector(t *testing.T) {
 		t.Errorf("error %q does not state both widths", err)
 	}
 }
+
+// Scenario tags (circuit/workload) must round-trip through the header, and
+// their absence must load as empty strings (pre-corpus artifacts).
+func TestScenarioTagsRoundTrip(t *testing.T) {
+	study := smallStudy(t)
+	X := study.FeatureRows()
+	y, err := study.FDR()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := core.PaperModels()[1]
+	model := spec.Factory()
+	if err := model.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	art := persist.New(spec.Name, model, features.Names())
+	art.Circuit = study.CircuitName
+	art.Workload = study.WorkloadName
+	path := filepath.Join(t.TempDir(), "tagged.ffrm")
+	if err := persist.Save(path, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := persist.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Circuit != "mac10ge" || got.Workload != "loopback" {
+		t.Fatalf("tags round-tripped as %q/%q, want mac10ge/loopback", got.Circuit, got.Workload)
+	}
+
+	// Untagged artifacts (the pre-corpus format) stay loadable with empty
+	// tags.
+	art2 := persist.New(spec.Name, model, features.Names())
+	path2 := filepath.Join(t.TempDir(), "untagged.ffrm")
+	if err := persist.Save(path2, art2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := persist.Load(path2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Circuit != "" || got2.Workload != "" {
+		t.Fatalf("untagged artifact loaded with tags %q/%q", got2.Circuit, got2.Workload)
+	}
+}

@@ -123,9 +123,14 @@ func (s *Server) lookup(name string) (*persist.Artifact, bool) {
 }
 
 // ModelInfo is one /v1/models entry: the artifact header, minus the model.
+// Circuit and Workload identify the corpus scenario the model was trained
+// on, letting clients of a multi-scenario deployment route predictions to
+// the right model.
 type ModelInfo struct {
 	Name        string             `json:"name"`
 	Kind        string             `json:"kind"`
+	Circuit     string             `json:"circuit,omitempty"`
+	Workload    string             `json:"workload,omitempty"`
 	NumFeatures int                `json:"num_features"`
 	Features    []string           `json:"features"`
 	TrainRows   int                `json:"train_rows"`
@@ -144,6 +149,8 @@ func (s *Server) Models() []ModelInfo {
 		out = append(out, ModelInfo{
 			Name:        a.Name,
 			Kind:        a.Kind,
+			Circuit:     a.Circuit,
+			Workload:    a.Workload,
 			NumFeatures: a.NumFeatures(),
 			Features:    a.FeatureNames,
 			TrainRows:   a.TrainRows,

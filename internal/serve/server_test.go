@@ -365,3 +365,45 @@ func TestLRUCache(t *testing.T) {
 		t.Fatal("cache key ignores model name")
 	}
 }
+
+// Scenario tags on loaded artifacts must surface in /v1/models so clients
+// of a multi-scenario deployment can route predictions.
+func TestModelsEndpointScenarioTags(t *testing.T) {
+	s := New(Config{})
+	tagged := syntheticArtifact(t, "k-NN", knn.New(3, knn.Manhattan))
+	tagged.Circuit = "alupipe"
+	tagged.Workload = "randomops"
+	if err := s.Add(tagged); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(syntheticArtifact(t, "untagged", knn.New(3, knn.Manhattan))); err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/models", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Models[0].Circuit != "alupipe" || resp.Models[0].Workload != "randomops" {
+		t.Fatalf("tags listed as %q/%q", resp.Models[0].Circuit, resp.Models[0].Workload)
+	}
+	if resp.Models[1].Circuit != "" || resp.Models[1].Workload != "" {
+		t.Fatalf("untagged model listed with tags %q/%q", resp.Models[1].Circuit, resp.Models[1].Workload)
+	}
+	// The raw JSON must omit the tag keys for untagged models (additive,
+	// backward-compatible schema).
+	body := rec.Body.String()
+	if !strings.Contains(body, `"circuit":"alupipe"`) {
+		t.Fatalf("tagged circuit missing from JSON: %s", body)
+	}
+	if strings.Count(body, `"circuit"`) != 1 {
+		t.Fatalf("untagged model serialized a circuit key: %s", body)
+	}
+}
