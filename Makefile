@@ -13,7 +13,10 @@ SMOKE_INJECTIONS ?= 2
 # A 25-zero feature vector (features.NumFeatures wide) for the smoke predict.
 SMOKE_VECTOR := [0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]
 
-.PHONY: all build examples test race lint bench serve-smoke corpus-smoke
+# Campaign-benchmark baseline file (see bench-baseline).
+BENCH_FILE ?= BENCH_4.json
+
+.PHONY: all build examples test race lint bench bench-baseline serve-smoke corpus-smoke
 
 all: lint build examples test
 
@@ -36,8 +39,28 @@ lint:
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# BENCH_SKIP optionally excludes benchmarks by regex (go test -skip); CI
+# uses it to avoid re-running the campaign benchmarks that bench-baseline
+# records right after.
 bench:
-	FFR_INJECTIONS=$(FFR_INJECTIONS) $(GO) test -bench=. -benchtime=1x -run='^$$' .
+	FFR_INJECTIONS=$(FFR_INJECTIONS) $(GO) test -bench=. $(if $(BENCH_SKIP),-skip='$(BENCH_SKIP)') -benchtime=1x -run='^$$' .
+
+# Record the campaign benchmarks (the perf trajectory of the incremental
+# engine) to $(BENCH_FILE) as `go test -json` events. The benchstat-
+# compatible benchmark text is embedded in the Output events; extract it
+# with:
+#
+#	jq -r 'select(.Action=="output").Output' BENCH_4.json | benchstat /dev/stdin
+#
+# Compare against the naive path by re-running with FFR_NAIVE=1 and a
+# different BENCH_FILE.
+bench-baseline:
+	FFR_INJECTIONS=$(FFR_INJECTIONS) $(GO) test -json \
+		-bench='BenchmarkFlatInjectionCampaign|BenchmarkCorpusSweep' \
+		-benchtime=1x -run='^$$' . > $(BENCH_FILE)
+	@grep -F '"Output":"Benchmark' $(BENCH_FILE) >/dev/null || \
+		{ echo "no benchmark results recorded in $(BENCH_FILE)"; exit 1; }
+	@echo "recorded campaign benchmarks to $(BENCH_FILE)"
 
 # End-to-end service smoke: train a tiny k-NN artifact, serve it, and
 # assert /healthz and one /v1/predict both return 200.

@@ -82,6 +82,21 @@ func BenchmarkFlatInjectionCampaign(b *testing.B) {
 		if i == 0 {
 			b.ReportMetric(float64(part.TotalRuns), "injections/op")
 			b.ReportMetric(float64(res.Chunks), "groundtruth_chunks")
+			// The incremental-engine headline: engine cycles actually
+			// simulated versus what naive full replay would have cost
+			// (FFR_NAIVE=1 runs the naive path, where the two are equal).
+			// gt_* covers the Section IV-A ground-truth campaign itself —
+			// the 1054 FFs × FFR_INJECTIONS cost center — sim_cycles/op
+			// the benchmarked partial campaign.
+			b.ReportMetric(float64(part.SimulatedCycles), "sim_cycles/op")
+			b.ReportMetric(float64(part.ReplayCycles), "replay_cycles/op")
+			if part.SimulatedCycles > 0 {
+				b.ReportMetric(float64(part.ReplayCycles)/float64(part.SimulatedCycles), "cycle_speedup")
+			}
+			if res.SimulatedCycles > 0 {
+				b.ReportMetric(float64(res.SimulatedCycles), "gt_sim_cycles")
+				b.ReportMetric(float64(res.ReplayCycles)/float64(res.SimulatedCycles), "gt_cycle_speedup")
+			}
 		}
 	}
 }
@@ -357,11 +372,13 @@ func BenchmarkCorpusSweep(b *testing.B) {
 	scenarios := repro.CorpusScenarios()
 	for i := 0; i < b.N; i++ {
 		totalRuns := 0
+		var simCycles, replayCycles int64
 		for _, sc := range scenarios {
 			study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
 				Scale:           repro.CorpusScaleSmall,
 				InjectionsPerFF: cfg.InjectionsPerFF,
 				Workers:         cfg.Workers,
+				NaiveCampaign:   cfg.NaiveCampaign,
 			})
 			if err != nil {
 				b.Fatalf("%s: %v", sc.ID(), err)
@@ -371,10 +388,17 @@ func BenchmarkCorpusSweep(b *testing.B) {
 				b.Fatalf("%s: %v", sc.ID(), err)
 			}
 			totalRuns += res.TotalRuns
+			simCycles += res.SimulatedCycles
+			replayCycles += res.ReplayCycles
 		}
 		if i == 0 {
 			b.ReportMetric(float64(len(scenarios)), "scenarios/op")
 			b.ReportMetric(float64(totalRuns), "injections/op")
+			b.ReportMetric(float64(simCycles), "sim_cycles/op")
+			b.ReportMetric(float64(replayCycles), "replay_cycles/op")
+			if simCycles > 0 {
+				b.ReportMetric(float64(replayCycles)/float64(simCycles), "cycle_speedup")
+			}
 		}
 	}
 }

@@ -12,7 +12,8 @@
 //	ffrcorpus -validate [-scale small|default] [-seed 1]
 //	ffrcorpus -sweep    [-scale small|default] [-seed 1] [-n N]
 //	          [-model "k-NN"] [-out DIR] [-scenario family[/workload],...]
-//	          [-shards N] [-workers N]
+//	          [-shards N] [-workers N] [-naive]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -n 0 (the default) each scenario runs its registered default
 // injection budget. -out writes one artifact per scenario, named
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -40,17 +42,20 @@ func main() {
 
 func run() error {
 	var (
-		list     = flag.Bool("list", false, "enumerate DUT families and scenario variants")
-		validate = flag.Bool("validate", false, "check generation/simulation determinism for every scenario")
-		sweep    = flag.Bool("sweep", false, "run every scenario end to end through the campaign runner")
-		scaleStr = flag.String("scale", "small", "circuit/workload scale: small or default")
-		seed     = flag.Int64("seed", 1, "generator and workload seed")
-		n        = flag.Int("n", 0, "injections per flip-flop (0 = per-scenario default)")
-		model    = flag.String("model", "k-NN", "model trained per scenario during -sweep")
-		out      = flag.String("out", "", "directory for per-scenario model artifacts (-sweep)")
-		scenario = flag.String("scenario", "", "comma-separated scenario IDs (default: all)")
-		shards   = flag.Int("shards", 0, "split each campaign into about this many shard chunks")
-		workers  = flag.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS)")
+		list       = flag.Bool("list", false, "enumerate DUT families and scenario variants")
+		validate   = flag.Bool("validate", false, "check generation/simulation determinism for every scenario")
+		sweep      = flag.Bool("sweep", false, "run every scenario end to end through the campaign runner")
+		scaleStr   = flag.String("scale", "small", "circuit/workload scale: small or default")
+		seed       = flag.Int64("seed", 1, "generator and workload seed")
+		n          = flag.Int("n", 0, "injections per flip-flop (0 = per-scenario default)")
+		model      = flag.String("model", "k-NN", "model trained per scenario during -sweep")
+		out        = flag.String("out", "", "directory for per-scenario model artifacts (-sweep)")
+		scenario   = flag.String("scenario", "", "comma-separated scenario IDs (default: all)")
+		shards     = flag.Int("shards", 0, "split each campaign into about this many shard chunks")
+		workers    = flag.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS)")
+		naive      = flag.Bool("naive", false, "disable the incremental campaign engine (full replay per batch)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -77,6 +82,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	// Only after flag validation: a usage error must not truncate an
+	// existing profile at -cpuprofile.
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiling()
 
 	switch {
 	case *list:
@@ -91,6 +103,7 @@ func run() error {
 		return runSweep(scenarios, sweepConfig{
 			scale: scale, seed: *seed, injections: *n,
 			spec: spec, outDir: *out, shards: *shards, workers: *workers,
+			naive: *naive,
 		})
 	}
 }
@@ -176,6 +189,7 @@ type sweepConfig struct {
 	outDir     string
 	shards     int
 	workers    int
+	naive      bool
 }
 
 // runSweep carries every selected scenario through the full flow and
@@ -195,6 +209,7 @@ func runSweep(scenarios []repro.CorpusScenario, cfg sweepConfig) error {
 			InjectionsPerFF: cfg.injections,
 			Workers:         cfg.workers,
 			Shards:          cfg.shards,
+			NaiveCampaign:   cfg.naive,
 		})
 		if err != nil {
 			return err
@@ -203,9 +218,14 @@ func runSweep(scenarios []repro.CorpusScenario, cfg sweepConfig) error {
 		if err != nil {
 			return fmt.Errorf("%s: campaign: %w", sc.ID(), err)
 		}
-		fmt.Printf("  %-22s %4d FFs × %3d injections = %6d runs in %d chunks (%v)\n",
+		saved := ""
+		if campaign.SimulatedCycles > 0 && campaign.SimulatedCycles < campaign.ReplayCycles {
+			saved = fmt.Sprintf(", %.2fx cycles saved",
+				float64(campaign.ReplayCycles)/float64(campaign.SimulatedCycles))
+		}
+		fmt.Printf("  %-22s %4d FFs × %3d injections = %6d runs in %d chunks (%v%s)\n",
 			sc.ID(), study.NumFFs(), study.Config.InjectionsPerFF,
-			campaign.TotalRuns, campaign.Chunks, time.Since(start).Round(time.Millisecond))
+			campaign.TotalRuns, campaign.Chunks, time.Since(start).Round(time.Millisecond), saved)
 
 		if cfg.outDir == "" {
 			continue

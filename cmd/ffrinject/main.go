@@ -12,6 +12,8 @@
 //
 //	ffrinject [-n 170] [-seed 2019] [-workers 0] [-csv fdr.csv]
 //	          [-checkpoint state.ffr] [-resume] [-shards 0] [-progress]
+//	          [-naive] [-snapshot-every 0] [-schedule clustered|plan]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 
 	"repro"
 	"repro/internal/fault"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -47,6 +50,11 @@ func run() error {
 		resume     = flag.Bool("resume", false, "resume from -checkpoint if it exists")
 		shards     = flag.Int("shards", 0, "split the plan into about this many shard chunks (rounded to whole 64-lane batches; must match on -resume; 0 = default chunk size)")
 		progress   = flag.Bool("progress", false, "print live campaign progress to stderr")
+		naive      = flag.Bool("naive", false, "disable the incremental engine (full replay per batch) — the before/after baseline")
+		snapEvery  = flag.Int("snapshot-every", 0, "golden snapshot cadence in cycles for the incremental engine (0 = default)")
+		schedule   = flag.String("schedule", "", "batch-packing schedule: clustered or plan (default: clustered, adopting a resumed checkpoint's schedule)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	)
 	flag.Parse()
 
@@ -62,9 +70,23 @@ func run() error {
 	if *shards < 0 {
 		return fmt.Errorf("-shards must be >= 0 (got %d)", *shards)
 	}
+	if *snapEvery < 0 {
+		return fmt.Errorf("-snapshot-every must be >= 0 (got %d)", *snapEvery)
+	}
 	if *resume && *checkpoint == "" {
 		return fmt.Errorf("-resume requires -checkpoint")
 	}
+	switch fault.Schedule(*schedule) {
+	case "", fault.ScheduleClustered, fault.SchedulePlan:
+	default:
+		return fmt.Errorf("-schedule must be %q or %q (got %q)",
+			fault.ScheduleClustered, fault.SchedulePlan, *schedule)
+	}
+	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer stopProfiling()
 
 	cfg := repro.DefaultStudyConfig()
 	cfg.InjectionsPerFF = *n
@@ -73,6 +95,9 @@ func run() error {
 	cfg.Checkpoint = *checkpoint
 	cfg.Resume = *resume
 	cfg.Shards = *shards
+	cfg.NaiveCampaign = *naive
+	cfg.SnapshotEvery = *snapEvery
+	cfg.Schedule = fault.Schedule(*schedule)
 	if *progress {
 		cfg.Progress = func(p repro.CampaignProgress) {
 			fmt.Fprintf(os.Stderr, "\rinjected %d/%d jobs (%.1f%%), chunks %d/%d, elapsed %s, eta %s   ",
@@ -113,6 +138,11 @@ func run() error {
 	fmt.Printf("campaign finished in %v (%d chunks", time.Since(start).Round(time.Millisecond), res.Chunks)
 	if res.ResumedChunks > 0 {
 		fmt.Printf(", %d resumed from checkpoint", res.ResumedChunks)
+	}
+	if res.SimulatedCycles > 0 && res.SimulatedCycles < res.ReplayCycles {
+		fmt.Printf(", %d of %d engine cycles simulated — %.2fx saved by the incremental engine",
+			res.SimulatedCycles, res.ReplayCycles,
+			float64(res.ReplayCycles)/float64(res.SimulatedCycles))
 	}
 	fmt.Printf(")\n\n")
 	if err := repro.RenderCampaign(os.Stdout, res); err != nil {

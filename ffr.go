@@ -174,6 +174,15 @@ var (
 // flushing its checkpoint.
 var ErrCampaignInterrupted = fault.ErrInterrupted
 
+// Campaign batch-packing schedules (see fault.Schedule): clustered packing
+// is the default and lets the incremental engine skip the shared golden
+// prefix of every batch; plan-order packing is the naive layout and the
+// layout of pre-schedule checkpoints.
+const (
+	CampaignScheduleClustered = fault.ScheduleClustered
+	CampaignSchedulePlan      = fault.SchedulePlan
+)
+
 // EnvStudyConfig returns DefaultStudyConfig adjusted by environment
 // variables, which the benchmarks honour so constrained machines can
 // shrink the campaign without code changes:
@@ -181,6 +190,8 @@ var ErrCampaignInterrupted = fault.ErrInterrupted
 //	FFR_INJECTIONS  injections per flip-flop (default 170)
 //	FFR_SEED        campaign seed (default 2019)
 //	FFR_WORKERS     campaign worker count (default GOMAXPROCS)
+//	FFR_NAIVE       1 forces the non-incremental full-replay campaign
+//	                path — the before/after baseline for benchmarks
 func EnvStudyConfig() (StudyConfig, error) {
 	cfg := DefaultStudyConfig()
 	if v := os.Getenv("FFR_INJECTIONS"); v != "" {
@@ -203,6 +214,13 @@ func EnvStudyConfig() (StudyConfig, error) {
 			return cfg, fmt.Errorf("repro: bad FFR_WORKERS %q", v)
 		}
 		cfg.Workers = n
+	}
+	if v := os.Getenv("FFR_NAIVE"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("repro: bad FFR_NAIVE %q", v)
+		}
+		cfg.NaiveCampaign = on
 	}
 	return cfg, nil
 }

@@ -31,6 +31,12 @@ type CorpusStudyConfig struct {
 	Resume          bool
 	CheckpointEvery int
 	Progress        func(fault.Progress)
+	// NaiveCampaign forces the non-incremental full-replay campaign path
+	// (see StudyConfig.NaiveCampaign).
+	NaiveCampaign bool
+	// Schedule selects the campaign batch-packing schedule (see
+	// StudyConfig.Schedule).
+	Schedule fault.Schedule
 }
 
 // NewCorpusStudy materializes a corpus scenario into a Study: the full
@@ -61,6 +67,9 @@ func NewCorpusStudy(sc corpus.Scenario, cfg CorpusStudyConfig) (*Study, error) {
 			ChunkJobs:       chunkJobs,
 			Workers:         cfg.Workers,
 			Golden:          m.Golden,
+			Snapshots:       m.Snapshots,
+			Naive:           cfg.NaiveCampaign,
+			Schedule:        cfg.Schedule,
 			CheckpointPath:  cfg.Checkpoint,
 			CheckpointEvery: cfg.CheckpointEvery,
 			Resume:          cfg.Resume,
@@ -80,6 +89,8 @@ func NewCorpusStudy(sc corpus.Scenario, cfg CorpusStudyConfig) (*Study, error) {
 			Resume:          cfg.Resume,
 			CheckpointEvery: cfg.CheckpointEvery,
 			Progress:        cfg.Progress,
+			NaiveCampaign:   cfg.NaiveCampaign,
+			Schedule:        cfg.Schedule,
 		},
 		Netlist:      m.Netlist,
 		Program:      m.Program,
@@ -89,6 +100,7 @@ func NewCorpusStudy(sc corpus.Scenario, cfg CorpusStudyConfig) (*Study, error) {
 		WorkloadName: sc.Workload.Name,
 		classifier:   m.Bench.Classifier,
 		golden:       m.Golden,
+		snapshots:    m.Snapshots,
 		runner:       runner,
 		stim:         m.Bench.Stim,
 		monitors:     m.Bench.Monitors,

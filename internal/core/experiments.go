@@ -250,7 +250,13 @@ func (s *Study) InjectionBudgetAblation(budgets []int, spec ModelSpec, nSplits i
 	out := make([]BudgetPoint, 0, len(budgets))
 	for _, budget := range budgets {
 		plan := fault.NewPlan(s.NumFFs(), budget, s.activeCycles, s.Config.CampaignSeed+int64(budget))
-		res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier, s.golden, plan, s.Config.Workers)
+		res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier, plan, fault.RunnerConfig{
+			Workers:   s.Config.Workers,
+			Golden:    s.golden,
+			Snapshots: s.snapshots,
+			Naive:     s.Config.NaiveCampaign,
+			Schedule:  s.Config.Schedule,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("core: budget %d campaign: %w", budget, err)
 		}

@@ -55,6 +55,20 @@ type StudyConfig struct {
 	CheckpointEvery int
 	// Progress, when non-nil, receives campaign progress updates.
 	Progress func(fault.Progress)
+	// SnapshotEvery is the golden-snapshot cadence in cycles for the
+	// incremental campaign engine (0 = sim.DefaultSnapshotEvery). The
+	// cadence never changes results, only how much prefix a faulty batch
+	// can skip and how often early exit is checked.
+	SnapshotEvery int
+	// NaiveCampaign forces the non-incremental full-replay campaign path —
+	// the before/after baseline for benchmarks (FFR_NAIVE=1). Results are
+	// bit-identical either way.
+	NaiveCampaign bool
+	// Schedule selects the campaign batch-packing schedule (see
+	// fault.Schedule). The "" default packs clustered and adopts a
+	// resumed checkpoint's recorded schedule, keeping pre-schedule
+	// plan-order checkpoints resumable.
+	Schedule fault.Schedule
 }
 
 // DefaultStudyConfig reproduces the paper's setup: the 1054-FF circuit and
@@ -97,6 +111,7 @@ type Study struct {
 
 	classifier   fault.Classifier
 	golden       *sim.Trace
+	snapshots    *sim.Snapshots
 	runner       *fault.Runner
 	stim         *sim.Stimulus
 	monitors     []int
@@ -125,10 +140,19 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		return nil, fmt.Errorf("core: building testbench: %w", err)
 	}
 
+	// The one golden run yields the reference trace, the activity
+	// statistics and the periodic engine-state snapshots the incremental
+	// campaign engine fast-forwards from (skipped on the naive baseline,
+	// which never restores them).
 	engine := sim.NewEngine(p)
+	var snaps *sim.Snapshots
+	if !cfg.NaiveCampaign {
+		snaps = sim.NewSnapshots(p, bench.Stim, cfg.SnapshotEvery)
+	}
 	golden, act := sim.Run(engine, bench.Stim, sim.RunConfig{
 		Monitors:        bench.Monitors,
 		CollectActivity: true,
+		Snapshots:       snaps,
 	})
 
 	ex, err := features.NewExtractor(nl)
@@ -142,12 +166,16 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 
 	classifier := fault.NewMACClassifier(bench, cfg.CheckStats)
 	chunkJobs := chunkJobsFor(p.NumFFs()*cfg.InjectionsPerFF, cfg.Shards, cfg.ChunkJobs)
-	// The ground-truth runner reuses the study's golden trace across all
-	// shards and calls instead of re-simulating it per campaign.
+	// The ground-truth runner reuses the study's golden trace and
+	// snapshots across all shards and calls instead of re-simulating them
+	// per campaign.
 	runner, err := fault.NewRunner(p, bench.Stim, bench.Monitors, classifier, fault.RunnerConfig{
 		ChunkJobs:       chunkJobs,
 		Workers:         cfg.Workers,
 		Golden:          golden,
+		Snapshots:       snaps,
+		Naive:           cfg.NaiveCampaign,
+		Schedule:        cfg.Schedule,
 		CheckpointPath:  cfg.Checkpoint,
 		CheckpointEvery: cfg.CheckpointEvery,
 		Resume:          cfg.Resume,
@@ -168,6 +196,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		WorkloadName: "loopback",
 		classifier:   classifier,
 		golden:       golden,
+		snapshots:    snaps,
 		runner:       runner,
 		stim:         bench.Stim,
 		monitors:     bench.Monitors,
@@ -241,7 +270,7 @@ func (s *Study) RunGroundTruthContext(ctx context.Context) (*fault.Result, error
 // cost-saving mode: the training subset is measured, the rest predicted.
 // Partial plans run on an ephemeral uncheckpointed runner (their plan
 // fingerprint differs from the ground truth's) but still reuse the study's
-// golden trace.
+// golden trace and snapshots, so they ride the same incremental path.
 func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
 	plan := make([]fault.Job, 0, len(ffs)*s.Config.InjectionsPerFF)
 	full := fault.NewPlan(s.NumFFs(), s.Config.InjectionsPerFF, s.activeCycles, s.Config.CampaignSeed)
@@ -254,8 +283,14 @@ func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
 			plan = append(plan, j)
 		}
 	}
-	res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier,
-		s.golden, plan, s.Config.Workers)
+	res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier, plan,
+		fault.RunnerConfig{
+			Workers:   s.Config.Workers,
+			Golden:    s.golden,
+			Snapshots: s.snapshots,
+			Naive:     s.Config.NaiveCampaign,
+			Schedule:  s.Config.Schedule,
+		})
 	if err != nil {
 		return nil, fmt.Errorf("core: partial campaign: %w", err)
 	}

@@ -26,6 +26,10 @@ type Materialized struct {
 	Golden   *sim.Trace
 	Activity *sim.Activity
 	Features *features.Matrix
+	// Snapshots are the periodic golden engine-state restore points
+	// captured during the golden run; campaign runners fast-forward faulty
+	// batches from them (see sim.Snapshots).
+	Snapshots *sim.Snapshots
 }
 
 // Materialize runs generate → synthesize → compile → build workload →
@@ -56,9 +60,11 @@ func (s Scenario) Materialize(scale Scale, seed int64) (*Materialized, error) {
 	}
 
 	engine := sim.NewEngine(p)
+	snaps := sim.NewSnapshots(p, bench.Stim, 0)
 	golden, act := sim.Run(engine, bench.Stim, sim.RunConfig{
 		Monitors:        bench.Monitors,
 		CollectActivity: true,
+		Snapshots:       snaps,
 	})
 
 	ex, err := features.NewExtractor(nl)
@@ -70,15 +76,16 @@ func (s Scenario) Materialize(scale Scale, seed int64) (*Materialized, error) {
 		return nil, fmt.Errorf("corpus: feature extraction for %s: %w", s.ID(), err)
 	}
 	return &Materialized{
-		Scenario: s,
-		Scale:    scale,
-		Seed:     seed,
-		Netlist:  nl,
-		Program:  p,
-		Bench:    bench,
-		Golden:   golden,
-		Activity: act,
-		Features: fm,
+		Scenario:  s,
+		Scale:     scale,
+		Seed:      seed,
+		Netlist:   nl,
+		Program:   p,
+		Bench:     bench,
+		Golden:    golden,
+		Activity:  act,
+		Features:  fm,
+		Snapshots: snaps,
 	}, nil
 }
 

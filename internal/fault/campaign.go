@@ -43,6 +43,44 @@ type ConfigFingerprinter interface {
 	ConfigFingerprint() uint64
 }
 
+// StreamClassifier is an optional Classifier extension for streaming
+// early-exit classification: instead of waiting for the full faulty trace,
+// the classifier observes the batch cycle by cycle and reports lanes whose
+// failure is already certain. The runner stops a batch as soon as every used
+// lane is either stream-confirmed failed or has re-converged to the golden
+// engine state (the fault effect expired), because no remaining cycle can
+// change either verdict.
+//
+// Soundness contract: a lane reported failed by Observe MUST be classified
+// as failing by FailingLanes no matter what the remaining cycles hold —
+// whether they are the lane's real future or the golden suffix the runner
+// substitutes after an early exit. Classifiers whose criterion cannot
+// confirm failures mid-run simply don't implement this interface and still
+// benefit from golden fast-forward and re-convergence exits; their verdict
+// always comes from the trace-based FailingLanes path.
+type StreamClassifier interface {
+	Classifier
+	// StartStream begins streaming classification of one 64-lane batch
+	// against the golden trace. used masks the lanes carrying real jobs;
+	// from is the first cycle Observe will see — every earlier cycle is
+	// bit-identical to golden (the batch's fast-forwarded prefix), which
+	// stateful streams fold in by replaying the golden trace up to from.
+	StartStream(golden *sim.Trace, used uint64, from int) Stream
+}
+
+// Stream observes consecutive simulated cycles of one faulty batch. Streams
+// are single-batch, single-goroutine state machines; StartStream returns a
+// fresh one per batch.
+type Stream interface {
+	// Observe consumes cycle c's packed monitor words (golden and faulty,
+	// one word per monitor in recording order) and returns the cumulative
+	// mask of lanes already certain to fail. Cycles arrive in order, but
+	// Observe may not see every cycle from 0: the runner starts at the
+	// batch's fast-forward point, where every lane is still bit-identical
+	// to golden.
+	Observe(cycle int, golden, faulty []uint64) uint64
+}
+
 // CampaignConfig parameterizes RunCampaign.
 type CampaignConfig struct {
 	// InjectionsPerFF is the number of SEU runs per flip-flop (the paper
@@ -88,6 +126,14 @@ type Result struct {
 	// ResumedChunks is how many chunks were restored from a checkpoint
 	// instead of simulated.
 	ResumedChunks int
+	// SimulatedCycles counts the engine cycles actually simulated in this
+	// run (chunks restored from a checkpoint contribute nothing).
+	SimulatedCycles int64
+	// ReplayCycles is what the naive full-replay path would have simulated
+	// for the same chunks: computed batches × stimulus cycles. On the
+	// naive path SimulatedCycles == ReplayCycles; their ratio is the
+	// incremental engine's cycle saving.
+	ReplayCycles int64
 }
 
 // NewPlan samples the paper's injection plan: for every flip-flop of p,
@@ -118,11 +164,13 @@ func RunCampaign(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classif
 	return r.Run(jobs)
 }
 
-// RunJobs executes an explicit injection plan against a provided golden
-// trace. The core estimation flow uses it to fault-inject only the training
-// subset of flip-flops.
-func RunJobs(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, golden *sim.Trace, jobs []Job, workers int) (*Result, error) {
-	r, err := NewRunner(p, stim, monitors, cls, RunnerConfig{Workers: workers, Golden: golden})
+// RunJobs executes an explicit injection plan on an ephemeral runner with
+// the given configuration. The core estimation flow uses it to fault-inject
+// only the training subset of flip-flops, passing the study's golden trace
+// and snapshots through cfg so partial campaigns ride the incremental path
+// without re-simulating either.
+func RunJobs(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, jobs []Job, cfg RunnerConfig) (*Result, error) {
+	r, err := NewRunner(p, stim, monitors, cls, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -184,7 +184,8 @@ func TestRunJobsExplicitPlan(t *testing.T) {
 	golden, _ := sim.Run(e, bench.Stim, sim.RunConfig{Monitors: bench.Monitors})
 	cls := fault.NewMACClassifier(bench, true)
 	jobs := []fault.Job{{FF: 0, Cycle: 1}, {FF: 1, Cycle: 2}, {FF: 0, Cycle: 3}}
-	res, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls, golden, jobs, 2)
+	res, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls, jobs,
+		fault.RunnerConfig{Workers: 2, Golden: golden})
 	if err != nil {
 		t.Fatalf("RunJobs: %v", err)
 	}
@@ -192,12 +193,12 @@ func TestRunJobsExplicitPlan(t *testing.T) {
 		t.Fatalf("injections = %v", res.Injections[:2])
 	}
 	// Out-of-range jobs must be rejected.
-	if _, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls, golden,
-		[]fault.Job{{FF: -1, Cycle: 0}}, 1); err == nil {
+	if _, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls,
+		[]fault.Job{{FF: -1, Cycle: 0}}, fault.RunnerConfig{Golden: golden}); err == nil {
 		t.Fatal("negative FF accepted")
 	}
-	if _, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls, golden,
-		[]fault.Job{{FF: 0, Cycle: 99999}}, 1); err == nil {
+	if _, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls,
+		[]fault.Job{{FF: 0, Cycle: 99999}}, fault.RunnerConfig{Golden: golden}); err == nil {
 		t.Fatal("out-of-range cycle accepted")
 	}
 }
@@ -216,7 +217,8 @@ func TestClassifierBenignTimingShiftIgnored(t *testing.T) {
 
 	cls := fault.NewMACClassifier(bench, true)
 	jobs := fault.NewPlan(p.NumFFs(), 1, bench.ActiveCycles, 3)[:64]
-	res, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls, golden, jobs, 1)
+	res, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls, jobs,
+		fault.RunnerConfig{Workers: 1, Golden: golden})
 	if err != nil {
 		t.Fatalf("RunJobs: %v", err)
 	}

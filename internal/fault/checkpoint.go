@@ -56,6 +56,11 @@ type Checkpoint struct {
 	// ConfigFingerprinter); 0 when the classifier does not identify
 	// itself.
 	ClassifierHash uint64
+	// Schedule names the batch-packing schedule the masks were recorded
+	// under (see Schedule). "" marks files from before schedules existed,
+	// which were packed in plan order. Resuming under a different schedule
+	// is rejected: the same mask bit maps to a different job.
+	Schedule string
 	// TotalJobs is the plan length.
 	TotalJobs int
 	// ChunkJobs is the shard chunk size in jobs (a multiple of sim.Lanes).
@@ -73,6 +78,7 @@ type checkpointHeader struct {
 	PlanHash       string `json:"plan_hash"`
 	GoldenHash     string `json:"golden_hash"`
 	ClassifierHash string `json:"classifier_hash"`
+	Schedule       string `json:"schedule,omitempty"`
 	TotalJobs      int    `json:"total_jobs"`
 	ChunkJobs      int    `json:"chunk_jobs"`
 	NumChunks      int    `json:"num_chunks"`
@@ -121,6 +127,7 @@ func SaveCheckpoint(path string, c *Checkpoint) (err error) {
 		PlanHash:       strconv.FormatUint(c.PlanHash, 16),
 		GoldenHash:     strconv.FormatUint(c.GoldenHash, 16),
 		ClassifierHash: strconv.FormatUint(c.ClassifierHash, 16),
+		Schedule:       c.Schedule,
 		TotalJobs:      c.TotalJobs,
 		ChunkJobs:      c.ChunkJobs,
 		NumChunks:      c.NumChunks,
@@ -196,6 +203,7 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		PlanHash:       planHash,
 		GoldenHash:     goldenHash,
 		ClassifierHash: classifierHash,
+		Schedule:       hdr.Schedule,
 		TotalJobs:      hdr.TotalJobs,
 		ChunkJobs:      hdr.ChunkJobs,
 		NumChunks:      hdr.NumChunks,

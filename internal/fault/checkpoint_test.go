@@ -20,6 +20,7 @@ func sampleCheckpoint() *fault.Checkpoint {
 		PlanHash:       0xdeadbeefcafe,
 		GoldenHash:     0x1234567890ab,
 		ClassifierHash: 0x42,
+		Schedule:       string(fault.ScheduleClustered),
 		TotalJobs:      5 * sim.Lanes,
 		ChunkJobs:      2 * sim.Lanes,
 		NumChunks:      3,
@@ -132,6 +133,30 @@ func TestCheckpointRejectsCorrupt(t *testing.T) {
 				t.Fatalf("LoadCheckpoint(%s) = %v, want %v", tc.name, err, tc.want)
 			}
 		})
+	}
+}
+
+// A pre-schedule (seed-era) header without the schedule field must still
+// load, carrying the empty schedule that the runner interprets as plan
+// order — keeping old plan-order checkpoints resumable.
+func TestCheckpointLoadsLegacyHeaderWithoutSchedule(t *testing.T) {
+	hdr := `{"magic":"repro/fault campaign checkpoint","version":1,` +
+		`"plan_hash":"1","golden_hash":"2","classifier_hash":"3",` +
+		`"total_jobs":64,"chunk_jobs":64,"num_chunks":1,"completed_chunks":0}`
+	var sb strings.Builder
+	if err := gob.NewEncoder(&sb).Encode(map[int][]uint64(nil)); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(t.TempDir(), "legacy.ffr")
+	if err := os.WriteFile(p, append([]byte(hdr+"\n"), sb.String()...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := fault.LoadCheckpoint(p)
+	if err != nil {
+		t.Fatalf("legacy checkpoint rejected: %v", err)
+	}
+	if ck.Schedule != "" {
+		t.Fatalf("legacy checkpoint schedule %q, want empty", ck.Schedule)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 	"sync"
 
 	"repro/internal/circuit"
@@ -44,6 +45,31 @@ func (e *ExactClassifier) FailingLanes(golden, faulty *sim.Trace, used uint64) u
 		}
 	}
 	return diff & used
+}
+
+// StartStream implements StreamClassifier. The exact criterion is ideal for
+// streaming: any monitored divergence inside the check window is final, so a
+// lane is confirmed failed the cycle it first diverges. The skipped prefix
+// needs no replay — it is divergence-free by construction.
+func (e *ExactClassifier) StartStream(golden *sim.Trace, used uint64, from int) Stream {
+	return &exactStream{from: e.CheckFrom, used: used}
+}
+
+type exactStream struct {
+	from   int
+	used   uint64
+	failed uint64
+}
+
+func (s *exactStream) Observe(cycle int, golden, faulty []uint64) uint64 {
+	if cycle >= s.from {
+		var diff uint64
+		for w := range golden {
+			diff |= golden[w] ^ faulty[w]
+		}
+		s.failed |= diff & s.used
+	}
+	return s.failed
 }
 
 // MACClassifier implements the paper's applicative failure criterion for the
@@ -111,6 +137,146 @@ func (m *MACClassifier) FailingLanes(golden, faulty *sim.Trace, used uint64) uin
 		}
 	}
 	return failing
+}
+
+// StartStream implements StreamClassifier with an incremental frame decoder:
+// every lane whose receive-side monitor bits ever diverge from golden gets a
+// private packet reconstruction, compared frame-by-frame against the golden
+// packet list as bytes arrive. A lane is confirmed failed as soon as it
+// receives a wrong or surplus payload byte, closes a frame with the wrong
+// length or error flag, opens more frames than the golden run ever received,
+// or (with CheckStats) shows any statistics-readout divergence. These are
+// exactly the monotone components of the criterion: once observed they hold
+// whatever the remaining cycles deliver, so FailingLanes must agree.
+//
+// Under-delivery ("the circuit stopped sending or receiving data") is NOT
+// confirmable mid-run — a missing frame may still arrive late and benign —
+// so lanes that fail only by frame count are decided by the trace-based
+// verdict when the batch ends or every lane re-converges.
+func (m *MACClassifier) StartStream(golden *sim.Trace, used uint64, from int) Stream {
+	m.prepare.Do(func() {
+		m.goldenPkts = m.Bench.LanePackets(golden, 0)
+		m.goldenStats = m.Bench.LaneStats(golden, 0)
+	})
+	s := &macStream{m: m, used: used}
+	// Fold the skipped prefix into the golden decoder: lanes are
+	// bit-identical to golden before from, so their reconstruction state is
+	// the golden run's state at from.
+	b := m.Bench
+	for c := 0; c < from; c++ {
+		s.advanceGolden(golden.Bit(c, b.MonRxValid, 0), golden.Bit(c, b.MonRxEOP, 0))
+	}
+	return s
+}
+
+type macStream struct {
+	m        *MACClassifier
+	used     uint64
+	failed   uint64
+	diverged uint64 // lanes whose rx monitor bits ever differed from golden
+
+	gk, gpos int32 // golden frame decoder: frame index, byte position
+	k, pos   [sim.Lanes]int32
+}
+
+func (s *macStream) Observe(cycle int, golden, faulty []uint64) uint64 {
+	b := s.m.Bench
+
+	// Statistics readout: golden is lane-uniform, so a word-level XOR of the
+	// readout monitors flags every divergent lane directly, and any readout
+	// divergence is a final failure under CheckStats.
+	if s.m.CheckStats && cycle >= b.ReadoutStart {
+		var diff uint64
+		for _, w := range b.MonStatData {
+			diff |= golden[w] ^ faulty[w]
+		}
+		s.failed |= diff & s.used
+	}
+
+	// Newly diverged lanes inherit the golden decoder state: until its rx
+	// bits first differ, a lane's reconstruction is identical to golden's.
+	rxDiff := (golden[b.MonRxValid] ^ faulty[b.MonRxValid]) |
+		(golden[b.MonRxEOP] ^ faulty[b.MonRxEOP]) |
+		(golden[b.MonRxErr] ^ faulty[b.MonRxErr])
+	for _, w := range b.MonRxData {
+		rxDiff |= golden[w] ^ faulty[w]
+	}
+	if newlyDiverged := rxDiff & s.used &^ s.diverged; newlyDiverged != 0 {
+		for w := newlyDiverged; w != 0; w &= w - 1 {
+			lane := bits.TrailingZeros64(w)
+			s.k[lane], s.pos[lane] = s.gk, s.gpos
+		}
+		s.diverged |= newlyDiverged
+	}
+
+	// Per-lane decode for diverged, not-yet-failed lanes.
+	for w := faulty[b.MonRxValid] & s.diverged &^ s.failed; w != 0; w &= w - 1 {
+		lane := bits.TrailingZeros64(w)
+		bit := uint64(1) << uint(lane)
+		k := int(s.k[lane])
+		if faulty[b.MonRxEOP]&bit != 0 {
+			// A frame completes. A surplus frame (beyond the golden total)
+			// or one with the wrong length or error flag is a final
+			// failure: completed frames never leave the lane's packet list.
+			if k >= len(s.m.goldenPkts) {
+				s.failed |= bit
+				continue
+			}
+			want := s.m.goldenPkts[k]
+			if int(s.pos[lane]) != len(want.Payload) || (faulty[b.MonRxErr]&bit != 0) != want.Err {
+				s.failed |= bit
+				continue
+			}
+			s.k[lane]++
+			s.pos[lane] = 0
+			continue
+		}
+		if k >= len(s.m.goldenPkts) {
+			// Dangling data bytes past the golden frame count: benign
+			// unless a surplus frame ever completes (they never enter the
+			// packet list on their own), so not confirmable here.
+			continue
+		}
+		// A data byte of frame k. A wrong or surplus byte is final either
+		// way the frame ends: if it completes, frame k's payload differs
+		// from golden's; if it never does, the lane under-delivers.
+		want := s.m.goldenPkts[k]
+		pos := int(s.pos[lane])
+		if pos >= len(want.Payload) {
+			s.failed |= bit
+			continue
+		}
+		var bv byte
+		for i, w := range b.MonRxData {
+			if faulty[w]&bit != 0 {
+				bv |= 1 << uint(i)
+			}
+		}
+		if bv != want.Payload[pos] {
+			s.failed |= bit
+			continue
+		}
+		s.pos[lane]++
+	}
+
+	// Advance the golden decoder (uniform: bit 0 is canonical).
+	s.advanceGolden(golden[b.MonRxValid]&1 == 1, golden[b.MonRxEOP]&1 == 1)
+	return s.failed
+}
+
+// advanceGolden steps the golden frame decoder by one cycle's receive-side
+// monitor bits — the one copy of the advance rule MACBench.LanePackets
+// applies per lane, shared by the StartStream prefix fold and Observe.
+func (s *macStream) advanceGolden(valid, eop bool) {
+	if !valid {
+		return
+	}
+	if eop {
+		s.gk++
+		s.gpos = 0
+	} else {
+		s.gpos++
+	}
 }
 
 func (m *MACClassifier) laneFails(faulty *sim.Trace, lane int) bool {

@@ -211,3 +211,71 @@ func TestExactClassifierConfigFingerprint(t *testing.T) {
 		t.Fatal("fingerprint must be nonzero")
 	}
 }
+
+// streamOverTrace replays a full faulty trace through a classifier stream
+// starting at cycle from and returns the final confirmed-failed mask.
+func streamOverTrace(sc fault.StreamClassifier, golden, faulty *sim.Trace, used uint64, from int) uint64 {
+	st := sc.StartStream(golden, used, from)
+	var failed uint64
+	for c := from; c < golden.Cycles(); c++ {
+		failed = st.Observe(c, golden.Row(c), faulty.Row(c))
+	}
+	return failed
+}
+
+// Streaming confirmations must be sound: every stream-confirmed lane is also
+// failed by the trace-based verdict, for both classifiers and from every
+// starting cycle (the fast-forward entry points).
+func TestStreamConfirmationsAreSound(t *testing.T) {
+	_, bench := smallMAC(t)
+	golden := goldenTrace(t)
+	for _, seed := range []int64{3, 4, 5} {
+		faulty, _ := faultyTrace(t, seed)
+		for _, checkStats := range []bool{false, true} {
+			mac := fault.NewMACClassifier(bench, checkStats)
+			verdict := mac.FailingLanes(golden, faulty, ^uint64(0))
+			for _, from := range []int{0, 8, 32} {
+				confirmed := streamOverTrace(mac, golden, faulty, ^uint64(0), from)
+				if confirmed&^verdict != 0 {
+					t.Fatalf("seed %d stats=%v from=%d: stream confirmed non-failing lanes %#x",
+						seed, checkStats, from, confirmed&^verdict)
+				}
+			}
+		}
+	}
+}
+
+// For the exact criterion, streaming over the whole trace is not just sound
+// but complete: any in-window divergence is a failure, so the final stream
+// mask equals the trace-based verdict exactly.
+func TestExactStreamMatchesVerdict(t *testing.T) {
+	golden := goldenTrace(t)
+	for _, seed := range []int64{6, 7} {
+		faulty, _ := faultyTrace(t, seed)
+		for _, from := range []int{0, 5} {
+			cls := &fault.ExactClassifier{CheckFrom: from}
+			verdict := cls.FailingLanes(golden, faulty, ^uint64(0))
+			confirmed := streamOverTrace(cls, golden, faulty, ^uint64(0), 0)
+			if confirmed != verdict {
+				t.Fatalf("seed %d CheckFrom=%d: stream %#x, verdict %#x", seed, from, confirmed, verdict)
+			}
+		}
+	}
+}
+
+// The used mask must gate streaming confirmations like it gates the
+// trace-based verdict.
+func TestStreamRespectsUsedMask(t *testing.T) {
+	_, bench := smallMAC(t)
+	golden := goldenTrace(t)
+	faulty, _ := faultyTrace(t, 8)
+	mac := fault.NewMACClassifier(bench, true)
+	const used = uint64(0xF0F0)
+	if got := streamOverTrace(mac, golden, faulty, used, 0); got&^used != 0 {
+		t.Fatalf("stream confirmed unused lanes: %#x", got&^used)
+	}
+	cls := &fault.ExactClassifier{}
+	if got := streamOverTrace(cls, golden, faulty, used, 0); got&^used != 0 {
+		t.Fatalf("exact stream confirmed unused lanes: %#x", got&^used)
+	}
+}

@@ -19,15 +19,34 @@ import (
 // checkpoints completed-chunk state to disk so an interrupted campaign can
 // resume exactly where it stopped.
 //
-// Determinism is structural: a chunk's failure masks depend only on the plan
-// slice it covers and the golden trace, never on scheduling, worker count,
-// chunk size or how often the run was interrupted. Resuming from a
-// checkpoint therefore produces bit-identical per-FF failure counts to an
-// uninterrupted run — a property the tests pin.
+// Simulation is incremental by default. Three mechanisms compose, all of
+// them result-preserving (the equivalence suite pins bit-identical failure
+// masks against the naive full-replay path):
+//
+//   - Golden fast-forward: the golden run captures periodic engine-state
+//     snapshots (sim.Snapshots); every faulty batch restores the snapshot at
+//     or before its earliest injection cycle instead of re-simulating the
+//     prefix, which is provably identical to golden because lanes only
+//     diverge at their first flip.
+//   - Streaming early exit: a batch stops as soon as every used lane is
+//     either confirmed failed by a streaming classifier (StreamClassifier)
+//     or has re-converged to the golden engine state — in both cases the
+//     remaining cycles cannot change the verdict, so the trace suffix is
+//     filled from the golden run and classified as usual.
+//   - Cycle-clustered scheduling: jobs are packed into batches in ascending
+//     injection-cycle order (see Schedule), so each batch spans a narrow
+//     cycle window and the prefix skip actually bites.
+//
+// Determinism is structural: a chunk's failure masks depend only on the
+// plan, the schedule and the golden trace, never on scheduling of workers,
+// worker count, chunk size, snapshot cadence or how often the run was
+// interrupted. Resuming from a checkpoint therefore produces bit-identical
+// per-FF failure counts to an uninterrupted run — a property the tests pin.
 //
 // The golden trace is simulated at most once per Runner and reused across
 // all shards and Run calls (and can be supplied up front when the caller
-// already has it, as the core study does).
+// already has it, as the core study does — ideally together with the
+// snapshots captured during that same run).
 
 // Default shard geometry and checkpoint cadence.
 const (
@@ -70,6 +89,29 @@ type RunnerConfig struct {
 	// Golden optionally supplies a precomputed golden trace. When nil the
 	// Runner simulates it once on first use.
 	Golden *sim.Trace
+	// Snapshots optionally supplies the golden engine-state restore points
+	// captured during the caller's golden run (sim.RunConfig.Snapshots).
+	// When nil the Runner captures its own on first use — during its own
+	// golden run when it simulates one, otherwise via one extra golden-rate
+	// replay, amortized over the campaign.
+	Snapshots *sim.Snapshots
+	// SnapshotEvery is the snapshot cadence in cycles for Runner-captured
+	// snapshots; 0 means sim.DefaultSnapshotEvery. It must be 0 or match
+	// the cadence of a supplied Snapshots set. The cadence never changes
+	// results, only the fast-forward and early-exit granularity.
+	SnapshotEvery int
+	// Schedule selects how jobs are packed into 64-lane batches; ""
+	// means ScheduleClustered. Checkpoints record the schedule their
+	// masks were packed under: resuming under an explicitly different
+	// schedule is rejected, while the "" default adopts the checkpoint's
+	// schedule — so plan-order checkpoints from before schedules existed
+	// stay resumable without any configuration.
+	Schedule Schedule
+	// Naive forces the non-incremental reference path: every batch
+	// replays the stimulus from cycle 0 and is classified post hoc over
+	// the full trace. Results are bit-identical to the incremental path;
+	// the equivalence suite and before/after benchmarks rely on that.
+	Naive bool
 	// CheckpointPath enables checkpointing to this file; "" disables it.
 	CheckpointPath string
 	// CheckpointEvery is the number of completed chunks between flushes;
@@ -90,15 +132,27 @@ type Runner struct {
 	monitors []int
 	cls      Classifier
 	cfg      RunnerConfig
+	schedule Schedule
+	// scheduleSet records whether the schedule was an explicit choice;
+	// the zero value adopts a resumed checkpoint's schedule instead of
+	// rejecting it, keeping pre-schedule (plan-order) checkpoints usable.
+	scheduleSet bool
 
 	goldenOnce sync.Once
 	golden     *sim.Trace
+	goldenErr  error
+
+	snapOnce sync.Once
+	snaps    *sim.Snapshots
 }
 
 // NewRunner validates the configuration and returns a Runner.
 func NewRunner(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, cfg RunnerConfig) (*Runner, error) {
 	if p == nil || stim == nil || cls == nil {
 		return nil, fmt.Errorf("fault: runner needs a program, stimulus and classifier")
+	}
+	if len(monitors) == 0 {
+		return nil, fmt.Errorf("fault: runner needs at least one monitored output")
 	}
 	if cfg.ChunkJobs < 0 {
 		return nil, fmt.Errorf("fault: negative ChunkJobs %d", cfg.ChunkJobs)
@@ -109,25 +163,93 @@ func NewRunner(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifie
 	if cfg.CheckpointEvery < 0 {
 		return nil, fmt.Errorf("fault: negative CheckpointEvery %d", cfg.CheckpointEvery)
 	}
+	if cfg.SnapshotEvery < 0 {
+		return nil, fmt.Errorf("fault: negative SnapshotEvery %d", cfg.SnapshotEvery)
+	}
 	if cfg.Resume && cfg.CheckpointPath == "" {
 		return nil, fmt.Errorf("fault: Resume requires a CheckpointPath")
+	}
+	if !cfg.Schedule.valid() {
+		return nil, fmt.Errorf("fault: unknown schedule %q", cfg.Schedule)
+	}
+	if cfg.Snapshots != nil {
+		if err := cfg.Snapshots.Matches(p, stim); err != nil {
+			return nil, fmt.Errorf("fault: supplied snapshots: %w", err)
+		}
+		if cfg.SnapshotEvery != 0 && cfg.SnapshotEvery != cfg.Snapshots.Every() {
+			return nil, fmt.Errorf("fault: SnapshotEvery %d conflicts with supplied snapshot cadence %d",
+				cfg.SnapshotEvery, cfg.Snapshots.Every())
+		}
 	}
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = DefaultCheckpointEvery
 	}
-	return &Runner{p: p, stim: stim, monitors: monitors, cls: cls, cfg: cfg, golden: cfg.Golden}, nil
+	return &Runner{
+		p: p, stim: stim, monitors: monitors, cls: cls, cfg: cfg,
+		schedule:    cfg.Schedule.normalize(),
+		scheduleSet: cfg.Schedule != "",
+		golden:      cfg.Golden,
+		snaps:       cfg.Snapshots,
+	}, nil
 }
 
 // Golden returns the golden reference trace, simulating it on first use.
-// Every shard of every Run call classifies against this one trace.
-func (r *Runner) Golden() *sim.Trace {
+// Every shard of every Run call classifies against this one trace. A
+// supplied trace is validated against the stimulus geometry; a mismatched
+// golden would silently misclassify every lane.
+func (r *Runner) Golden() (*sim.Trace, error) {
 	r.goldenOnce.Do(func() {
 		if r.golden == nil {
+			// Capture snapshots during this one golden run when the
+			// incremental path will need them and none were supplied.
+			var snaps *sim.Snapshots
+			if r.snaps == nil && !r.cfg.Naive {
+				snaps = sim.NewSnapshots(r.p, r.stim, r.cfg.SnapshotEvery)
+			}
 			e := sim.NewEngine(r.p)
-			r.golden, _ = sim.Run(e, r.stim, sim.RunConfig{Monitors: r.monitors})
+			r.golden, _ = sim.Run(e, r.stim, sim.RunConfig{Monitors: r.monitors, Snapshots: snaps})
+			if snaps != nil {
+				r.snaps = snaps
+			}
+		}
+		if r.golden == nil {
+			r.goldenErr = fmt.Errorf("fault: golden simulation produced no trace")
+			return
+		}
+		if r.golden.Cycles() != r.stim.Cycles() {
+			r.goldenErr = fmt.Errorf("fault: golden trace covers %d cycles, stimulus has %d",
+				r.golden.Cycles(), r.stim.Cycles())
+			return
+		}
+		if len(r.golden.Monitors) != len(r.monitors) {
+			r.goldenErr = fmt.Errorf("fault: golden trace records %d monitors, campaign monitors %d",
+				len(r.golden.Monitors), len(r.monitors))
+			return
+		}
+		for i, m := range r.monitors {
+			if r.golden.Monitors[i] != m {
+				r.goldenErr = fmt.Errorf("fault: golden trace monitor %d is port %d, campaign monitors port %d",
+					i, r.golden.Monitors[i], m)
+				return
+			}
 		}
 	})
-	return r.golden
+	return r.golden, r.goldenErr
+}
+
+// snapshots returns the golden restore points, capturing them with one
+// golden-rate replay if neither the config nor Golden() produced them.
+func (r *Runner) snapshots() *sim.Snapshots {
+	r.snapOnce.Do(func() {
+		if r.snaps != nil {
+			return
+		}
+		snaps := sim.NewSnapshots(r.p, r.stim, r.cfg.SnapshotEvery)
+		e := sim.NewEngine(r.p)
+		sim.Run(e, r.stim, sim.RunConfig{Snapshots: snaps})
+		r.snaps = snaps
+	})
+	return r.snaps
 }
 
 // Run executes the plan to completion (or until the checkpoint says it
@@ -157,9 +279,18 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	golden := r.Golden()
+	golden, err := r.Golden()
+	if err != nil {
+		return nil, err
+	}
+	var snaps *sim.Snapshots
+	if !r.cfg.Naive {
+		snaps = r.snapshots()
+	}
 
-	// Restore completed chunks from the checkpoint, if resuming.
+	// Restore completed chunks from the checkpoint, if resuming. This may
+	// adopt the checkpoint's schedule (see matchCheckpoint), so the
+	// lane-packing permutation is computed after it.
 	done := make(map[int][]uint64, sh.numChunks)
 	if r.cfg.Resume {
 		ck, err := LoadCheckpoint(r.cfg.CheckpointPath)
@@ -177,7 +308,16 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 			}
 		}
 	}
+	order, err := scheduleOrder(jobs, r.schedule)
+	if err != nil {
+		return nil, err
+	}
 	resumed := len(done)
+	jobsDone := 0
+	for ci := range done {
+		lo, hi := sh.chunkRange(ci)
+		jobsDone += hi - lo
+	}
 
 	pending := make([]int, 0, sh.numChunks-resumed)
 	for ci := 0; ci < sh.numChunks; ci++ {
@@ -197,8 +337,9 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	}
 
 	type chunkResult struct {
-		index int
-		masks []uint64
+		index     int
+		masks     []uint64
+		simCycles int64
 	}
 	chunks := make(chan int)
 	results := make(chan chunkResult)
@@ -207,9 +348,10 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			e := sim.NewEngine(r.p)
+			ws := newWorkerState(r, snaps)
 			for ci := range chunks {
-				results <- chunkResult{index: ci, masks: r.runChunk(e, golden, jobs, sh, ci)}
+				masks, simCycles := r.runChunk(ws, golden, jobs, order, sh, ci)
+				results <- chunkResult{index: ci, masks: masks, simCycles: simCycles}
 			}
 		}()
 	}
@@ -232,10 +374,15 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	start := time.Now()
 	sinceFlush := 0
 	var saveErr error
+	var simCycles, replayCycles int64
 	for cr := range results {
 		done[cr.index] = cr.masks
+		lo, hi := sh.chunkRange(cr.index)
+		jobsDone += hi - lo
+		simCycles += cr.simCycles
+		replayCycles += int64(sh.chunkBatches(cr.index)) * int64(r.stim.Cycles())
 		sinceFlush++
-		r.reportProgress(sh, done, resumed, len(done)-resumed, start)
+		r.reportProgress(sh, jobsDone, len(done), resumed, len(done)-resumed, start)
 		if r.cfg.CheckpointPath != "" && sinceFlush >= r.cfg.CheckpointEvery && saveErr == nil {
 			if saveErr = r.saveCheckpoint(jobs, sh, golden, done); saveErr != nil {
 				// Fail fast: a broken checkpoint sink would silently
@@ -267,51 +414,161 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 			return nil, err
 		}
 	}
-	return r.merge(jobs, sh, done, resumed), nil
+	res := r.merge(jobs, order, sh, done, resumed)
+	res.SimulatedCycles = simCycles
+	res.ReplayCycles = replayCycles
+	return res, nil
+}
+
+// flipOp is one scheduled SEU of a batch: flip ff in the lanes of mask at
+// the given cycle.
+type flipOp struct {
+	cycle int
+	ff    int
+	mask  uint64
+}
+
+// workerState is the reusable per-worker simulation state: the engine, the
+// faulty-trace buffer of the incremental path and the flip schedule, all
+// recycled across batches so the hot loop allocates nothing per batch.
+type workerState struct {
+	e     *sim.Engine
+	trace *sim.Trace
+	flips []flipOp
+}
+
+func newWorkerState(r *Runner, snaps *sim.Snapshots) *workerState {
+	ws := &workerState{
+		e:     sim.NewEngine(r.p),
+		flips: make([]flipOp, 0, sim.Lanes),
+	}
+	if snaps != nil {
+		ws.trace = sim.NewTrace(r.monitors, r.stim.Cycles())
+	}
+	return ws
+}
+
+// sortFlips orders the flip schedule by cycle. Batches are at most 64 flips
+// and already sorted under the clustered schedule, so insertion sort beats
+// the allocation and indirection of sort.Slice here.
+func sortFlips(flips []flipOp) {
+	for i := 1; i < len(flips); i++ {
+		f := flips[i]
+		j := i - 1
+		for j >= 0 && flips[j].cycle > f.cycle {
+			flips[j+1] = flips[j]
+			j--
+		}
+		flips[j+1] = f
+	}
 }
 
 // runChunk simulates every 64-lane batch of chunk ci and returns the
-// per-batch failure masks.
-func (r *Runner) runChunk(e *sim.Engine, golden *sim.Trace, jobs []Job, sh sharding, ci int) []uint64 {
+// per-batch failure masks plus the number of engine cycles simulated.
+func (r *Runner) runChunk(ws *workerState, golden *sim.Trace, jobs []Job, order []int, sh sharding, ci int) ([]uint64, int64) {
 	lo, hi := sh.chunkRange(ci)
 	masks := make([]uint64, 0, sh.chunkBatches(ci))
-	// Per-cycle flip schedule, rebuilt per batch.
-	type flip struct {
-		ff   int
-		mask uint64
-	}
-	byCycle := make(map[int][]flip)
+	var simCycles int64
 	for blo := lo; blo < hi; blo += sim.Lanes {
 		bhi := blo + sim.Lanes
 		if bhi > hi {
 			bhi = hi
 		}
-		batch := jobs[blo:bhi]
-		for c := range byCycle {
-			delete(byCycle, c)
-		}
+		ws.flips = ws.flips[:0]
 		var used uint64
-		for lane, job := range batch {
-			byCycle[job.Cycle] = append(byCycle[job.Cycle], flip{ff: job.FF, mask: 1 << uint(lane)})
+		for lane, pos := 0, blo; pos < bhi; lane, pos = lane+1, pos+1 {
+			job := jobs[jobIndex(order, pos)]
+			ws.flips = append(ws.flips, flipOp{cycle: job.Cycle, ff: job.FF, mask: 1 << uint(lane)})
 			used |= 1 << uint(lane)
 		}
-		faulty, _ := sim.Run(e, r.stim, sim.RunConfig{
-			Monitors: r.monitors,
-			PreEval: func(c int) {
-				for _, f := range byCycle[c] {
-					e.FlipFF(f.ff, f.mask)
-				}
-			},
-		})
-		masks = append(masks, r.cls.FailingLanes(golden, faulty, used))
+		sortFlips(ws.flips)
+
+		var mask uint64
+		var cycles int
+		if ws.trace != nil {
+			mask, cycles = r.runBatchIncremental(ws, golden, used)
+		} else {
+			mask, cycles = r.runBatchNaive(ws, golden, used)
+		}
+		masks = append(masks, mask)
+		simCycles += int64(cycles)
 	}
-	return masks
+	return masks, simCycles
+}
+
+// runBatchNaive is the reference path: full replay from cycle 0, post-hoc
+// classification over the complete faulty trace.
+func (r *Runner) runBatchNaive(ws *workerState, golden *sim.Trace, used uint64) (uint64, int) {
+	ptr := 0
+	faulty, _ := sim.Run(ws.e, r.stim, sim.RunConfig{
+		Monitors: r.monitors,
+		PreEval: func(c int) {
+			for ptr < len(ws.flips) && ws.flips[ptr].cycle == c {
+				ws.e.FlipFF(ws.flips[ptr].ff, ws.flips[ptr].mask)
+				ptr++
+			}
+		},
+	})
+	return r.cls.FailingLanes(golden, faulty, used), r.stim.Cycles()
+}
+
+// runBatchIncremental fast-forwards to the golden snapshot at or before the
+// batch's earliest injection, simulates forward recording into the reusable
+// trace, stops as soon as every used lane's verdict is decided, fills the
+// skipped prefix and suffix from the golden trace (both provably identical
+// to it) and classifies the reconstructed trace exactly like the naive path.
+func (r *Runner) runBatchIncremental(ws *workerState, golden *sim.Trace, used uint64) (uint64, int) {
+	snaps := r.snaps
+	minCycle := ws.flips[0].cycle
+	start := snaps.SnapCycle(snaps.IndexAtOrBefore(minCycle))
+
+	var stream Stream
+	if sc, ok := r.cls.(StreamClassifier); ok {
+		stream = sc.StartStream(golden, used, start)
+	}
+
+	ws.trace.CopyCycles(golden, 0, start)
+	ptr := 0
+	pending := used // lanes whose flip has not happened yet
+	var failed, settled uint64
+	stop := sim.RunWindow(ws.e, r.stim, snaps, minCycle, sim.WindowConfig{
+		Monitors: r.monitors,
+		Trace:    ws.trace,
+		PreEval: func(c int) {
+			for ptr < len(ws.flips) && ws.flips[ptr].cycle == c {
+				ws.e.FlipFF(ws.flips[ptr].ff, ws.flips[ptr].mask)
+				pending &^= ws.flips[ptr].mask
+				ptr++
+			}
+		},
+		OnCycle: func(c int) bool {
+			if stream == nil {
+				return false
+			}
+			// Confirmed failures are final, and settlement is sticky (a
+			// settled lane evolves identically to golden forever), so the
+			// batch can stop the very cycle the last straggler confirms
+			// instead of waiting for the next snapshot boundary.
+			failed = stream.Observe(c, golden.Row(c), ws.trace.Row(c))
+			return used&^(settled|failed) == 0
+		},
+		OnSnapshot: func(c int, diverged uint64) bool {
+			// Settled lanes have fully re-converged to golden state with
+			// no flip still pending: their remaining trace is the golden
+			// trace, so their verdict is decided too.
+			settled = used &^ diverged &^ pending
+			return used&^(settled|failed) == 0
+		},
+	})
+	ws.trace.CopyCycles(golden, stop, r.stim.Cycles())
+	return r.cls.FailingLanes(golden, ws.trace, used), stop - start
 }
 
 // merge folds completed chunk masks into the final per-FF Result. The fold
-// visits chunks in index order, so the outcome is independent of completion
-// order and of which chunks came from a checkpoint.
-func (r *Runner) merge(jobs []Job, sh sharding, done map[int][]uint64, resumed int) *Result {
+// visits chunks in index order and maps every lane back to its job through
+// the schedule, so the outcome is independent of completion order, schedule
+// and of which chunks came from a checkpoint.
+func (r *Runner) merge(jobs []Job, order []int, sh sharding, done map[int][]uint64, resumed int) *Result {
 	res := &Result{
 		FDR:           make([]float64, r.p.NumFFs()),
 		Failures:      make([]int, r.p.NumFFs()),
@@ -329,7 +586,8 @@ func (r *Runner) merge(jobs []Job, sh sharding, done map[int][]uint64, resumed i
 			if bhi > hi {
 				bhi = hi
 			}
-			for lane, job := range jobs[blo:bhi] {
+			for lane, pos := 0, blo; pos < bhi; lane, pos = lane+1, pos+1 {
+				job := jobs[jobIndex(order, pos)]
 				res.Injections[job.FF]++
 				if mask>>uint(lane)&1 == 1 {
 					res.Failures[job.FF]++
@@ -345,26 +603,21 @@ func (r *Runner) merge(jobs []Job, sh sharding, done map[int][]uint64, resumed i
 	return res
 }
 
-func (r *Runner) reportProgress(sh sharding, done map[int][]uint64, resumed, computed int, start time.Time) {
+func (r *Runner) reportProgress(sh sharding, jobsDone, chunksDone, resumed, computed int, start time.Time) {
 	if r.cfg.OnProgress == nil {
 		return
-	}
-	jobsDone := 0
-	for ci := range done {
-		lo, hi := sh.chunkRange(ci)
-		jobsDone += hi - lo
 	}
 	p := Progress{
 		JobsDone:      jobsDone,
 		JobsTotal:     sh.totalJobs,
-		ChunksDone:    len(done),
+		ChunksDone:    chunksDone,
 		ChunksTotal:   sh.numChunks,
 		ChunksResumed: resumed,
 		Elapsed:       time.Since(start),
 	}
-	if computed > 0 && len(done) < sh.numChunks {
+	if computed > 0 && chunksDone < sh.numChunks {
 		perChunk := p.Elapsed / time.Duration(computed)
-		p.ETA = perChunk * time.Duration(sh.numChunks-len(done))
+		p.ETA = perChunk * time.Duration(sh.numChunks-chunksDone)
 	}
 	r.cfg.OnProgress(p)
 }
@@ -380,7 +633,7 @@ func (r *Runner) classifierFingerprint() uint64 {
 
 // matchCheckpoint verifies that a loaded checkpoint belongs to exactly this
 // campaign: same plan, same golden trace, same failure criterion, same
-// shard geometry.
+// shard geometry, same batch-packing schedule.
 func (r *Runner) matchCheckpoint(ck *Checkpoint, jobs []Job, sh sharding, golden *sim.Trace) error {
 	if ck.PlanHash != PlanFingerprint(jobs) {
 		return fmt.Errorf("%w: plan fingerprint differs (checkpoint %x)", ErrCheckpointMismatch, ck.PlanHash)
@@ -390,6 +643,18 @@ func (r *Runner) matchCheckpoint(ck *Checkpoint, jobs []Job, sh sharding, golden
 	}
 	if ck.ClassifierHash != r.classifierFingerprint() {
 		return fmt.Errorf("%w: failure-criterion fingerprint differs (checkpoint %x)", ErrCheckpointMismatch, ck.ClassifierHash)
+	}
+	if got := normalizeCheckpointSchedule(ck.Schedule); got != r.schedule {
+		// Masks are packed per schedule, so the two must agree. When the
+		// caller expressed no preference (the zero-value default), adopt
+		// the checkpoint's schedule instead of rejecting — this is what
+		// keeps plan-order checkpoints from before schedules existed
+		// resumable on a default-configured runner.
+		if r.scheduleSet || !got.valid() {
+			return fmt.Errorf("%w: schedule differs (checkpoint %q, campaign %q — masks are packed per schedule)",
+				ErrCheckpointMismatch, got, r.schedule)
+		}
+		r.schedule = got
 	}
 	if ck.TotalJobs != sh.totalJobs || ck.ChunkJobs != sh.chunkJobs || ck.NumChunks != sh.numChunks {
 		return fmt.Errorf("%w: shard geometry differs (checkpoint %d jobs in %d chunks of %d, campaign %d/%d/%d)",
@@ -404,6 +669,7 @@ func (r *Runner) saveCheckpoint(jobs []Job, sh sharding, golden *sim.Trace, done
 		PlanHash:       PlanFingerprint(jobs),
 		GoldenHash:     golden.Fingerprint(),
 		ClassifierHash: r.classifierFingerprint(),
+		Schedule:       string(r.schedule),
 		TotalJobs:      sh.totalJobs,
 		ChunkJobs:      sh.chunkJobs,
 		NumChunks:      sh.numChunks,

@@ -119,17 +119,17 @@ func TestRunnerGoldenReuse(t *testing.T) {
 
 	// A supplied golden trace is used as-is.
 	r, jobs := newRunner(t, fault.RunnerConfig{Golden: golden})
-	if r.Golden() != golden {
-		t.Fatal("supplied golden trace not reused")
+	if g, err := r.Golden(); err != nil || g != golden {
+		t.Fatalf("supplied golden trace not reused (err %v)", err)
 	}
 	// Without one, it is simulated once and cached across calls.
 	r2, _ := newRunner(t, fault.RunnerConfig{})
-	g1 := r2.Golden()
-	if g1 == nil {
-		t.Fatal("no golden trace computed")
+	g1, err := r2.Golden()
+	if err != nil || g1 == nil {
+		t.Fatalf("no golden trace computed: %v", err)
 	}
-	if r2.Golden() != g1 {
-		t.Fatal("golden trace recomputed")
+	if g2, err := r2.Golden(); err != nil || g2 != g1 {
+		t.Fatalf("golden trace recomputed (err %v)", err)
 	}
 	if !g1.Equal(golden) {
 		t.Fatal("computed golden trace differs from reference run")

@@ -1,0 +1,213 @@
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/sim"
+)
+
+// snapshotFixture builds a small MAC bench — loopback rules included, which
+// is exactly the state a snapshot must capture beyond flip-flop bits.
+func snapshotFixture(t *testing.T) (*sim.Program, *circuit.MACBench) {
+	t.Helper()
+	nl, err := circuit.NewMAC10GE(circuit.MACConfig{FIFODepth: 16, StatWidth: 16, TargetFFs: 0})
+	if err != nil {
+		t.Fatalf("NewMAC10GE: %v", err)
+	}
+	if err := circuit.Synthesize(nl); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	p, err := sim.Compile(nl)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	bench, err := circuit.BuildMACBench(p, circuit.MACBenchConfig{
+		Packets: 3, MinPayload: 4, MaxPayload: 6, Gap: 8,
+		DrainCycles: 20, Seed: 5, FIFODepth: 16,
+	})
+	if err != nil {
+		t.Fatalf("BuildMACBench: %v", err)
+	}
+	return p, bench
+}
+
+func goldenWithSnapshots(t *testing.T, p *sim.Program, bench *circuit.MACBench, every int) (*sim.Trace, *sim.Snapshots) {
+	t.Helper()
+	snaps := sim.NewSnapshots(p, bench.Stim, every)
+	e := sim.NewEngine(p)
+	golden, _ := sim.Run(e, bench.Stim, sim.RunConfig{Monitors: bench.Monitors, Snapshots: snaps})
+	if !snaps.Complete() {
+		t.Fatal("snapshots incomplete after a full golden run")
+	}
+	return golden, snaps
+}
+
+// A fault-free window run restored from any snapshot must reproduce the
+// golden trace exactly and never report divergence — the soundness core of
+// golden fast-forward.
+func TestRunWindowReproducesGolden(t *testing.T) {
+	p, bench := snapshotFixture(t)
+	golden, snaps := goldenWithSnapshots(t, p, bench, 8)
+	e := sim.NewEngine(p)
+	cycles := bench.Stim.Cycles()
+	for _, start := range []int{0, 1, 7, 8, 9, cycles / 2, cycles - 1} {
+		trace := sim.NewTrace(bench.Monitors, cycles)
+		trace.CopyCycles(golden, 0, snaps.SnapCycle(snaps.IndexAtOrBefore(start)))
+		stop := sim.RunWindow(e, bench.Stim, snaps, start, sim.WindowConfig{
+			Monitors: bench.Monitors,
+			Trace:    trace,
+			OnSnapshot: func(c int, diverged uint64) bool {
+				if diverged != 0 {
+					t.Fatalf("start %d: spurious divergence %x at cycle %d", start, diverged, c)
+				}
+				return false
+			},
+		})
+		if stop != cycles {
+			t.Fatalf("start %d: stopped at %d without a stop hook", start, stop)
+		}
+		if !trace.Equal(golden) {
+			t.Fatalf("start %d: fast-forwarded trace differs from golden", start)
+		}
+	}
+}
+
+func TestRunWindowEarlyStop(t *testing.T) {
+	p, bench := snapshotFixture(t)
+	golden, snaps := goldenWithSnapshots(t, p, bench, 8)
+	e := sim.NewEngine(p)
+	cycles := bench.Stim.Cycles()
+
+	// OnCycle stop: the stopping cycle is recorded, so the first
+	// unrecorded cycle is c+1.
+	trace := sim.NewTrace(bench.Monitors, cycles)
+	stop := sim.RunWindow(e, bench.Stim, snaps, 0, sim.WindowConfig{
+		Monitors: bench.Monitors,
+		Trace:    trace,
+		OnCycle:  func(c int) bool { return c == 20 },
+	})
+	if stop != 21 {
+		t.Fatalf("OnCycle stop at 20 returned %d, want 21", stop)
+	}
+	trace.CopyCycles(golden, stop, cycles)
+	if !trace.Equal(golden) {
+		t.Fatal("stopped fault-free trace + golden suffix differs from golden")
+	}
+
+	// OnSnapshot stop: the boundary cycle is not simulated.
+	stop = sim.RunWindow(e, bench.Stim, snaps, 0, sim.WindowConfig{
+		Monitors:   bench.Monitors,
+		Trace:      sim.NewTrace(bench.Monitors, cycles),
+		OnSnapshot: func(c int, diverged uint64) bool { return c >= 24 },
+	})
+	if stop != 24 {
+		t.Fatalf("OnSnapshot stop at 24 returned %d, want %d", stop, 24)
+	}
+}
+
+// A flip must show up as divergence at the next boundary, and restoring a
+// snapshot must clear it — i.e. restores really do rewind lane state.
+func TestRunWindowSeesDivergenceAndRestoreClearsIt(t *testing.T) {
+	p, bench := snapshotFixture(t)
+	_, snaps := goldenWithSnapshots(t, p, bench, 8)
+	e := sim.NewEngine(p)
+
+	var sawDiverged uint64
+	sim.RunWindow(e, bench.Stim, snaps, 0, sim.WindowConfig{
+		Monitors: bench.Monitors,
+		Trace:    sim.NewTrace(bench.Monitors, bench.Stim.Cycles()),
+		PreEval: func(c int) {
+			if c == 2 {
+				e.FlipFF(0, 1<<5)
+			}
+		},
+		OnSnapshot: func(c int, diverged uint64) bool {
+			if c == 8 {
+				sawDiverged = diverged
+				return true
+			}
+			return false
+		},
+	})
+	if sawDiverged>>5&1 != 1 {
+		t.Fatalf("flip on lane 5 not seen as divergence (mask %x)", sawDiverged)
+	}
+
+	// The engine still carries the flipped state; a fresh fault-free window
+	// from the same dirty engine must be golden again after Restore.
+	clean := true
+	sim.RunWindow(e, bench.Stim, snaps, 0, sim.WindowConfig{
+		Monitors: bench.Monitors,
+		Trace:    sim.NewTrace(bench.Monitors, bench.Stim.Cycles()),
+		OnSnapshot: func(c int, diverged uint64) bool {
+			if diverged != 0 {
+				clean = false
+			}
+			return false
+		},
+	})
+	if !clean {
+		t.Fatal("restore did not clear previous batch state")
+	}
+}
+
+func TestSnapshotsGeometry(t *testing.T) {
+	p, bench := snapshotFixture(t)
+	_, snaps := goldenWithSnapshots(t, p, bench, 8)
+	if snaps.Every() != 8 {
+		t.Fatalf("Every = %d", snaps.Every())
+	}
+	if got := snaps.IndexAtOrBefore(0); got != 0 {
+		t.Fatalf("IndexAtOrBefore(0) = %d", got)
+	}
+	if got := snaps.SnapCycle(snaps.IndexAtOrBefore(17)); got != 16 {
+		t.Fatalf("snapshot before 17 restores to %d, want 16", got)
+	}
+	if err := snaps.Matches(p, bench.Stim); err != nil {
+		t.Fatalf("Matches on own geometry: %v", err)
+	}
+	if snaps.MemoryBytes() <= 0 {
+		t.Fatal("MemoryBytes not reported")
+	}
+
+	// A never-filled set must be rejected.
+	empty := sim.NewSnapshots(p, bench.Stim, 8)
+	if err := empty.Matches(p, bench.Stim); err == nil {
+		t.Fatal("incomplete snapshot set accepted")
+	}
+
+	// Foreign geometry must be rejected.
+	other := sim.NewStimulus(bench.Stim.Cycles() + 1)
+	if err := snaps.Matches(p, other); err == nil {
+		t.Fatal("mismatched stimulus accepted")
+	}
+}
+
+func TestTraceRowAndCopyCycles(t *testing.T) {
+	p, bench := snapshotFixture(t)
+	golden, _ := goldenWithSnapshots(t, p, bench, 8)
+	row := golden.Row(3)
+	if len(row) != len(golden.Monitors) {
+		t.Fatalf("row has %d words for %d monitors", len(row), len(golden.Monitors))
+	}
+	for m := range row {
+		if row[m] != golden.Word(3, m) {
+			t.Fatalf("Row(3)[%d] != Word(3,%d)", m, m)
+		}
+	}
+
+	dst := sim.NewTrace(golden.Monitors, golden.Cycles())
+	dst.CopyCycles(golden, 5, 9)
+	for c := 5; c < 9; c++ {
+		for m := range golden.Monitors {
+			if dst.Word(c, m) != golden.Word(c, m) {
+				t.Fatalf("copied word (%d,%d) differs", c, m)
+			}
+		}
+	}
+	// Rows outside [5,9) stay untouched (the fresh trace is all zero).
+	if dst.Word(4, 0) != 0 || dst.Word(9, 0) != 0 {
+		t.Fatal("CopyCycles touched rows outside the range")
+	}
+}

@@ -91,6 +91,28 @@ func (t *Trace) Bit(cycle, m, lane int) bool {
 	return t.Word(cycle, m)>>uint(lane)&1 == 1
 }
 
+// Row returns the packed monitor words of one cycle, one word per monitor in
+// recording order. The slice aliases the trace's storage: callers must treat
+// it as read-only. It exists for streaming classifiers that observe a run
+// cycle by cycle without re-slicing per word.
+func (t *Trace) Row(cycle int) []uint64 {
+	nm := len(t.Monitors)
+	return t.words[cycle*nm : (cycle+1)*nm]
+}
+
+// CopyCycles copies rows [from, to) of src into t. Both traces must record
+// the same monitor set over the same cycle count; the incremental campaign
+// path uses it to fill the fast-forwarded prefix and early-exited suffix of
+// a faulty trace from the golden run, which those cycles are provably
+// identical to.
+func (t *Trace) CopyCycles(src *Trace, from, to int) {
+	if len(t.Monitors) != len(src.Monitors) || t.cycles != src.cycles {
+		panic("sim: CopyCycles across mismatched traces")
+	}
+	nm := len(t.Monitors)
+	copy(t.words[from*nm:to*nm], src.words[from*nm:to*nm])
+}
+
 // Fingerprint returns a stable 64-bit digest of the trace: its shape (cycles,
 // monitor ports) and every packed monitor word. Two traces fingerprint equal
 // iff they record the same monitors over the same cycles with identical
@@ -154,6 +176,10 @@ type RunConfig struct {
 	PreEval func(cycle int)
 	// CollectActivity enables per-FF activity statistics (lane 0).
 	CollectActivity bool
+	// Snapshots, when non-nil, captures periodic engine-state restore
+	// points during the run (see NewSnapshots). Only meaningful on a
+	// lane-uniform (golden) run: the capture stores lane 0 as canonical.
+	Snapshots *Snapshots
 }
 
 // Run executes the stimulus on a freshly reset engine and returns the
@@ -180,6 +206,9 @@ func Run(e *Engine, stim *Stimulus, cfg RunConfig) (*Trace, *Activity) {
 		lb[i] = e.Output(l.Out)
 	}
 	for c := 0; c < stim.cycles; c++ {
+		if cfg.Snapshots != nil {
+			cfg.Snapshots.capture(e, lb, c)
+		}
 		for k, port := range stim.ports {
 			e.SetInputBool(port, stim.vectors[k][c])
 		}
