@@ -14,11 +14,11 @@ SMOKE_INJECTIONS ?= 2
 SMOKE_VECTOR := [0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]
 
 # Campaign-benchmark baseline file (see bench-baseline).
-BENCH_FILE ?= BENCH_4.json
+BENCH_FILE ?= BENCH_5.json
 
-.PHONY: all build examples test race lint bench bench-baseline serve-smoke corpus-smoke
+.PHONY: all build examples test race lint doc-check bench bench-baseline serve-smoke corpus-smoke
 
-all: lint build examples test
+all: lint build examples test doc-check
 
 build:
 	$(GO) build ./...
@@ -39,24 +39,29 @@ lint:
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
 	fi
 
+# Documentation staleness gate: every flag a cmd/ binary defines must be
+# documented in docs/CLI.md (and every documented command must exist).
+doc-check:
+	@sh scripts/doc-check.sh
+
 # BENCH_SKIP optionally excludes benchmarks by regex (go test -skip); CI
 # uses it to avoid re-running the campaign benchmarks that bench-baseline
 # records right after.
 bench:
 	FFR_INJECTIONS=$(FFR_INJECTIONS) $(GO) test -bench=. $(if $(BENCH_SKIP),-skip='$(BENCH_SKIP)') -benchtime=1x -run='^$$' .
 
-# Record the campaign benchmarks (the perf trajectory of the incremental
-# engine) to $(BENCH_FILE) as `go test -json` events. The benchstat-
-# compatible benchmark text is embedded in the Output events; extract it
-# with:
+# Record the campaign and active-learning benchmarks (the perf trajectory of
+# the incremental engine plus the planner's budget-vs-quality headline) to
+# $(BENCH_FILE) as `go test -json` events. The benchstat-compatible benchmark
+# text is embedded in the Output events; extract it with:
 #
-#	jq -r 'select(.Action=="output").Output' BENCH_4.json | benchstat /dev/stdin
+#	jq -r 'select(.Action=="output").Output' BENCH_5.json | benchstat /dev/stdin
 #
 # Compare against the naive path by re-running with FFR_NAIVE=1 and a
 # different BENCH_FILE.
 bench-baseline:
 	FFR_INJECTIONS=$(FFR_INJECTIONS) $(GO) test -json \
-		-bench='BenchmarkFlatInjectionCampaign|BenchmarkCorpusSweep' \
+		-bench='BenchmarkFlatInjectionCampaign|BenchmarkCorpusSweep|BenchmarkAdaptivePlanner|BenchmarkAdaptiveCorpusPlanner' \
 		-benchtime=1x -run='^$$' . > $(BENCH_FILE)
 	@grep -F '"Output":"Benchmark' $(BENCH_FILE) >/dev/null || \
 		{ echo "no benchmark results recorded in $(BENCH_FILE)"; exit 1; }

@@ -459,6 +459,80 @@ func BenchmarkCrossCircuitTransfer(b *testing.B) {
 	}
 }
 
+// benchAdaptive runs the adaptive-vs-full comparison on one study and
+// reports the headline metrics: full-campaign R², per-strategy R² at half
+// the injections, and the best informed strategy's gap (the paper-level
+// claim is gap <= 0.02 at injection_frac <= 0.5).
+func benchAdaptive(b *testing.B, id string, study *repro.Study, seed int64) {
+	spec := repro.PaperModels()[1]
+	strategies := []string{repro.StrategyRandom, repro.StrategyCommittee, repro.StrategyUncertainty}
+	for i := 0; i < b.N; i++ {
+		cmp, err := study.CompareAdaptiveStrategies(strategies, spec, 0.5, 6, seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			best := -1.0
+			printArtifact(id, func() {
+				fmt.Printf("full campaign (pool %d FFs): R²=%.4f on %d held-out FFs\n",
+					cmp.PoolFFs, cmp.FullR2, cmp.EvalFFs)
+				for _, o := range cmp.Outcomes {
+					fmt.Printf("  %-12s %5.1f%% of injections: R²=%.4f (gap %+.4f)\n",
+						o.Strategy, 100*o.InjectionFrac, o.R2, cmp.FullR2-o.R2)
+				}
+			})
+			b.ReportMetric(cmp.FullR2, "full_R2")
+			for _, o := range cmp.Outcomes {
+				b.ReportMetric(o.R2, "R2:"+o.Strategy)
+				if o.Strategy != repro.StrategyRandom && o.R2 > best {
+					best = o.R2
+				}
+				if o.Strategy == repro.StrategyCommittee {
+					b.ReportMetric(o.InjectionFrac, "injection_frac")
+				}
+			}
+			b.ReportMetric(cmp.FullR2-best, "best_gap")
+		}
+	}
+}
+
+// BenchmarkAdaptivePlanner is the active-learning headline on the paper's
+// MAC DUT: committee/uncertainty acquisition at 50 % of the injections
+// versus full-campaign training (BENCH_5.json records it in CI).
+func BenchmarkAdaptivePlanner(b *testing.B) {
+	benchAdaptive(b, "Adaptive planner vs full campaign (MAC DUT)", sharedStudy(b), 2)
+}
+
+// BenchmarkAdaptiveCorpusPlanner repeats the active-learning headline on two
+// corpus scenarios at small scale, with their ground truth measured inside
+// the fixture setup.
+func BenchmarkAdaptiveCorpusPlanner(b *testing.B) {
+	cfg, err := repro.EnvStudyConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, id := range []string{"rrarb/uniform", "uartser/paced"} {
+		sc, err := repro.FindCorpusScenario(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
+			Scale:           repro.CorpusScaleSmall,
+			InjectionsPerFF: cfg.InjectionsPerFF,
+			Workers:         cfg.Workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := study.RunGroundTruth(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(id, func(b *testing.B) {
+			benchAdaptive(b, "Adaptive planner vs full campaign ("+id+")", study, 1)
+		})
+	}
+}
+
 // BenchmarkWilsonInterval pins the cost of the statistics helper used in
 // campaign reporting.
 func BenchmarkWilsonInterval(b *testing.B) {

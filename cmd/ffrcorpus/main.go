@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/profiling"
 )
 
@@ -59,8 +60,13 @@ func run() error {
 	)
 	flag.Parse()
 
-	if args := flag.Args(); len(args) > 0 {
-		return fmt.Errorf("unexpected arguments: %v (run 'ffrcorpus -h' for usage)", args)
+	if err := cli.Check(
+		cli.NoArgs("ffrcorpus"),
+		cli.MinInt("ffrcorpus", "n", *n, 0),
+		cli.MinInt("ffrcorpus", "shards", *shards, 0),
+		cli.MinInt("ffrcorpus", "workers", *workers, 0),
+	); err != nil {
+		return err
 	}
 	modes := 0
 	for _, m := range []bool{*list, *validate, *sweep} {
@@ -69,10 +75,7 @@ func run() error {
 		}
 	}
 	if modes != 1 {
-		return fmt.Errorf("exactly one of -list, -validate, -sweep is required")
-	}
-	if *n < 0 {
-		return fmt.Errorf("-n must be >= 0 (got %d)", *n)
+		return cli.UsageErrorf("ffrcorpus", "exactly one of -list, -validate, -sweep is required")
 	}
 	scale, err := repro.ParseCorpusScale(*scaleStr)
 	if err != nil {

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/ml/modelsel"
@@ -62,11 +63,17 @@ func run() error {
 	)
 	flag.Parse()
 
+	if err := cli.Check(
+		cli.NoArgs("ffrexp"),
+		cli.MinInt("ffrexp", "n", *n, 1),
+	); err != nil {
+		return err
+	}
 	if *load != "" && *exp != "predict" {
-		return fmt.Errorf("-load only applies to -exp predict")
+		return cli.UsageErrorf("ffrexp", "-load only applies to -exp predict")
 	}
 	if *exp == "predict" && *load == "" {
-		return fmt.Errorf("-exp predict requires -load")
+		return cli.Requires("ffrexp", "exp predict", "load", false)
 	}
 	if *exp != "cross" {
 		var misused []string
@@ -76,7 +83,7 @@ func run() error {
 			}
 		})
 		if len(misused) > 0 {
-			return fmt.Errorf("%s only applies to -exp cross", strings.Join(misused, ", "))
+			return cli.UsageErrorf("ffrexp", "%s only applies to -exp cross", strings.Join(misused, ", "))
 		}
 	}
 	// The cross experiment runs on corpus studies, not the MAC study, so it

@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/features"
 )
 
@@ -31,6 +32,12 @@ func run() error {
 	)
 	flag.Parse()
 
+	if err := cli.Check(
+		cli.NoArgs("ffrfeat"),
+		cli.MinInt("ffrfeat", "n", *n, 1),
+	); err != nil {
+		return err
+	}
 	cfg := repro.DefaultStudyConfig()
 	cfg.InjectionsPerFF = *n
 	study, err := repro.NewStudy(cfg)

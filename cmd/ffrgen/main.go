@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/circuit"
+	"repro/internal/cli"
 	"repro/internal/netlist"
 )
 
@@ -34,6 +35,14 @@ func run() error {
 	)
 	flag.Parse()
 
+	if err := cli.Check(
+		cli.NoArgs("ffrgen"),
+		cli.MinInt("ffrgen", "fifo", *fifo, 2),
+		cli.MinInt("ffrgen", "statw", *statW, 1),
+		cli.MinInt("ffrgen", "ffs", *ffs, 0),
+	); err != nil {
+		return err
+	}
 	nl, err := circuit.NewMAC10GE(circuit.MACConfig{
 		FIFODepth: *fifo,
 		StatWidth: *statW,

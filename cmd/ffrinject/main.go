@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/fault"
 	"repro/internal/profiling"
 )
@@ -58,29 +59,17 @@ func run() error {
 	)
 	flag.Parse()
 
-	if args := flag.Args(); len(args) > 0 {
-		return fmt.Errorf("unexpected arguments: %v", args)
-	}
-	if *n < 1 {
-		return fmt.Errorf("-n must be >= 1 (got %d)", *n)
-	}
-	if *workers < 0 {
-		return fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
-	}
-	if *shards < 0 {
-		return fmt.Errorf("-shards must be >= 0 (got %d)", *shards)
-	}
-	if *snapEvery < 0 {
-		return fmt.Errorf("-snapshot-every must be >= 0 (got %d)", *snapEvery)
-	}
-	if *resume && *checkpoint == "" {
-		return fmt.Errorf("-resume requires -checkpoint")
-	}
-	switch fault.Schedule(*schedule) {
-	case "", fault.ScheduleClustered, fault.SchedulePlan:
-	default:
-		return fmt.Errorf("-schedule must be %q or %q (got %q)",
-			fault.ScheduleClustered, fault.SchedulePlan, *schedule)
+	if err := cli.Check(
+		cli.NoArgs("ffrinject"),
+		cli.MinInt("ffrinject", "n", *n, 1),
+		cli.MinInt("ffrinject", "workers", *workers, 0),
+		cli.MinInt("ffrinject", "shards", *shards, 0),
+		cli.MinInt("ffrinject", "snapshot-every", *snapEvery, 0),
+		cli.Requires("ffrinject", "resume", "checkpoint", !*resume || *checkpoint != ""),
+		cli.OneOf("ffrinject", "schedule", *schedule,
+			"", string(fault.ScheduleClustered), string(fault.SchedulePlan)),
+	); err != nil {
+		return err
 	}
 	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {

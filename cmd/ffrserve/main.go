@@ -24,6 +24,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/serve"
 )
 
@@ -57,14 +58,14 @@ func run() error {
 	flag.Var(&models, "model", "model artifact file to serve (repeatable)")
 	flag.Parse()
 
-	if args := flag.Args(); len(args) > 0 {
-		return fmt.Errorf("unexpected arguments: %v (run 'ffrserve -h' for usage)", args)
+	if err := cli.Check(
+		cli.NoArgs("ffrserve"),
+		cli.MinInt("ffrserve", "workers", *workers, 0),
+	); err != nil {
+		return err
 	}
 	if len(models) == 0 {
-		return fmt.Errorf("at least one -model artifact is required (run 'ffrserve -h' for usage)")
-	}
-	if *workers < 0 {
-		return fmt.Errorf("-workers must be >= 0 (got %d)", *workers)
+		return cli.UsageErrorf("ffrserve", "at least one -model artifact is required")
 	}
 
 	srv := serve.New(serve.Config{Workers: *workers, CacheSize: *cache})

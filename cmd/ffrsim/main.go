@@ -15,6 +15,7 @@ import (
 	"strconv"
 
 	"repro/internal/circuit"
+	"repro/internal/cli"
 	"repro/internal/sim"
 )
 
@@ -33,6 +34,12 @@ func run() error {
 	)
 	flag.Parse()
 
+	if err := cli.Check(
+		cli.NoArgs("ffrsim"),
+		cli.MinInt("ffrsim", "packets", *packets, 1),
+	); err != nil {
+		return err
+	}
 	nl, err := circuit.NewMAC10GE(circuit.DefaultMACConfig())
 	if err != nil {
 		return err

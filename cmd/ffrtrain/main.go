@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"repro"
+	"repro/internal/cli"
 )
 
 func main() {
@@ -44,20 +45,14 @@ func run() error {
 	)
 	flag.Parse()
 
-	if args := flag.Args(); len(args) > 0 {
-		return fmt.Errorf("unexpected arguments: %v (run 'ffrtrain -h' for usage)", args)
-	}
-	if *train <= 0 || *train >= 1 {
-		return fmt.Errorf("-train must be in (0,1) exclusive (got %g)", *train)
-	}
-	if *splits < 1 {
-		return fmt.Errorf("-splits must be >= 1 (got %d)", *splits)
-	}
-	if *n < 1 {
-		return fmt.Errorf("-n must be >= 1 (got %d)", *n)
-	}
-	if *samples < 1 {
-		return fmt.Errorf("-samples must be >= 1 (got %d)", *samples)
+	if err := cli.Check(
+		cli.NoArgs("ffrtrain"),
+		cli.OpenUnit("ffrtrain", "train", *train),
+		cli.MinInt("ffrtrain", "splits", *splits, 1),
+		cli.MinInt("ffrtrain", "n", *n, 1),
+		cli.MinInt("ffrtrain", "samples", *samples, 1),
+	); err != nil {
+		return err
 	}
 
 	spec, err := repro.FindModel(*model)

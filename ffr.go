@@ -1,21 +1,3 @@
-// Package repro is the public API of this reproduction of "On the
-// Estimation of Complex Circuits Functional Failure Rate by Machine
-// Learning Techniques" (Lange et al., DSN 2019).
-//
-// The package is a facade over the implementation packages in internal/:
-// it exposes the end-to-end study (circuit generation → synthesis →
-// simulation → feature extraction → fault-injection ground truth →
-// regression models → paper experiments) with stable names. The examples/
-// directory and cmd/ tools are written exclusively against this surface.
-//
-// Quick start:
-//
-//	study, err := repro.NewStudy(repro.DefaultStudyConfig())
-//	...
-//	campaign, err := study.RunGroundTruth()
-//	rows, err := study.Table1(repro.PaperModels(), repro.PaperCVSplits,
-//	    repro.PaperTrainFrac, 1)
-//	repro.RenderTable1(os.Stdout, rows)
 package repro
 
 import (
@@ -31,6 +13,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/persist"
+	"repro/internal/plan"
 )
 
 // Re-exported domain types. The facade intentionally aliases the internal
@@ -89,6 +72,32 @@ type (
 	TransferMatrix = core.TransferMatrix
 	// TransferCell is one (train → test) transfer measurement.
 	TransferCell = core.TransferCell
+	// AdaptiveStudy couples a Study with the active-learning campaign
+	// planner (train → score-uncertainty → inject → retrain).
+	AdaptiveStudy = core.AdaptiveStudy
+	// AdaptiveStudyConfig assembles an adaptive campaign over a study.
+	AdaptiveStudyConfig = core.AdaptiveConfig
+	// AdaptiveRound reports one completed planner round.
+	AdaptiveRound = plan.Round
+	// AdaptiveResult is the outcome of an adaptive campaign.
+	AdaptiveResult = plan.Result
+	// AdaptiveOutcome is one strategy's result in an adaptive-vs-full
+	// comparison.
+	AdaptiveOutcome = core.AdaptiveOutcome
+	// AdaptiveComparison is the CompareAdaptiveStrategies result.
+	AdaptiveComparison = core.AdaptiveComparison
+	// AcquisitionStrategy picks where an adaptive campaign injects next.
+	AcquisitionStrategy = plan.Strategy
+)
+
+// Acquisition strategy names (see plan.New): the random baseline, committee
+// disagreement across the model zoo, bootstrap-variance uncertainty
+// sampling, and k-means cluster coverage of the feature space.
+const (
+	StrategyRandom      = plan.StrategyRandom
+	StrategyCommittee   = plan.StrategyCommittee
+	StrategyUncertainty = plan.StrategyUncertainty
+	StrategyCluster     = plan.StrategyCluster
 )
 
 // Corpus scales.
@@ -164,6 +173,13 @@ var (
 	ParseCorpusScale = corpus.ParseScale
 	// NewCorpusStudy materializes a corpus scenario into a Study.
 	NewCorpusStudy = core.NewCorpusStudy
+	// NewAdaptiveStudy wires an active-learning planner onto a study.
+	NewAdaptiveStudy = core.NewAdaptiveStudy
+	// AdaptiveStrategyNames lists every built-in acquisition strategy.
+	AdaptiveStrategyNames = plan.StrategyNames
+	// CommitteeModelFactories is the model zoo the committee strategy
+	// measures disagreement across.
+	CommitteeModelFactories = core.CommitteeFactories
 	// CrossCircuit measures FDR-model transfer across a set of studies.
 	CrossCircuit = core.CrossCircuit
 	// RenderTransferMatrix writes the R² and Kendall-τ transfer matrices.

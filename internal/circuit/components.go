@@ -1,12 +1,3 @@
-// Package circuit contains structural generators that emit gate-level
-// netlists: word-level datapath primitives (adders, muxes, counters,
-// registers), a synchronous FIFO, a byte-wide CRC-32 engine, small demo
-// circuits, a random-circuit generator used by property tests, the
-// MAC10GE-lite design that substitutes for the paper's OpenCores 10GE MAC
-// core, and a mini synthesis pass that assigns drive strengths (the paper's
-// Synopsys-derived features).
-//
-// All word buses are slices of nets, least-significant bit first.
 package circuit
 
 import (

@@ -1,0 +1,83 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+)
+
+// Check returns the first non-nil error, letting a command validate all of
+// its flags in one expression.
+func Check(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// UsageErrorf formats a flag-validation failure the standard way: the
+// message, then a pointer at the command's -h.
+func UsageErrorf(cmd, format string, args ...any) error {
+	return fmt.Errorf("%s (run '%s -h' for usage)", fmt.Sprintf(format, args...), cmd)
+}
+
+// NoArgs rejects positional arguments — none of the ffr commands take any.
+// Call it after flag.Parse.
+func NoArgs(cmd string) error {
+	if args := flag.Args(); len(args) > 0 {
+		return UsageErrorf(cmd, "unexpected arguments: %v", args)
+	}
+	return nil
+}
+
+// MinInt requires flag -name to be at least min.
+func MinInt(cmd, name string, v, min int) error {
+	if v < min {
+		return UsageErrorf(cmd, "-%s must be >= %d (got %d)", name, min, v)
+	}
+	return nil
+}
+
+// OpenUnit requires flag -name to lie strictly inside (0,1).
+func OpenUnit(cmd, name string, v float64) error {
+	if v <= 0 || v >= 1 {
+		return UsageErrorf(cmd, "-%s must be in (0,1) exclusive (got %g)", name, v)
+	}
+	return nil
+}
+
+// NonNegFloat requires flag -name to be zero or positive.
+func NonNegFloat(cmd, name string, v float64) error {
+	if v < 0 {
+		return UsageErrorf(cmd, "-%s must be >= 0 (got %g)", name, v)
+	}
+	return nil
+}
+
+// Requires enforces a flag dependency: when -name is used, -dependency must
+// be set too. Pass the violation as ok == false.
+func Requires(cmd, name, dependency string, ok bool) error {
+	if !ok {
+		return UsageErrorf(cmd, "-%s requires -%s", name, dependency)
+	}
+	return nil
+}
+
+// OneOf requires flag -name to be one of the valid values ("" is allowed
+// only when listed).
+func OneOf(cmd, name, v string, valid ...string) error {
+	for _, ok := range valid {
+		if v == ok {
+			return nil
+		}
+	}
+	shown := make([]string, 0, len(valid))
+	for _, s := range valid {
+		if s != "" {
+			shown = append(shown, s)
+		}
+	}
+	return UsageErrorf(cmd, "-%s must be one of %s (got %q)", name, strings.Join(shown, ", "), v)
+}

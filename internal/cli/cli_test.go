@@ -1,0 +1,78 @@
+package cli
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCheckReturnsFirstError(t *testing.T) {
+	e1, e2 := errors.New("first"), errors.New("second")
+	if got := Check(nil, e1, e2); got != e1 {
+		t.Errorf("Check = %v, want the first error", got)
+	}
+	if got := Check(nil, nil); got != nil {
+		t.Errorf("Check of nils = %v, want nil", got)
+	}
+}
+
+func TestUsageErrorf(t *testing.T) {
+	err := UsageErrorf("ffrx", "-n must be >= %d (got %d)", 1, 0)
+	want := "-n must be >= 1 (got 0) (run 'ffrx -h' for usage)"
+	if err.Error() != want {
+		t.Errorf("UsageErrorf = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestMinInt(t *testing.T) {
+	if err := MinInt("ffrx", "n", 5, 1); err != nil {
+		t.Errorf("valid value rejected: %v", err)
+	}
+	err := MinInt("ffrx", "n", 0, 1)
+	if err == nil || !strings.Contains(err.Error(), "-n must be >= 1 (got 0)") {
+		t.Errorf("MinInt violation = %v", err)
+	}
+}
+
+func TestOpenUnit(t *testing.T) {
+	if err := OpenUnit("ffrx", "train", 0.5); err != nil {
+		t.Errorf("valid fraction rejected: %v", err)
+	}
+	for _, v := range []float64{0, 1, -0.1, 1.5} {
+		if OpenUnit("ffrx", "train", v) == nil {
+			t.Errorf("OpenUnit accepted %v", v)
+		}
+	}
+}
+
+func TestNonNegFloat(t *testing.T) {
+	if err := NonNegFloat("ffrx", "delta", 0); err != nil {
+		t.Errorf("zero rejected: %v", err)
+	}
+	if NonNegFloat("ffrx", "delta", -1) == nil {
+		t.Error("negative accepted")
+	}
+}
+
+func TestRequires(t *testing.T) {
+	if err := Requires("ffrx", "resume", "checkpoint", true); err != nil {
+		t.Errorf("satisfied dependency rejected: %v", err)
+	}
+	err := Requires("ffrx", "resume", "checkpoint", false)
+	if err == nil || !strings.Contains(err.Error(), "-resume requires -checkpoint") {
+		t.Errorf("Requires violation = %v", err)
+	}
+}
+
+func TestOneOf(t *testing.T) {
+	if err := OneOf("ffrx", "schedule", "clustered", "", "clustered", "plan"); err != nil {
+		t.Errorf("valid value rejected: %v", err)
+	}
+	if err := OneOf("ffrx", "schedule", "", "", "clustered", "plan"); err != nil {
+		t.Errorf("allowed empty rejected: %v", err)
+	}
+	err := OneOf("ffrx", "schedule", "zigzag", "", "clustered", "plan")
+	if err == nil || !strings.Contains(err.Error(), `must be one of clustered, plan (got "zigzag")`) {
+		t.Errorf("OneOf violation = %v", err)
+	}
+}

@@ -1,0 +1,7 @@
+// Package cli holds the flag-validation helpers shared by every command
+// under cmd/. All commands follow the same contract: main delegates to a
+// run() error, and flag misuse produces a consistent one-line error ending
+// in a pointer at -h — never a bare log.Fatal, never a full usage dump. The
+// helpers return errors (instead of exiting) so they are unit-testable and
+// composable with Check.
+package cli

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/fault"
+	"repro/internal/plan"
+)
+
+// checkAdaptiveHeadline asserts the paper-level claim on one study: the
+// committee or uncertainty strategy reaches R² within 0.02 of full-campaign
+// training while spending at most half the pool's injections, with the
+// random baseline measured alongside for comparison.
+func checkAdaptiveHeadline(t *testing.T, s *Study, label string, seed int64) {
+	t.Helper()
+	cmp, err := s.CompareAdaptiveStrategies(
+		[]string{plan.StrategyRandom, plan.StrategyCommittee, plan.StrategyUncertainty},
+		PaperModels()[1], 0.5, 6, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Outcomes) != 3 || cmp.Outcomes[0].Strategy != plan.StrategyRandom {
+		t.Fatalf("%s: comparison missing the random baseline: %+v", label, cmp.Outcomes)
+	}
+	best := -1.0
+	for _, o := range cmp.Outcomes {
+		t.Logf("%s: %-12s measured %d/%d FFs (%.1f%% of injections) R²=%.4f vs full %.4f (gap %+.4f)",
+			label, o.Strategy, o.MeasuredFFs, cmp.PoolFFs, 100*o.InjectionFrac, o.R2, cmp.FullR2, cmp.FullR2-o.R2)
+		if o.InjectionFrac > 0.5 {
+			t.Errorf("%s: %s spent %.3f of the full-campaign injections, budget 0.5",
+				label, o.Strategy, o.InjectionFrac)
+		}
+		if o.Strategy != plan.StrategyRandom && o.R2 > best {
+			best = o.R2
+		}
+	}
+	if gap := cmp.FullR2 - best; gap > 0.02 {
+		t.Errorf("%s: best informed strategy R²=%.4f is %.4f below full-campaign R²=%.4f (tolerance 0.02)",
+			label, best, gap, cmp.FullR2)
+	}
+}
+
+// TestAdaptiveReachesFullCampaignQualityMAC is the headline on the paper's
+// DUT: active selection matches full-campaign estimation quality at half the
+// injections.
+func TestAdaptiveReachesFullCampaignQualityMAC(t *testing.T) {
+	checkAdaptiveHeadline(t, smallStudy(t), "mac10ge/loopback", 2)
+}
+
+// TestAdaptiveReachesFullCampaignQualityCorpus repeats the headline on two
+// corpus scenarios, pinning that the budget win is not a MAC artifact.
+func TestAdaptiveReachesFullCampaignQualityCorpus(t *testing.T) {
+	for _, id := range []string{"rrarb/uniform", "uartser/paced"} {
+		sc, err := corpus.Find(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := NewCorpusStudy(sc, CorpusStudyConfig{Scale: corpus.ScaleSmall, InjectionsPerFF: 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.RunGroundTruth(); err != nil {
+			t.Fatal(err)
+		}
+		checkAdaptiveHeadline(t, s, id, 1)
+	}
+}
+
+// adaptiveResumeStudy builds the fixture of the interruption tests: a small
+// corpus study with fine-grained campaign chunking so rounds span several
+// checkpointable chunks.
+func adaptiveResumeStudy(t *testing.T) *Study {
+	t.Helper()
+	sc, err := corpus.Find("alupipe/randomops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewCorpusStudy(sc, CorpusStudyConfig{
+		Scale:           corpus.ScaleSmall,
+		InjectionsPerFF: 8,
+		ChunkJobs:       64,
+		CheckpointEvery: 1,
+		Workers:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func adaptiveResumeConfig(ckpt string, resume bool) AdaptiveConfig {
+	return AdaptiveConfig{
+		Strategy: plan.StrategyCommittee, Seed: 9,
+		InitFFs: 12, RoundFFs: 12, BudgetFFs: 36,
+		Checkpoint: ckpt, Resume: resume,
+	}
+}
+
+// TestAdaptiveStudyResumeBitIdentical interrupts a real adaptive campaign
+// mid-round (context cancellation while the round's fault.Runner is between
+// chunks) and checks the resumed loop selects bit-identical jobs and lands
+// on the same final model fingerprint as an uninterrupted twin.
+func TestAdaptiveStudyResumeBitIdentical(t *testing.T) {
+	// Uninterrupted reference on its own (deterministically materialized)
+	// study.
+	refStudy := adaptiveResumeStudy(t)
+	refAdaptive, err := NewAdaptiveStudy(refStudy, adaptiveResumeConfig("", false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refAdaptive.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Rounds) < 3 {
+		t.Fatalf("fixture too small: %d rounds", len(ref.Rounds))
+	}
+
+	// Interrupted run: cancel from the campaign progress callback once
+	// round 0 has completed — i.e. in the middle of round 1's campaign.
+	ckpt := filepath.Join(t.TempDir(), "adaptive.ffrp")
+	s := adaptiveResumeStudy(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var armed atomic.Bool
+	s.Config.Progress = func(fault.Progress) {
+		if armed.Load() {
+			cancel()
+		}
+	}
+	cfg := adaptiveResumeConfig(ckpt, true)
+	cfg.OnRound = func(plan.Round) { armed.Store(true) }
+	interrupted, err := NewAdaptiveStudy(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := interrupted.RunContext(ctx); !errors.Is(err, fault.ErrInterrupted) {
+		t.Fatalf("interrupted run returned %v, want fault.ErrInterrupted", err)
+	}
+
+	// Resume on the same study, interference removed.
+	s.Config.Progress = nil
+	resumed, err := NewAdaptiveStudy(s, adaptiveResumeConfig(ckpt, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Rounds) != len(ref.Rounds) {
+		t.Fatalf("resumed loop ran %d rounds, reference %d", len(res.Rounds), len(ref.Rounds))
+	}
+	for i := range ref.Rounds {
+		if !reflect.DeepEqual(res.Rounds[i].Selected, ref.Rounds[i].Selected) {
+			t.Errorf("round %d selected %v, reference %v", i, res.Rounds[i].Selected, ref.Rounds[i].Selected)
+		}
+		if res.Rounds[i].FFR != ref.Rounds[i].FFR {
+			t.Errorf("round %d FFR %v, reference %v", i, res.Rounds[i].FFR, ref.Rounds[i].FFR)
+		}
+	}
+	if !reflect.DeepEqual(res.Measured, ref.Measured) {
+		t.Error("resumed loop measured a different flip-flop set")
+	}
+	if res.ModelFingerprint != ref.ModelFingerprint {
+		t.Errorf("final model fingerprint %x, reference %x", res.ModelFingerprint, ref.ModelFingerprint)
+	}
+	if res.EstimateFingerprint != ref.EstimateFingerprint {
+		t.Errorf("estimate fingerprint %x, reference %x", res.EstimateFingerprint, ref.EstimateFingerprint)
+	}
+	if res.FFR != ref.FFR {
+		t.Errorf("final FFR %v, reference %v", res.FFR, ref.FFR)
+	}
+}
+
+// TestReplayTargetMatchesPartialCampaign pins the equivalence the comparison
+// protocol relies on: serving round counts from the ground-truth campaign is
+// bit-identical to actually re-injecting the round's flip-flops.
+func TestReplayTargetMatchesPartialCampaign(t *testing.T) {
+	s := smallStudy(t)
+	ffs := []int{0, 7, 31, 100, s.NumFFs() - 1}
+	measured, err := s.RunPartialCampaign(ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := (&replayTarget{study: s, campaign: s.Campaign}).RunRound(context.Background(), ffs, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ff := range ffs {
+		if measured.Failures[ff] != replay.Failures[ff] || measured.Injections[ff] != replay.Injections[ff] {
+			t.Errorf("FF %d: measured %d/%d, replay %d/%d",
+				ff, measured.Failures[ff], measured.Injections[ff], replay.Failures[ff], replay.Injections[ff])
+		}
+	}
+}
+
+// TestStudyTargetRunsRealCampaign checks the production adapter measures the
+// same counts as the study's partial-campaign path.
+func TestStudyTargetRunsRealCampaign(t *testing.T) {
+	s := smallStudy(t)
+	ffs := []int{3, 17, 42}
+	want, err := s.RunPartialCampaign(ffs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (&studyTarget{study: s}).RunRound(context.Background(), ffs, "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ff := range ffs {
+		if want.Failures[ff] != got.Failures[ff] || want.Injections[ff] != got.Injections[ff] {
+			t.Errorf("FF %d: partial %d/%d, target %d/%d",
+				ff, want.Failures[ff], want.Injections[ff], got.Failures[ff], got.Injections[ff])
+		}
+	}
+}
+
+func TestNewAdaptiveStudyValidation(t *testing.T) {
+	s := smallStudy(t)
+	if _, err := NewAdaptiveStudy(s, AdaptiveConfig{Strategy: "nope"}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := NewAdaptiveStudy(s, AdaptiveConfig{Resume: true}); err == nil {
+		t.Error("Resume without Checkpoint accepted")
+	}
+	a, err := NewAdaptiveStudy(s, AdaptiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StrategyName != plan.StrategyCommittee {
+		t.Errorf("default strategy %q, want committee", a.StrategyName)
+	}
+	if len(CommitteeFactories()) < 3 {
+		t.Errorf("committee zoo has %d members", len(CommitteeFactories()))
+	}
+}
+
+func TestCompareAdaptiveValidation(t *testing.T) {
+	s := smallStudy(t)
+	if _, err := s.CompareAdaptiveStrategies([]string{"random"}, PaperModels()[1], 0, 4, 1); err == nil {
+		t.Error("zero budget fraction accepted")
+	}
+	if _, err := s.CompareAdaptiveStrategies([]string{"random"}, PaperModels()[1], 0.5, 0, 1); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	if _, err := s.CompareAdaptiveStrategies([]string{"bogus"}, PaperModels()[1], 0.5, 4, 1); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,12 @@
+// Package core implements the paper's contribution: the Functional
+// De-Rating estimation flow of Fig. 1. It wires the substrates together —
+// circuit generation and synthesis (or any corpus scenario), testbench
+// simulation and activity tracing, feature extraction, the flat statistical
+// fault-injection campaign — and exposes the machine-learning estimation
+// protocol used by every experiment in Section IV (Table I, Figures 2–4),
+// the cross-circuit transfer study, and the active-learning extension:
+// NewAdaptiveStudy couples a Study with the plan package's campaign planner
+// so the model chooses where to inject next, and CompareAdaptiveStrategies
+// measures the resulting budget-vs-quality win against full-campaign
+// training.
+package core

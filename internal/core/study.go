@@ -1,9 +1,3 @@
-// Package core implements the paper's contribution: the Functional
-// De-Rating estimation flow of Fig. 1. It wires the substrates together —
-// circuit generation and synthesis, testbench simulation and activity
-// tracing, feature extraction, the flat statistical fault-injection
-// campaign — and exposes the machine-learning estimation protocol used by
-// every experiment in Section IV (Table I, Figures 2–4).
 package core
 
 import (
@@ -272,18 +266,7 @@ func (s *Study) RunGroundTruthContext(ctx context.Context) (*fault.Result, error
 // fingerprint differs from the ground truth's) but still reuse the study's
 // golden trace and snapshots, so they ride the same incremental path.
 func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
-	plan := make([]fault.Job, 0, len(ffs)*s.Config.InjectionsPerFF)
-	full := fault.NewPlan(s.NumFFs(), s.Config.InjectionsPerFF, s.activeCycles, s.Config.CampaignSeed)
-	want := make(map[int]bool, len(ffs))
-	for _, ff := range ffs {
-		want[ff] = true
-	}
-	for _, j := range full {
-		if want[j.FF] {
-			plan = append(plan, j)
-		}
-	}
-	res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier, plan,
+	res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier, s.planFor(ffs),
 		fault.RunnerConfig{
 			Workers:   s.Config.Workers,
 			Golden:    s.golden,

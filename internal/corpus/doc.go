@@ -1,0 +1,14 @@
+// Package corpus is the circuit/scenario registry that turns the repository
+// from a single-DUT reproduction into a corpus of devices under test. Each
+// registered Entry bundles a deterministic, seedable netlist generator with
+// one or more testbench workloads; a (family, workload) pair is a Scenario,
+// the unit everything downstream consumes: the corpus CLI enumerates and
+// sweeps scenarios, core studies materialize them, cross-circuit experiments
+// train on one and predict on another, and saved model artifacts carry their
+// scenario tags so the prediction service can tell models apart.
+//
+// The built-in corpus covers five DUT families (the paper's MAC10GE-lite,
+// a pipelined ALU datapath, a round-robin arbiter/switch slice, a UART-style
+// serializer with a baud timer, and a randomized sequential circuit) under
+// nine workload variants; external packages can Register more.
+package corpus

@@ -1,0 +1,19 @@
+// Package fault implements the paper's flat statistical fault-injection
+// campaign (Section IV-A): SEUs are injected by inverting the value stored
+// in flip-flops at random times during the active simulation phase, runs are
+// classified at the applicative level against a golden reference, and the
+// per-flip-flop Functional De-Rating factor is the fraction of failing runs.
+//
+// The campaign exploits the 64-lane bit-parallel engine: 64 independent
+// injection runs execute per simulation pass. Execution is owned by Runner,
+// which shards the plan into fixed-size chunks, fans them out across a
+// bounded worker pool, merges partial results deterministically (worker
+// count and chunk size never change the outcome), and can checkpoint
+// completed-chunk state to disk for exact resume. RunCampaign and RunJobs
+// are thin convenience wrappers over Runner.
+//
+// The same machinery serves partial campaigns: the core estimation flow
+// injects only a training subset, and the active-learning planner (package
+// plan) runs every adaptive round on a checkpointed Runner, whose plan
+// fingerprints are what make interrupted loops resume bit-identically.
+package fault

@@ -1,7 +1,3 @@
-// Package features extracts the paper's per-flip-flop feature set
-// (Section III-B): structural features from the netlist graph, synthesis
-// features from the mapped cell types, and dynamic features from simulated
-// signal activity. It also serializes feature matrices to/from CSV.
 package features
 
 // Vector holds all features of one flip-flop, in the paper's order.

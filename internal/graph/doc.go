@@ -1,0 +1,8 @@
+// Package graph implements the directed-graph algorithms used for circuit
+// analysis: breadth-first search, Dijkstra's shortest path (the algorithm the
+// paper names for stage counting), transitive reachability, shortest cycles,
+// and topological sorting (used to levelize netlists for simulation).
+//
+// Nodes are dense integer IDs in [0, Order()); callers map their own entities
+// (cells, flip-flops, ports) onto IDs.
+package graph

@@ -1,0 +1,5 @@
+// Package ensemble implements the boosting/bagging regressors the paper
+// lists as future work (Section V): a random forest (bootstrap-aggregated
+// CART trees with feature subsampling) and least-squares gradient boosting
+// (shallow trees fitted to residuals with shrinkage).
+package ensemble

@@ -1,0 +1,102 @@
+package ml
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// threeBlobs builds a dataset with three well-separated clusters.
+func threeBlobs(perCluster int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	centers := [][]float64{{0, 0}, {10, 10}, {-10, 8}}
+	var X [][]float64
+	var truth []int
+	for c, center := range centers {
+		for i := 0; i < perCluster; i++ {
+			X = append(X, []float64{
+				center[0] + rng.NormFloat64()*0.5,
+				center[1] + rng.NormFloat64()*0.5,
+			})
+			truth = append(truth, c)
+		}
+	}
+	return X, truth
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	X, truth := threeBlobs(20, 7)
+	km := NewKMeans(3)
+	if err := km.Fit(X, 1); err != nil {
+		t.Fatal(err)
+	}
+	labels := km.Labels(X)
+	// Every true cluster must map onto exactly one fitted cluster.
+	mapping := map[int]int{}
+	for i, l := range labels {
+		if prev, ok := mapping[truth[i]]; ok && prev != l {
+			t.Fatalf("true cluster %d split across fitted clusters %d and %d", truth[i], prev, l)
+		}
+		mapping[truth[i]] = l
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("recovered %d clusters, want 3", len(mapping))
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	X, _ := threeBlobs(15, 3)
+	fit := func() ([][]float64, []int) {
+		km := NewKMeans(4)
+		if err := km.Fit(X, 42); err != nil {
+			t.Fatal(err)
+		}
+		return km.Centers, km.Labels(X)
+	}
+	c1, l1 := fit()
+	c2, l2 := fit()
+	if !reflect.DeepEqual(c1, c2) {
+		t.Error("same (data, k, seed) produced different centers")
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Error("same (data, k, seed) produced different labels")
+	}
+}
+
+func TestKMeansKLargerThanData(t *testing.T) {
+	X := [][]float64{{1, 2}, {3, 4}}
+	km := NewKMeans(10)
+	if err := km.Fit(X, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(km.Centers) != 2 {
+		t.Errorf("K capped at %d centers, want 2", len(km.Centers))
+	}
+}
+
+func TestKMeansDegenerateData(t *testing.T) {
+	// All points identical: every center collapses onto the point and
+	// assignment is still well defined.
+	X := [][]float64{{5, 5}, {5, 5}, {5, 5}}
+	km := NewKMeans(2)
+	if err := km.Fit(X, 9); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range km.Labels(X) {
+		if l < 0 || l >= len(km.Centers) {
+			t.Errorf("label %d out of range", l)
+		}
+	}
+}
+
+func TestKMeansBadInput(t *testing.T) {
+	if err := NewKMeans(0).Fit([][]float64{{1}}, 1); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if err := NewKMeans(2).Fit(nil, 1); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if err := NewKMeans(2).Fit([][]float64{{1, 2}, {3}}, 1); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+}

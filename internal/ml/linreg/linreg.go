@@ -1,7 +1,3 @@
-// Package linreg implements the paper's Linear Least Squares regressor
-// (Section IV-B1): an ordinary least squares fit of a linear model, solved
-// by Householder QR, plus an optional ridge penalty for rank-deficient
-// feature matrices.
 package linreg
 
 import (

@@ -1,0 +1,37 @@
+package metrics
+
+import "math"
+
+// MeanCI returns the sample mean of xs together with its normal-approximation
+// confidence interval at critical value z (z = 1.96 for 95 %):
+// mean ± z·s/√n with s the sample standard deviation (n−1 denominator).
+//
+// The adaptive campaign planner uses the interval width as a convergence
+// criterion, so the edge cases are defined conservatively — they must never
+// report false certainty:
+//
+//   - n == 0: mean is NaN and the interval is (-Inf, +Inf).
+//   - n == 1: the mean is exact but the spread is unknowable; the interval
+//     is (-Inf, +Inf).
+//   - all values equal (s == 0): the interval collapses to [mean, mean].
+func MeanCI(xs []float64, z float64) (mean, lo, hi float64) {
+	n := float64(len(xs))
+	if len(xs) == 0 {
+		return math.NaN(), math.Inf(-1), math.Inf(1)
+	}
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	mean = sum / n
+	if len(xs) < 2 {
+		return mean, math.Inf(-1), math.Inf(1)
+	}
+	var ss float64
+	for _, v := range xs {
+		d := v - mean
+		ss += d * d
+	}
+	margin := z * math.Sqrt(ss/(n-1)) / math.Sqrt(n)
+	return mean, mean - margin, mean + margin
+}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanCIEmpty(t *testing.T) {
+	mean, lo, hi := MeanCI(nil, 1.96)
+	if !math.IsNaN(mean) {
+		t.Errorf("mean of empty sample = %v, want NaN", mean)
+	}
+	if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+		t.Errorf("CI of empty sample = (%v, %v), want (-Inf, +Inf)", lo, hi)
+	}
+}
+
+func TestMeanCISingleton(t *testing.T) {
+	mean, lo, hi := MeanCI([]float64{0.25}, 1.96)
+	if mean != 0.25 {
+		t.Errorf("mean = %v, want 0.25", mean)
+	}
+	if !math.IsInf(lo, -1) || !math.IsInf(hi, 1) {
+		t.Errorf("CI of singleton = (%v, %v), want (-Inf, +Inf): one sample must not look converged", lo, hi)
+	}
+}
+
+func TestMeanCIAllEqual(t *testing.T) {
+	mean, lo, hi := MeanCI([]float64{0.5, 0.5, 0.5, 0.5}, 1.96)
+	if mean != 0.5 || lo != 0.5 || hi != 0.5 {
+		t.Errorf("all-equal sample: mean=%v CI=(%v, %v), want the interval collapsed at 0.5", mean, lo, hi)
+	}
+}
+
+func TestMeanCIKnownValue(t *testing.T) {
+	// Sample {0, 1}: mean 0.5, s = √0.5, margin = z·s/√2 = z/2.
+	mean, lo, hi := MeanCI([]float64{0, 1}, 1.96)
+	if mean != 0.5 {
+		t.Errorf("mean = %v, want 0.5", mean)
+	}
+	if want := 0.5 - 0.98; math.Abs(lo-want) > 1e-12 {
+		t.Errorf("lo = %v, want %v", lo, want)
+	}
+	if want := 0.5 + 0.98; math.Abs(hi-want) > 1e-12 {
+		t.Errorf("hi = %v, want %v", hi, want)
+	}
+}
+
+func TestMeanCIWidthShrinksWithN(t *testing.T) {
+	small := []float64{0, 1, 0, 1}
+	large := make([]float64, 64)
+	for i := range large {
+		large[i] = float64(i % 2)
+	}
+	_, lo1, hi1 := MeanCI(small, 1.96)
+	_, lo2, hi2 := MeanCI(large, 1.96)
+	if hi2-lo2 >= hi1-lo1 {
+		t.Errorf("width did not shrink with n: %v (n=4) vs %v (n=64)", hi1-lo1, hi2-lo2)
+	}
+}

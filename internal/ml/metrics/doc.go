@@ -1,0 +1,5 @@
+// Package metrics implements the paper's regression evaluation metrics
+// (Section III-C, Equations 1-5): Mean Absolute Error, Maximum Absolute
+// Error, Root Mean Squared Error, Explained Variance and the Coefficient of
+// Determination R².
+package metrics

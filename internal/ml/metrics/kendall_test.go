@@ -39,6 +39,46 @@ func TestKendallTauTieCorrection(t *testing.T) {
 	}
 }
 
+func TestKendallTauSingleton(t *testing.T) {
+	// n = 1: no pairs at all, so there is no rank information — 0, not a
+	// panic. The planner's convergence bookkeeping hits this on the first
+	// round of a one-FF pool.
+	if got := KendallTau([]float64{0.5}, []float64{0.9}); got != 0 {
+		t.Errorf("singleton tau = %v, want 0", got)
+	}
+}
+
+func TestKendallTauAllTied(t *testing.T) {
+	// Every pair tied on both sides: neither concordance nor rank
+	// information exists on either side.
+	y := []float64{0.5, 0.5, 0.5}
+	if got := KendallTau(y, y); got != 0 {
+		t.Errorf("all-tied tau = %v, want 0", got)
+	}
+}
+
+func TestKendallTauAllEqualPredictions(t *testing.T) {
+	// A model predicting one constant for a varying truth has preserved no
+	// ordering whatsoever — exactly 0, even though the truth has full rank
+	// information.
+	y := []float64{0.1, 0.4, 0.2, 0.9}
+	if got := KendallTau(y, []float64{0.3, 0.3, 0.3, 0.3}); got != 0 {
+		t.Errorf("all-equal-prediction tau = %v, want 0", got)
+	}
+}
+
+func TestKendallTauTiesBothSides(t *testing.T) {
+	// One pair tied in y only, one tied in yhat only, rest concordant:
+	// y: {1,1,2,3}, yhat: {1,2,3,3}.
+	// Pairs: (0,1) tie in y; (2,3) tie in yhat; other 4 concordant.
+	// tau-b = 4 / sqrt((4+0+1)*(4+0+1)) = 4/5.
+	y := []float64{1, 1, 2, 3}
+	yhat := []float64{1, 2, 3, 3}
+	if got, want := KendallTau(y, yhat), 0.8; !almostEq(got, want) {
+		t.Errorf("tau-b with ties on both sides = %v, want %v", got, want)
+	}
+}
+
 func TestKendallTauMixed(t *testing.T) {
 	y := []float64{1, 2, 3, 4}
 	yhat := []float64{1, 3, 2, 4}

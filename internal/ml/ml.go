@@ -1,9 +1,3 @@
-// Package ml is the supervised-regression toolkit the reproduction uses in
-// place of scikit-learn: the Regressor contract, feature scaling, dataset
-// splitting (plain, k-fold, and the paper's stratified shuffle splits), and
-// a scaler+model pipeline. Concrete models live in the subpackages linreg,
-// knn, svr, tree, ensemble and mlp; evaluation metrics in metrics; and
-// cross-validation/hyperparameter search/learning curves in modelsel.
 package ml
 
 import (

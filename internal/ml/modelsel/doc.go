@@ -1,0 +1,5 @@
+// Package modelsel implements the paper's evaluation protocol: repeated
+// train/test evaluation over splits, hyperparameter tuning by random search
+// refined by grid search (Section III-A), and learning curves over the
+// training size (Figures 2b, 3b, 4b).
+package modelsel

@@ -1,17 +1,3 @@
-// Package svr implements the paper's Support Vector Regression with RBF
-// kernel (Section IV-B3): ε-insensitive loss, box constraint C, trained by
-// SMO-style dual coordinate descent.
-//
-// Solver note: the bias is handled through kernel augmentation
-// (K'(a,b) = K(a,b) + 1, a regularized bias), which removes the equality
-// constraint of the classic SMO dual and lets single-coefficient updates
-// converge with a closed-form soft-threshold step:
-//
-//	βᵢ ← clip( soft(yᵢ − Σ_{j≠i} βⱼK'ᵢⱼ, ε) / K'ᵢᵢ, −C, C )
-//
-// For standardized features this is numerically indistinguishable from
-// libsvm's explicit-bias solution at the paper's operating points (the SVR
-// unit tests pin the agreement on synthetic problems).
 package svr
 
 import (

@@ -1,0 +1,5 @@
+// Package tree implements a CART regression tree — the Decision Tree
+// Regressor the paper lists as future work (Section V). Splits minimize the
+// weighted variance of the children (equivalently, maximize variance
+// reduction); leaves predict the mean target of their samples.
+package tree

@@ -1,0 +1,10 @@
+// Package netlist models gate-level circuits: a standard-cell library in the
+// style of the NanGate FreePDK45 Open Cell Library (logic function + drive
+// strength variants), netlists of cells and nets, a builder API used by the
+// structural circuit generators, a validator, and a plain-text serialization
+// format (.gnl) with parser and writer.
+//
+// The library replaces the paper's use of the NanGate FreePDK45 kit: the
+// methodology only consumes cell identity, pin structure and drive strength,
+// all of which are modelled here (see DESIGN.md, substitution table).
+package netlist

@@ -1,0 +1,13 @@
+// Package persist is the model artifact store: the versioned on-disk format
+// that lets a regressor trained on one fault-injection campaign be reloaded
+// — bit-identical — by any later process, turning the paper's
+// train-once/predict-forever promise into a file.
+//
+// An artifact is a single file holding a human-readable JSON header line
+// (format identification, version, model name and kind, the feature schema,
+// a training-data fingerprint, CV metrics) followed by a gob payload with
+// the fitted model. The layout mirrors fault/checkpoint.go: the header lets
+// loaders reject foreign, stale or undecodable files before touching the
+// binary payload, and saves are atomic (temp sibling + rename) so an
+// interrupted save never corrupts an existing artifact.
+package persist

@@ -1,0 +1,225 @@
+package plan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// strategyState builds a State with the given measured set over a synthetic
+// feature matrix.
+func strategyState(t *testing.T, numFFs int, measured []int, seed int64) (*State, *fakeTarget) {
+	t.Helper()
+	target := newFakeTarget(numFFs, 10, seed)
+	st := &State{
+		X:          target.X,
+		Pool:       make([]int, numFFs),
+		Measured:   make([]bool, numFFs),
+		FDR:        make([]float64, numFFs),
+		Failures:   make([]int, numFFs),
+		Injections: make([]int, numFFs),
+		Round:      1,
+		Seed:       seed,
+	}
+	for i := range st.Pool {
+		st.Pool[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, ff := range measured {
+		st.Measured[ff] = true
+		st.FDR[ff] = target.truth[ff] + rng.NormFloat64()*0.02
+		st.Injections[ff] = 10
+	}
+	return st, target
+}
+
+func measuredRange(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// checkSelection asserts the Strategy output contract: ascending, unmeasured,
+// within budget.
+func checkSelection(t *testing.T, st *State, sel []int, n int) {
+	t.Helper()
+	if len(sel) > n {
+		t.Fatalf("selected %d > budget %d", len(sel), n)
+	}
+	for i, ff := range sel {
+		if st.Measured[ff] {
+			t.Errorf("selected already-measured flip-flop %d", ff)
+		}
+		if i > 0 && sel[i-1] >= ff {
+			t.Fatalf("selection not strictly ascending: %v", sel)
+		}
+	}
+}
+
+func TestStrategiesContractAndDeterminism(t *testing.T) {
+	for _, name := range StrategyNames() {
+		t.Run(name, func(t *testing.T) {
+			strategy, err := New(name, testModel(), testCommittee())
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, _ := strategyState(t, 90, measuredRange(30), 5)
+			sel, err := strategy.Select(st, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sel) != 12 {
+				t.Fatalf("selected %d flip-flops, want 12", len(sel))
+			}
+			checkSelection(t, st, sel, 12)
+
+			st2, _ := strategyState(t, 90, measuredRange(30), 5)
+			sel2, err := strategy.Select(st2, 12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(sel, sel2) {
+				t.Errorf("selection not deterministic: %v vs %v", sel, sel2)
+			}
+		})
+	}
+}
+
+func TestStrategiesColdStartMatchesRandom(t *testing.T) {
+	// With no measurements yet, committee and uncertainty must fall back to
+	// the exact random draw, so strategy comparisons share their round 0.
+	st, _ := strategyState(t, 60, nil, 9)
+	random, _ := New(StrategyRandom, nil, nil)
+	want, err := random.Select(st, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{StrategyCommittee, StrategyUncertainty} {
+		strategy, err := New(name, testModel(), testCommittee())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2, _ := strategyState(t, 60, nil, 9)
+		got, err := strategy.Select(st2, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s cold start %v differs from random draw %v", name, got, want)
+		}
+	}
+}
+
+func TestCommitteePrefersDisagreement(t *testing.T) {
+	// Committee scores are prediction variances; the selected set must carry
+	// a higher mean disagreement than the rejected set.
+	st, _ := strategyState(t, 120, measuredRange(40), 3)
+	c := Committee{Members: testCommittee()}
+	sel, err := c.Select(st, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selSet := map[int]bool{}
+	for _, ff := range sel {
+		selSet[ff] = true
+	}
+	trX, trY := st.TrainData()
+	var preds [][]float64
+	for _, f := range c.Members {
+		m := f()
+		if err := m.Fit(trX, trY); err != nil {
+			t.Fatal(err)
+		}
+		cand := st.Unmeasured()
+		p := make([]float64, len(cand))
+		for k, ff := range cand {
+			p[k] = m.Predict(st.X[ff])
+		}
+		preds = append(preds, p)
+	}
+	cand := st.Unmeasured()
+	var selVar, otherVar float64
+	var nOther int
+	for k, ff := range cand {
+		v := predictionVariance(preds, k)
+		if selSet[ff] {
+			selVar += v
+		} else {
+			otherVar += v
+			nOther++
+		}
+	}
+	if selVar/float64(len(sel)) <= otherVar/float64(nOther) {
+		t.Errorf("selected mean variance %v not above rejected %v",
+			selVar/float64(len(sel)), otherVar/float64(nOther))
+	}
+}
+
+func TestClusterCoverageSpreads(t *testing.T) {
+	// Cluster coverage must hit every well-separated blob at least once.
+	rng := rand.New(rand.NewSource(2))
+	centers := [][]float64{{0, 0, 0}, {8, 8, 0}, {-8, 5, 3}, {3, -9, 7}}
+	var X [][]float64
+	blobOf := map[int]int{}
+	for c, center := range centers {
+		for i := 0; i < 20; i++ {
+			blobOf[len(X)] = c
+			X = append(X, []float64{
+				center[0] + rng.NormFloat64()*0.3,
+				center[1] + rng.NormFloat64()*0.3,
+				center[2] + rng.NormFloat64()*0.3,
+			})
+		}
+	}
+	cst := &State{
+		X: X, Pool: measuredRange(len(X)),
+		Measured: make([]bool, len(X)), FDR: make([]float64, len(X)),
+		Failures: make([]int, len(X)), Injections: make([]int, len(X)),
+		Seed: 4,
+	}
+	sel, err := ClusterCoverage{K: 4}.Select(cst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 8 {
+		t.Fatalf("selected %d, want 8", len(sel))
+	}
+	hit := map[int]bool{}
+	for _, ff := range sel {
+		hit[blobOf[ff]] = true
+	}
+	if len(hit) != len(centers) {
+		t.Errorf("coverage selection hit %d of %d blobs: %v", len(hit), len(centers), sel)
+	}
+}
+
+func TestNewStrategyValidation(t *testing.T) {
+	if _, err := New("nope", nil, nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if _, err := New(StrategyCommittee, nil, testCommittee()[:1]); err == nil {
+		t.Error("one-member committee accepted")
+	}
+	if _, err := New(StrategyUncertainty, nil, nil); err == nil {
+		t.Error("uncertainty without base factory accepted")
+	}
+}
+
+func TestSelectMoreThanAvailable(t *testing.T) {
+	for _, name := range StrategyNames() {
+		strategy, err := New(name, testModel(), testCommittee())
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, _ := strategyState(t, 20, measuredRange(15), 8)
+		sel, err := strategy.Select(st, 50)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(sel) != 5 {
+			t.Errorf("%s: selected %d of the 5 remaining", name, len(sel))
+		}
+	}
+}

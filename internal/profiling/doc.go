@@ -1,0 +1,4 @@
+// Package profiling wires the -cpuprofile/-memprofile flags shared by the
+// campaign commands (ffrinject, ffrcorpus) so hot spots are inspectable
+// with go tool pprof.
+package profiling

@@ -1,6 +1,3 @@
-// Package profiling wires the -cpuprofile/-memprofile flags shared by the
-// campaign commands (ffrinject, ffrcorpus) so hot spots are inspectable
-// with go tool pprof.
 package profiling
 
 import (

@@ -1,17 +1,3 @@
-// Package serve is the FFR prediction service: it loads model artifacts
-// (internal/persist) into a concurrency-safe registry and serves
-// predictions over HTTP — the paper's trained-model-as-reliability-oracle,
-// deployed. Single vectors and batches ride the same path: cache lookup
-// first, then parallel evaluation of the misses on a server-wide worker
-// pool bounded independently of the request count, relying on the
-// ml.Regressor contract that Predict is read-only after Fit.
-//
-// Endpoints:
-//
-//	POST /v1/predict  {"model": "k-NN", "vector": [...]}            single
-//	POST /v1/predict  {"model": "k-NN", "vectors": [[...], ...]}    batch
-//	GET  /v1/models   artifact metadata for every loaded model
-//	GET  /healthz     liveness + model count
 package serve
 
 import (

@@ -1,0 +1,7 @@
+// Package sim implements gate-level logic simulation for the fault-injection
+// study: a levelized, cycle-based, 64-lane bit-parallel engine (every net
+// carries a uint64 whose bit k belongs to independent simulation lane k), a
+// scalar reference engine used to validate it, open-loop stimulus traces with
+// per-lane loopback, golden-trace capture and per-flip-flop signal-activity
+// statistics (the paper's dynamic features).
+package sim
