@@ -16,7 +16,7 @@ SMOKE_VECTOR := [0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]
 # Campaign-benchmark baseline file (see bench-baseline).
 BENCH_FILE ?= BENCH_5.json
 
-.PHONY: all build examples test race lint doc-check bench bench-baseline serve-smoke corpus-smoke
+.PHONY: all build examples test race lint doc-check bench bench-baseline serve-smoke corpus-smoke fabric-smoke load-smoke
 
 all: lint build examples test doc-check
 
@@ -116,3 +116,61 @@ corpus-smoke:
 	grep -q '"circuit":"alupipe"' $$tmp/models.json; \
 	grep -q '"workload":"paced"' $$tmp/models.json; \
 	echo "corpus smoke OK"
+
+# End-to-end distributed-campaign smoke: first the in-process example
+# (which asserts the distributed checkpoint fingerprint equals the
+# single-node reference and exits nonzero on mismatch), then the real
+# binaries — ffrcoord serving the fabric protocol over TCP with two
+# ffrwork processes racing for leases until the campaign completes.
+fabric-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$cpid $$w1 $$w2 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) run ./examples/distributed; \
+	$(GO) build -o $$tmp/ffrcoord ./cmd/ffrcoord; \
+	$(GO) build -o $$tmp/ffrwork ./cmd/ffrwork; \
+	$$tmp/ffrcoord -scenario random/noise -seed 11 -n 6 -campaign-seed 77 \
+		-chunk 64 -addr 127.0.0.1:19090 -checkpoint $$tmp/fabric.ckpt \
+		> $$tmp/coord.log 2>&1 & cpid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:19090/healthz >/dev/null 2>&1 && break; \
+		kill -0 $$cpid 2>/dev/null || { cat $$tmp/coord.log; echo "ffrcoord exited early"; exit 1; }; \
+		sleep 0.2; \
+	done; \
+	$$tmp/ffrwork -coordinator http://127.0.0.1:19090 -name smoke-a & w1=$$!; \
+	$$tmp/ffrwork -coordinator http://127.0.0.1:19090 -name smoke-b & w2=$$!; \
+	wait $$w1; wait $$w2; wait $$cpid; \
+	cat $$tmp/coord.log; \
+	grep -q "campaign complete" $$tmp/coord.log; \
+	echo "fabric smoke OK"
+
+# Load-test parameters: LOAD_CONCURRENCY requests in flight at once until
+# LOAD_REQUESTS have been issued. The harness exits nonzero on any non-429
+# error, so this is the "survives ten thousand concurrent clients" gate.
+LOAD_REQUESTS ?= 10000
+LOAD_CONCURRENCY ?= 10000
+
+# End-to-end overload smoke: train a tiny artifact, serve it, and flood it
+# with $(LOAD_CONCURRENCY) concurrent predict requests. Admission control
+# may shed load with 429 + Retry-After; anything else non-2xx fails the
+# run. ulimit lifts the fd ceiling for the server side (ffrload raises its
+# own).
+load-smoke:
+	@set -e; \
+	ulimit -n 65536 2>/dev/null || true; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ffrtrain ./cmd/ffrtrain; \
+	$(GO) build -o $$tmp/ffrserve ./cmd/ffrserve; \
+	$(GO) build -o $$tmp/ffrload ./cmd/ffrload; \
+	$$tmp/ffrtrain -model "k-NN" -n $(SMOKE_INJECTIONS) -save $$tmp/knn.ffrm; \
+	$$tmp/ffrserve -addr 127.0.0.1:18082 -model $$tmp/knn.ffrm & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18082/healthz >/dev/null 2>&1 && break; \
+		kill -0 $$pid 2>/dev/null || { echo "ffrserve exited early"; exit 1; }; \
+		sleep 0.2; \
+	done; \
+	$$tmp/ffrload -url http://127.0.0.1:18082 \
+		-requests $(LOAD_REQUESTS) -concurrency $(LOAD_CONCURRENCY); \
+	curl -fsS http://127.0.0.1:18082/metrics | grep ffr_serve_requests_total; \
+	echo "load smoke OK"

@@ -628,7 +628,7 @@ func BenchmarkModelArtifactRoundTrip(b *testing.B) {
 func BenchmarkServeBatchPredict(b *testing.B) {
 	study := sharedStudy(b)
 	art := trainedArtifact(b)
-	srv := serve.New(serve.Config{CacheSize: -1})
+	srv := serve.New(serve.Config{Cache: serve.CacheConfig{Size: -1}})
 	if err := srv.Add(art); err != nil {
 		b.Fatal(err)
 	}

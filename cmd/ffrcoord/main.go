@@ -1,0 +1,165 @@
+// Command ffrcoord is the distributed-campaign coordinator: it materializes
+// a corpus scenario into a deterministic fault-injection campaign, leases
+// shard chunks to ffrwork workers over the /v1/fabric HTTP protocol, and
+// merges their failure masks into the standard versioned checkpoint — the
+// merged result is bit-identical (checkpoint-fingerprint-equal) to a
+// single-node run of the same spec.
+//
+// Usage:
+//
+//	ffrcoord -scenario mac10ge/loopback [-scale small] [-seed 1]
+//	         [-n 0] [-campaign-seed 0] [-chunk 0] [-schedule clustered]
+//	         [-addr :9090] [-lease-ttl 15s] [-max-lease 2]
+//	         [-checkpoint camp.ckpt] [-resume] [-checkpoint-every 0]
+//
+// The coordinator never simulates injection chunks itself; it serves
+// /v1/fabric/{join,lease,heartbeat,complete}, GET /v1/fabric/status,
+// /healthz and /metrics until every chunk is merged, prints the campaign
+// summary and exits. Crashed workers are healed by lease expiry; straggler
+// chunks are work-stolen by idle workers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cli"
+	"repro/internal/fabric"
+	"repro/internal/fault"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrcoord:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scenario     = flag.String("scenario", "", "corpus scenario to run (\"family/workload\"; see ffrcorpus -list)")
+		scale        = flag.String("scale", "small", "corpus scale (small, default)")
+		seed         = flag.Int64("seed", 1, "scenario materialization seed (netlist + workload)")
+		n            = flag.Int("n", 0, "injections per flip-flop (0 = scenario default)")
+		campaignSeed = flag.Int64("campaign-seed", 0, "injection sampling seed (0 = scenario default)")
+		chunk        = flag.Int("chunk", 0, "shard chunk size in jobs (0 = runner default, rounded to 64-lane batches)")
+		schedule     = flag.String("schedule", "clustered", "batch-packing schedule (clustered, plan)")
+		addr         = flag.String("addr", ":9090", "listen address (host:port; port 0 picks a free port)")
+		leaseTTL     = flag.Duration("lease-ttl", fabric.DefaultLeaseTTL, "heartbeat deadline per leased chunk")
+		maxLease     = flag.Int("max-lease", fabric.DefaultMaxLeaseChunks, "maximum chunks granted per lease request")
+		checkpoint   = flag.String("checkpoint", "", "checkpoint file for merged worker results (optional)")
+		resume       = flag.Bool("resume", false, "resume from -checkpoint if it exists, skipping completed chunks")
+		ckEvery      = flag.Int("checkpoint-every", 0, "completed chunks between checkpoint flushes (0 = default)")
+	)
+	flag.Parse()
+
+	if err := cli.Check(
+		cli.NoArgs("ffrcoord"),
+		cli.MinInt("ffrcoord", "n", *n, 0),
+		cli.MinInt("ffrcoord", "chunk", *chunk, 0),
+		cli.MinInt("ffrcoord", "max-lease", *maxLease, 1),
+		cli.MinInt("ffrcoord", "checkpoint-every", *ckEvery, 0),
+		cli.OneOf("ffrcoord", "schedule", *schedule,
+			string(fault.ScheduleClustered), string(fault.SchedulePlan)),
+	); err != nil {
+		return err
+	}
+	if *scenario == "" {
+		return cli.UsageErrorf("ffrcoord", "-scenario is required")
+	}
+	if *resume && *checkpoint == "" {
+		return cli.Requires("ffrcoord", "resume", "checkpoint", false)
+	}
+	if *leaseTTL <= 0 {
+		return cli.UsageErrorf("ffrcoord", "-lease-ttl must be positive (got %s)", *leaseTTL)
+	}
+
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec: api.CampaignSpec{
+			Scenario:        *scenario,
+			Scale:           *scale,
+			Seed:            *seed,
+			InjectionsPerFF: *n,
+			CampaignSeed:    *campaignSeed,
+			ChunkJobs:       *chunk,
+			Schedule:        *schedule,
+		},
+		LeaseTTL:        *leaseTTL,
+		MaxLeaseChunks:  *maxLease,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *ckEvery,
+		Resume:          *resume,
+	})
+	if err != nil {
+		return err
+	}
+	camp := coord.Campaign()
+	fmt.Printf("ffrcoord: campaign %s @ %s (seed %d): %d jobs in %d chunks of %d, plan %s, golden %s\n",
+		camp.Spec.Scenario, camp.Spec.Scale, camp.Spec.Seed,
+		camp.Shards.TotalJobs(), camp.Shards.NumChunks(), camp.Shards.ChunkJobs(),
+		camp.PlanHashHex(), camp.GoldenHashHex())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Printf("ffrcoord: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, waitErr := coord.Wait(ctx)
+	if waitErr == nil {
+		// Keep serving briefly so every worker's next lease poll observes
+		// Done instead of a dead socket; crashed workers cap the wait.
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), 5*time.Second)
+		coord.Drained(drainCtx)
+		cancelDrain()
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(shutdownCtx)
+	<-errc
+	if waitErr != nil {
+		return waitErr
+	}
+
+	st := coord.Status()
+	fp, _ := coord.CheckpointFingerprint()
+	fmt.Printf("ffrcoord: campaign complete: %d/%d chunks, %d lease expirations, %d shards stolen\n",
+		st.DoneChunks, st.TotalChunks, st.LeaseExpirations, st.ShardsStolen)
+	fmt.Printf("ffrcoord: checkpoint fingerprint %s\n", strconv.FormatUint(fp, 16))
+	for _, w := range st.Workers {
+		fmt.Printf("ffrcoord: worker %s completed %d chunks\n", w.Worker, w.Completed)
+	}
+	printSummary(res)
+	return nil
+}
+
+// printSummary reports the campaign-level FDR statistics.
+func printSummary(res *fault.Result) {
+	if res == nil || len(res.FDR) == 0 {
+		return
+	}
+	fdr := append([]float64(nil), res.FDR...)
+	sort.Float64s(fdr)
+	var sum float64
+	for _, v := range fdr {
+		sum += v
+	}
+	fmt.Printf("ffrcoord: FDR over %d FFs: mean %.4f, median %.4f, max %.4f\n",
+		len(fdr), sum/float64(len(fdr)), fdr[len(fdr)/2], fdr[len(fdr)-1])
+}

@@ -1,0 +1,218 @@
+// Command ffrload is the prediction-service load harness: it floods a
+// running ffrserve with concurrent POST /v1/predict requests and reports
+// throughput, latency percentiles and the error budget. 429 responses
+// (admission control shedding load) are expected under overload and counted
+// separately; any other non-2xx response fails the run with a nonzero exit,
+// which is what makes the harness usable as a CI gate.
+//
+// Usage:
+//
+//	ffrload -url http://127.0.0.1:8080 [-model name] [-requests 10000]
+//	        [-concurrency 10000] [-batch 1] [-seed 1] [-timeout 30s]
+//
+// Vectors are generated from -seed against the model's advertised feature
+// width, so runs are reproducible. The file-descriptor soft limit is raised
+// automatically so ten thousand concurrent sockets fit in one process.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		url         = flag.String("url", "", "service base URL (e.g. http://127.0.0.1:8080)")
+		model       = flag.String("model", "", "model to predict against (default: first served model)")
+		requests    = flag.Int("requests", 10000, "total predict requests to issue")
+		concurrency = flag.Int("concurrency", 10000, "concurrent in-flight requests")
+		batch       = flag.Int("batch", 1, "vectors per request")
+		seed        = flag.Int64("seed", 1, "vector generation seed")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+
+	if err := cli.Check(
+		cli.NoArgs("ffrload"),
+		cli.MinInt("ffrload", "requests", *requests, 1),
+		cli.MinInt("ffrload", "concurrency", *concurrency, 1),
+		cli.MinInt("ffrload", "batch", *batch, 1),
+	); err != nil {
+		return err
+	}
+	if *url == "" {
+		return cli.UsageErrorf("ffrload", "-url is required")
+	}
+	if *concurrency > *requests {
+		*concurrency = *requests
+	}
+	raiseFDLimit(uint64(*concurrency)*2 + 256)
+
+	// One transport sized for the target concurrency: every in-flight
+	// request gets a reusable connection instead of churning through
+	// TIME_WAIT sockets.
+	transport := &http.Transport{
+		MaxIdleConns:        *concurrency,
+		MaxIdleConnsPerHost: *concurrency,
+		MaxConnsPerHost:     0,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	client := api.NewClient(*url)
+	client.HTTP = &http.Client{Transport: transport, Timeout: *timeout}
+
+	name, width, err := resolveModel(client, *model)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ffrload: targeting %s model %q (%d features): %d requests × %d vectors at concurrency %d\n",
+		*url, name, width, *requests, *batch, *concurrency)
+
+	var (
+		next      atomic.Int64 // next request index to claim
+		ok        atomic.Int64
+		throttled atomic.Int64
+		failed    atomic.Int64
+		firstErr  atomic.Value // string: first unacceptable failure
+	)
+	latencies := make([]time.Duration, *requests) // slot per request, no lock
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < *concurrency; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(g)))
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *requests {
+					return
+				}
+				req := api.PredictRequest{Model: name}
+				if *batch == 1 {
+					req.Vector = randVector(rng, width)
+				} else {
+					req.Vectors = make([][]float64, *batch)
+					for j := range req.Vectors {
+						req.Vectors[j] = randVector(rng, width)
+					}
+				}
+				t0 := time.Now()
+				_, err := client.Predict(req)
+				latencies[i] = time.Since(t0)
+				switch {
+				case err == nil:
+					ok.Add(1)
+				case isThrottle(err):
+					throttled.Add(1)
+				default:
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, err.Error())
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(latencies, elapsed, ok.Load(), throttled.Load(), failed.Load())
+	if n := failed.Load(); n > 0 {
+		msg, _ := firstErr.Load().(string)
+		return fmt.Errorf("%d non-429 failures (first: %s)", n, msg)
+	}
+	if ok.Load() == 0 {
+		return errors.New("every request was throttled; nothing was served")
+	}
+	return nil
+}
+
+// resolveModel asks the service for its model list and returns the chosen
+// model's name and feature width.
+func resolveModel(c *api.Client, want string) (string, int, error) {
+	resp, err := c.Models()
+	if err != nil {
+		return "", 0, fmt.Errorf("listing models: %w", err)
+	}
+	if len(resp.Models) == 0 {
+		return "", 0, errors.New("service reports no models")
+	}
+	if want == "" {
+		m := resp.Models[0]
+		return m.Name, m.NumFeatures, nil
+	}
+	for _, m := range resp.Models {
+		if m.Name == want {
+			return m.Name, m.NumFeatures, nil
+		}
+	}
+	return "", 0, fmt.Errorf("model %q not served (have %d models)", want, len(resp.Models))
+}
+
+func randVector(rng *rand.Rand, width int) []float64 {
+	v := make([]float64, width)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+// isThrottle reports whether err is an admission-control rejection (HTTP
+// 429), which the harness tolerates: shedding load politely under overload
+// is correct behavior, not a failure.
+func isThrottle(err error) bool {
+	var apiErr *api.Error
+	if errors.As(err, &apiErr) {
+		return apiErr.Status == http.StatusTooManyRequests || apiErr.Code == api.CodeOverloaded
+	}
+	return false
+}
+
+// raiseFDLimit lifts the soft RLIMIT_NOFILE toward the hard limit so the
+// harness can hold the requested number of sockets open at once. Failure is
+// non-fatal: the run proceeds and surfaces socket errors if the limit bites.
+func raiseFDLimit(want uint64) {
+	var lim syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &lim); err != nil {
+		return
+	}
+	if lim.Cur >= want {
+		return
+	}
+	lim.Cur = want
+	if lim.Cur > lim.Max {
+		lim.Cur = lim.Max
+	}
+	syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
+}
+
+func report(latencies []time.Duration, elapsed time.Duration, ok, throttled, failed int64) {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i].Round(time.Microsecond)
+	}
+	total := ok + throttled + failed
+	fmt.Printf("ffrload: %d requests in %s (%.0f req/s)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Printf("ffrload: ok %d, throttled(429) %d, failed %d\n", ok, throttled, failed)
+	fmt.Printf("ffrload: latency p50 %s  p90 %s  p99 %s  max %s\n",
+		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+}

@@ -5,10 +5,13 @@
 // Usage:
 //
 //	ffrserve -model knn.ffrm [-model svr.ffrm ...] [-addr :8080]
-//	         [-workers 0] [-cache 4096]
+//	         [-workers 0] [-cache 4096] [-queue 1024] [-retry-after 1]
 //
-// Endpoints: POST /v1/predict (single + batch), GET /v1/models, GET /healthz.
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// Endpoints: POST /v1/predict (single + batch, coalesced and cached),
+// POST /v1/models/reload (hot-swap artifacts without drain), GET
+// /v1/models, GET /healthz, GET /metrics (Prometheus text format).
+// Overload is shed per model with 429 + Retry-After. SIGINT/SIGTERM drain
+// in-flight requests before exiting.
 package main
 
 import (
@@ -51,9 +54,11 @@ func main() {
 func run() error {
 	var models stringList
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers = flag.Int("workers", 0, "concurrent model evaluations across all requests (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 0, "LRU response cache capacity in vectors (0 = default 4096, negative disables)")
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("workers", 0, "concurrent model evaluations across all requests (0 = GOMAXPROCS)")
+		cache      = flag.Int("cache", 0, "LRU response cache capacity in vectors (0 = default 4096, negative disables)")
+		queue      = flag.Int("queue", 0, "per-model in-flight request bound before 429 (0 = default 1024, negative = unbounded)")
+		retryAfter = flag.Int("retry-after", 0, "Retry-After seconds on 429 responses (0 = default 1)")
 	)
 	flag.Var(&models, "model", "model artifact file to serve (repeatable)")
 	flag.Parse()
@@ -61,6 +66,7 @@ func run() error {
 	if err := cli.Check(
 		cli.NoArgs("ffrserve"),
 		cli.MinInt("ffrserve", "workers", *workers, 0),
+		cli.MinInt("ffrserve", "retry-after", *retryAfter, 0),
 	); err != nil {
 		return err
 	}
@@ -68,7 +74,11 @@ func run() error {
 		return cli.UsageErrorf("ffrserve", "at least one -model artifact is required")
 	}
 
-	srv := serve.New(serve.Config{Workers: *workers, CacheSize: *cache})
+	srv := serve.New(serve.Config{
+		Pool:   serve.PoolConfig{Workers: *workers},
+		Cache:  serve.CacheConfig{Size: *cache},
+		Limits: serve.LimitConfig{QueueDepth: *queue, RetryAfterSeconds: *retryAfter},
+	})
 	for _, path := range models {
 		a, err := srv.LoadArtifact(path)
 		if err != nil {

@@ -1,0 +1,98 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Client speaks the /v1 wire surface against one base URL. The zero Base is
+// invalid; a nil HTTP falls back to http.DefaultClient. Client is stateless
+// and safe for concurrent use.
+type Client struct {
+	// Base is the service root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP optionally overrides the transport (timeouts, connection
+	// pooling); nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the given base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// Do round-trips one JSON request: method + path against Base, in as the
+// body (nil for none), the response decoded into out (nil to discard). A
+// non-2xx response decodes the error envelope and returns it as *Error.
+func (c *Client) Do(method, path string, in, out any) error {
+	var body *bytes.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("api: encoding %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(b)
+	} else {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(method, strings.TrimRight(c.Base, "/")+path, body)
+	if err != nil {
+		return fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("api: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return DecodeError(resp.StatusCode, drainBody(resp.Body, 1<<20))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("api: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// Predict posts one prediction request.
+func (c *Client) Predict(req PredictRequest) (PredictResponse, error) {
+	var resp PredictResponse
+	err := c.Do(http.MethodPost, "/v1/predict", req, &resp)
+	return resp, err
+}
+
+// Models lists the served models.
+func (c *Client) Models() (ModelsResponse, error) {
+	var resp ModelsResponse
+	err := c.Do(http.MethodGet, "/v1/models", nil, &resp)
+	return resp, err
+}
+
+// Health fetches the service health.
+func (c *Client) Health() (HealthResponse, error) {
+	var resp HealthResponse
+	err := c.Do(http.MethodGet, "/healthz", nil, &resp)
+	return resp, err
+}
+
+// Reload triggers a hot reload of file-backed artifacts.
+func (c *Client) Reload(req ReloadRequest) (ReloadResponse, error) {
+	var resp ReloadResponse
+	err := c.Do(http.MethodPost, "/v1/models/reload", req, &resp)
+	return resp, err
+}

@@ -1,0 +1,659 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultLeaseTTL is how long a granted chunk survives without a
+	// heartbeat before it returns to the pending queue.
+	DefaultLeaseTTL = 15 * time.Second
+	// DefaultMaxLeaseChunks bounds chunks granted per lease request.
+	DefaultMaxLeaseChunks = 2
+	// DefaultRetryMillis is the backoff hint returned when no work is
+	// available.
+	DefaultRetryMillis = 250
+)
+
+// CoordinatorConfig parameterizes a Coordinator.
+type CoordinatorConfig struct {
+	// Spec identifies the campaign; it is resolved (defaults filled) at
+	// construction.
+	Spec api.CampaignSpec
+	// LeaseTTL is the heartbeat deadline per leased chunk (0 =
+	// DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// MaxLeaseChunks caps chunks per lease grant (0 =
+	// DefaultMaxLeaseChunks).
+	MaxLeaseChunks int
+	// CheckpointPath persists merged worker results in the standard
+	// campaign-checkpoint format; "" disables persistence.
+	CheckpointPath string
+	// CheckpointEvery is the number of completed chunks between flushes
+	// (0 = fault.DefaultCheckpointEvery).
+	CheckpointEvery int
+	// Resume loads CheckpointPath (if present) and skips its completed
+	// chunks, exactly like a single-node resumed run.
+	Resume bool
+	// Workers bounds the merge-side simulation pool; the coordinator never
+	// simulates chunks, so this only affects golden-trace reuse (0 =
+	// GOMAXPROCS).
+	Workers int
+	// Metrics optionally receives the fabric metric families; nil creates
+	// a private registry (still served at /metrics).
+	Metrics *obs.Registry
+	// Clock overrides time.Now for lease-expiry tests.
+	Clock func() time.Time
+}
+
+// workerInfo is the coordinator's view of one worker.
+type workerInfo struct {
+	lastSeen  time.Time
+	completed int
+	// sawDone records that the worker has observed the finished campaign
+	// (a Done lease response); Drained waits for every worker to see it
+	// so a coordinator can shut down without stranding final polls.
+	sawDone bool
+}
+
+// Coordinator owns a distributed campaign: the pending queue, the lease
+// table, the completed-chunk masks and the merged result. All HTTP
+// handlers and accessors are safe for concurrent use.
+type Coordinator struct {
+	cfg  CoordinatorConfig
+	camp *Campaign
+
+	mu         sync.Mutex
+	pending    []int
+	leases     map[int]map[string]time.Time // chunk -> worker -> lease expiry
+	done       map[int][]uint64
+	workers    map[string]*workerInfo
+	sinceFlush int
+	finished   bool
+	result     *fault.Result
+	finalErr   error
+	ckHash     uint64
+	doneCh     chan struct{}
+
+	metrics *obs.Registry
+	mLeases, mExpired, mStolen,
+	mCompleted, mDuplicates, mHeartbeats *obs.Counter
+	gPending, gLeased, gDone, gWorkers *obs.Gauge
+}
+
+// NewCoordinator materializes the campaign and prepares the lease state.
+// It does not listen; mount Handler on a server of your choice.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.LeaseTTL < 0 || cfg.CheckpointEvery < 0 || cfg.MaxLeaseChunks < 0 {
+		return nil, fmt.Errorf("fabric: negative coordinator knob")
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = DefaultLeaseTTL
+	}
+	if cfg.MaxLeaseChunks == 0 {
+		cfg.MaxLeaseChunks = DefaultMaxLeaseChunks
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = fault.DefaultCheckpointEvery
+	}
+	if cfg.Resume && cfg.CheckpointPath == "" {
+		return nil, fmt.Errorf("fabric: Resume requires a CheckpointPath")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	camp, err := BuildCampaign(cfg.Spec, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Spec = camp.Spec
+
+	c := &Coordinator{
+		cfg:     cfg,
+		camp:    camp,
+		leases:  make(map[int]map[string]time.Time),
+		done:    make(map[int][]uint64),
+		workers: make(map[string]*workerInfo),
+		doneCh:  make(chan struct{}),
+		metrics: cfg.Metrics,
+	}
+	if c.metrics == nil {
+		c.metrics = obs.NewRegistry()
+	}
+	c.mLeases = c.metrics.Counter("ffr_fabric_leases_granted_total", "chunks granted to workers")
+	c.mExpired = c.metrics.Counter("ffr_fabric_lease_expirations_total", "leases expired without completion")
+	c.mStolen = c.metrics.Counter("ffr_fabric_shards_stolen_total", "straggler chunks re-leased to another worker")
+	c.mCompleted = c.metrics.Counter("ffr_fabric_chunks_completed_total", "chunks merged at the coordinator")
+	c.mDuplicates = c.metrics.Counter("ffr_fabric_duplicate_results_total", "chunk results discarded as duplicates")
+	c.mHeartbeats = c.metrics.Counter("ffr_fabric_heartbeats_total", "worker heartbeats processed")
+	c.gPending = c.metrics.Gauge("ffr_fabric_chunks_pending", "chunks waiting for a lease")
+	c.gLeased = c.metrics.Gauge("ffr_fabric_chunks_leased", "chunks currently leased")
+	c.gDone = c.metrics.Gauge("ffr_fabric_chunks_done", "chunks completed")
+	c.gWorkers = c.metrics.Gauge("ffr_fabric_workers", "workers that have contacted the coordinator")
+
+	if cfg.Resume {
+		if err := c.restore(); err != nil {
+			return nil, err
+		}
+	}
+	for ci := 0; ci < camp.Shards.NumChunks(); ci++ {
+		if _, ok := c.done[ci]; !ok {
+			c.pending = append(c.pending, ci)
+		}
+	}
+	c.updateGauges()
+	if len(c.pending) == 0 {
+		// Fully resumed: finalize immediately so Wait returns.
+		c.mu.Lock()
+		c.finalize()
+		c.mu.Unlock()
+	}
+	return c, nil
+}
+
+// restore seeds the done map from an existing checkpoint, exactly like a
+// resumed single-node run (foreign checkpoints are rejected by
+// fingerprint).
+func (c *Coordinator) restore() error {
+	ck, err := fault.LoadCheckpoint(c.cfg.CheckpointPath)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	want, err := c.camp.Runner.CampaignCheckpoint(c.camp.Jobs, nil)
+	if err != nil {
+		return err
+	}
+	if ck.PlanHash != want.PlanHash || ck.GoldenHash != want.GoldenHash ||
+		ck.ClassifierHash != want.ClassifierHash ||
+		ck.TotalJobs != want.TotalJobs || ck.ChunkJobs != want.ChunkJobs || ck.NumChunks != want.NumChunks {
+		return fmt.Errorf("fabric: checkpoint %s belongs to a different campaign", c.cfg.CheckpointPath)
+	}
+	for ci, masks := range ck.Chunks {
+		c.done[ci] = masks
+	}
+	return nil
+}
+
+// Campaign returns the materialized campaign.
+func (c *Coordinator) Campaign() *Campaign { return c.camp }
+
+// Metrics returns the registry serving /metrics.
+func (c *Coordinator) Metrics() *obs.Registry { return c.metrics }
+
+// now is the (test-overridable) clock.
+func (c *Coordinator) now() time.Time { return c.cfg.Clock() }
+
+// reap returns expired leases to the pending queue. Callers hold c.mu.
+func (c *Coordinator) reap(now time.Time) {
+	for ci, holders := range c.leases {
+		for worker, expiry := range holders {
+			if now.After(expiry) {
+				delete(holders, worker)
+				c.mExpired.Inc()
+			}
+		}
+		if len(holders) == 0 {
+			delete(c.leases, ci)
+			if _, isDone := c.done[ci]; !isDone {
+				// Expired without a surviving holder: back to the front of
+				// the queue so recovery beats fresh work.
+				c.pending = append([]int{ci}, c.pending...)
+			}
+		}
+	}
+}
+
+// touch records worker liveness. Callers hold c.mu.
+func (c *Coordinator) touch(worker string) *workerInfo {
+	wi, ok := c.workers[worker]
+	if !ok {
+		wi = &workerInfo{}
+		c.workers[worker] = wi
+	}
+	wi.lastSeen = c.now()
+	return wi
+}
+
+// updateGauges refreshes the chunk-state gauges. Callers hold c.mu (or are
+// in single-threaded construction).
+func (c *Coordinator) updateGauges() {
+	c.gPending.Set(float64(len(c.pending)))
+	c.gLeased.Set(float64(len(c.leases)))
+	c.gDone.Set(float64(len(c.done)))
+	c.gWorkers.Set(float64(len(c.workers)))
+}
+
+// Join admits a worker and hands it the resolved spec plus the
+// fingerprints its local build must reproduce.
+func (c *Coordinator) Join(req api.JoinRequest) (api.JoinResponse, error) {
+	if req.Worker == "" {
+		return api.JoinResponse{}, fmt.Errorf("fabric: join without a worker name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	c.updateGauges()
+	return api.JoinResponse{
+		Spec:           c.camp.Spec,
+		PlanHash:       c.camp.PlanHashHex(),
+		GoldenHash:     c.camp.GoldenHashHex(),
+		TotalJobs:      c.camp.Shards.TotalJobs(),
+		ChunkJobs:      c.camp.Shards.ChunkJobs(),
+		NumChunks:      c.camp.Shards.NumChunks(),
+		LeaseTTLMillis: c.cfg.LeaseTTL.Milliseconds(),
+	}, nil
+}
+
+// Lease grants up to req.Max chunks (capped by MaxLeaseChunks) to a
+// worker. When the pending queue is empty but chunks are still
+// outstanding, it work-steals: the straggler chunk closest to lease
+// expiry is additionally leased to the requester, and whichever copy
+// completes first wins.
+func (c *Coordinator) Lease(req api.LeaseRequest) (api.LeaseResponse, error) {
+	if req.Worker == "" {
+		return api.LeaseResponse{}, fmt.Errorf("fabric: lease without a worker name")
+	}
+	max := req.Max
+	if max <= 0 || max > c.cfg.MaxLeaseChunks {
+		max = c.cfg.MaxLeaseChunks
+	}
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	c.reap(now)
+	if c.finished {
+		c.workers[req.Worker].sawDone = true
+		c.updateGauges()
+		return api.LeaseResponse{Done: true}, nil
+	}
+
+	expiry := now.Add(c.cfg.LeaseTTL)
+	var resp api.LeaseResponse
+	for len(resp.Chunks) < max && len(c.pending) > 0 {
+		ci := c.pending[0]
+		c.pending = c.pending[1:]
+		c.lease(ci, req.Worker, expiry)
+		resp.Chunks = append(resp.Chunks, ci)
+	}
+	if len(resp.Chunks) == 0 {
+		// Nothing pending: steal the outstanding chunk closest to expiry
+		// (the most likely straggler) unless the requester already holds
+		// it. One steal per request bounds duplicated simulation.
+		if ci, ok := c.stealCandidate(req.Worker); ok {
+			c.lease(ci, req.Worker, expiry)
+			resp.Chunks = append(resp.Chunks, ci)
+			resp.Stolen = 1
+			c.mStolen.Inc()
+		}
+	}
+	if len(resp.Chunks) == 0 {
+		resp.RetryMillis = DefaultRetryMillis
+	}
+	c.mLeases.Add(float64(len(resp.Chunks)))
+	c.updateGauges()
+	return resp, nil
+}
+
+// lease records a chunk grant. Callers hold c.mu.
+func (c *Coordinator) lease(ci int, worker string, expiry time.Time) {
+	holders, ok := c.leases[ci]
+	if !ok {
+		holders = make(map[string]time.Time, 1)
+		c.leases[ci] = holders
+	}
+	holders[worker] = expiry
+}
+
+// stealCandidate picks the outstanding chunk closest to lease expiry that
+// the requester does not already hold. Callers hold c.mu.
+func (c *Coordinator) stealCandidate(worker string) (int, bool) {
+	best, bestExpiry, found := -1, time.Time{}, false
+	for ci, holders := range c.leases {
+		if _, mine := holders[worker]; mine {
+			continue
+		}
+		if _, isDone := c.done[ci]; isDone {
+			continue
+		}
+		earliest := time.Time{}
+		for _, exp := range holders {
+			if earliest.IsZero() || exp.Before(earliest) {
+				earliest = exp
+			}
+		}
+		if !found || earliest.Before(bestExpiry) || (earliest.Equal(bestExpiry) && ci < best) {
+			best, bestExpiry, found = ci, earliest, true
+		}
+	}
+	return best, found
+}
+
+// Heartbeat extends the worker's leases and reports chunks it no longer
+// holds (expired and re-queued, or completed elsewhere).
+func (c *Coordinator) Heartbeat(req api.HeartbeatRequest) (api.HeartbeatResponse, error) {
+	if req.Worker == "" {
+		return api.HeartbeatResponse{}, fmt.Errorf("fabric: heartbeat without a worker name")
+	}
+	now := c.now()
+	expiry := now.Add(c.cfg.LeaseTTL)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	c.reap(now)
+	c.mHeartbeats.Inc()
+	var resp api.HeartbeatResponse
+	for _, ci := range req.Chunks {
+		holders, leased := c.leases[ci]
+		if _, isDone := c.done[ci]; isDone || !leased {
+			resp.Canceled = append(resp.Canceled, ci)
+			continue
+		}
+		if _, mine := holders[req.Worker]; !mine {
+			resp.Canceled = append(resp.Canceled, ci)
+			continue
+		}
+		holders[req.Worker] = expiry
+	}
+	c.updateGauges()
+	return resp, nil
+}
+
+// errConflict marks results that contradict coordinator state; the HTTP
+// layer maps it to 409 + CodeConflict.
+var errConflict = errors.New("fabric: conflicting result")
+
+// Complete merges one chunk result. The first result for a chunk wins;
+// later copies (work stealing, expired-lease races) are verified
+// bit-identical and acknowledged as duplicates — a mismatch means the
+// campaign is not deterministic and is rejected loudly.
+func (c *Coordinator) Complete(req api.CompleteRequest) (api.CompleteResponse, error) {
+	if req.Worker == "" {
+		return api.CompleteResponse{}, fmt.Errorf("fabric: complete without a worker name")
+	}
+	if req.PlanHash != c.camp.PlanHashHex() {
+		return api.CompleteResponse{}, fmt.Errorf("%w: plan fingerprint %q, campaign %q",
+			errConflict, req.PlanHash, c.camp.PlanHashHex())
+	}
+	if req.Chunk < 0 || req.Chunk >= c.camp.Shards.NumChunks() {
+		return api.CompleteResponse{}, fmt.Errorf("fabric: chunk %d of %d", req.Chunk, c.camp.Shards.NumChunks())
+	}
+	masks, err := api.DecodeMasks(req.Masks)
+	if err != nil {
+		return api.CompleteResponse{}, err
+	}
+	if want := c.camp.Shards.ChunkBatches(req.Chunk); len(masks) != want {
+		return api.CompleteResponse{}, fmt.Errorf("fabric: chunk %d carries %d batch masks, want %d",
+			req.Chunk, len(masks), want)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wi := c.touch(req.Worker)
+	if prev, isDone := c.done[req.Chunk]; isDone {
+		for i := range prev {
+			if prev[i] != masks[i] {
+				return api.CompleteResponse{}, fmt.Errorf(
+					"%w: chunk %d batch %d mask %x contradicts accepted %x — campaign is not deterministic",
+					errConflict, req.Chunk, i, masks[i], prev[i])
+			}
+		}
+		c.mDuplicates.Inc()
+		c.updateGauges()
+		return api.CompleteResponse{Accepted: true, Duplicate: true}, nil
+	}
+
+	c.done[req.Chunk] = masks
+	delete(c.leases, req.Chunk)
+	c.removePending(req.Chunk)
+	wi.completed++
+	c.mCompleted.Inc()
+	c.sinceFlush++
+
+	if c.cfg.CheckpointPath != "" && c.sinceFlush >= c.cfg.CheckpointEvery && !c.allDone() {
+		if err := c.saveCheckpointLocked(); err != nil {
+			c.failLocked(err)
+			return api.CompleteResponse{}, err
+		}
+		c.sinceFlush = 0
+	}
+	if c.allDone() {
+		c.finalize()
+	}
+	c.updateGauges()
+	return api.CompleteResponse{Accepted: true}, nil
+}
+
+// removePending drops a chunk from the pending queue (it may have been
+// re-queued by expiry while a late result was in flight). Callers hold
+// c.mu.
+func (c *Coordinator) removePending(ci int) {
+	for i, p := range c.pending {
+		if p == ci {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Coordinator) allDone() bool {
+	return len(c.done) == c.camp.Shards.NumChunks()
+}
+
+// saveCheckpointLocked persists the merged state in the standard campaign
+// checkpoint format. Callers hold c.mu.
+func (c *Coordinator) saveCheckpointLocked() error {
+	ck, err := c.camp.Runner.CampaignCheckpoint(c.camp.Jobs, c.done)
+	if err != nil {
+		return err
+	}
+	return fault.SaveCheckpoint(c.cfg.CheckpointPath, ck)
+}
+
+// failLocked terminates the campaign with an error. Callers hold c.mu.
+func (c *Coordinator) failLocked(err error) {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.finalErr = err
+	close(c.doneCh)
+}
+
+// finalize merges the complete mask set into the final Result, writes the
+// final checkpoint and releases Wait. Callers hold c.mu.
+func (c *Coordinator) finalize() {
+	if c.finished {
+		return
+	}
+	res, err := c.camp.Runner.MergeChunks(c.camp.Jobs, c.done)
+	if err != nil {
+		c.failLocked(err)
+		return
+	}
+	ck, err := c.camp.Runner.CampaignCheckpoint(c.camp.Jobs, c.done)
+	if err != nil {
+		c.failLocked(err)
+		return
+	}
+	if c.cfg.CheckpointPath != "" {
+		if err := fault.SaveCheckpoint(c.cfg.CheckpointPath, ck); err != nil {
+			c.failLocked(err)
+			return
+		}
+	}
+	c.result = res
+	c.ckHash = ck.Fingerprint()
+	c.finished = true
+	close(c.doneCh)
+}
+
+// Done exposes completion: the channel closes when every chunk is merged
+// (or the campaign failed).
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Wait blocks until the campaign completes and returns the merged result.
+func (c *Coordinator) Wait(ctx context.Context) (*fault.Result, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.doneCh:
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.result, c.finalErr
+}
+
+// Drained blocks until every joined worker has observed the finished
+// campaign (received a Done lease response) or ctx expires — the polite
+// shutdown window: exiting before workers see Done strands their final
+// lease polls on a dead socket. Crashed workers never poll again, so
+// callers bound the wait with a context deadline. Returns true if every
+// worker drained.
+func (c *Coordinator) Drained(ctx context.Context) bool {
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		c.mu.Lock()
+		drained := c.finished
+		for _, wi := range c.workers {
+			if !wi.sawDone {
+				drained = false
+				break
+			}
+		}
+		c.mu.Unlock()
+		if drained {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+		}
+	}
+}
+
+// CheckpointFingerprint returns the canonical digest of the merged
+// checkpoint; ok is false until the campaign completes.
+func (c *Coordinator) CheckpointFingerprint() (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ckHash, c.finished && c.finalErr == nil
+}
+
+// Status snapshots campaign progress.
+func (c *Coordinator) Status() api.FabricStatus {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := api.FabricStatus{
+		Scenario:         c.camp.Spec.Scenario,
+		TotalChunks:      c.camp.Shards.NumChunks(),
+		DoneChunks:       len(c.done),
+		Pending:          len(c.pending),
+		Leased:           len(c.leases),
+		Done:             c.finished && c.finalErr == nil,
+		LeaseExpirations: int64(c.mExpired.Value()),
+		ShardsStolen:     int64(c.mStolen.Value()),
+	}
+	if st.Done {
+		st.CheckpointFingerprint = strconv.FormatUint(c.ckHash, 16)
+	}
+	names := make([]string, 0, len(c.workers))
+	for name := range c.workers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		wi := c.workers[name]
+		ws := api.FabricWorkerStatus{
+			Worker:            name,
+			Completed:         wi.completed,
+			LastSeenMillisAgo: now.Sub(wi.lastSeen).Milliseconds(),
+		}
+		for ci, holders := range c.leases {
+			if _, mine := holders[name]; mine {
+				ws.Leased = append(ws.Leased, ci)
+			}
+		}
+		sort.Ints(ws.Leased)
+		st.Workers = append(st.Workers, ws)
+	}
+	return st
+}
+
+// Handler returns the coordinator's HTTP surface: the /v1/fabric protocol,
+// /v1/fabric/status, /healthz and /metrics, all speaking the api types.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fabric/join", func(w http.ResponseWriter, r *http.Request) {
+		var req api.JoinRequest
+		if err := api.ReadJSON(r, w, 1<<20, &req); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+			return
+		}
+		c.respond(w, func() (any, error) { return c.Join(req) })
+	})
+	mux.HandleFunc("POST /v1/fabric/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req api.LeaseRequest
+		if err := api.ReadJSON(r, w, 1<<20, &req); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+			return
+		}
+		c.respond(w, func() (any, error) { return c.Lease(req) })
+	})
+	mux.HandleFunc("POST /v1/fabric/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var req api.HeartbeatRequest
+		if err := api.ReadJSON(r, w, 1<<20, &req); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+			return
+		}
+		c.respond(w, func() (any, error) { return c.Heartbeat(req) })
+	})
+	mux.HandleFunc("POST /v1/fabric/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req api.CompleteRequest
+		if err := api.ReadJSON(r, w, 64<<20, &req); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+			return
+		}
+		c.respond(w, func() (any, error) { return c.Complete(req) })
+	})
+	mux.HandleFunc("GET /v1/fabric/status", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
+	})
+	mux.Handle("GET /metrics", c.metrics.Handler())
+	return mux
+}
+
+// respond maps a protocol call to the common error envelope.
+func (c *Coordinator) respond(w http.ResponseWriter, fn func() (any, error)) {
+	resp, err := fn()
+	switch {
+	case err == nil:
+		api.WriteJSON(w, http.StatusOK, resp)
+	case errors.Is(err, errConflict):
+		api.WriteError(w, http.StatusConflict, api.CodeConflict, "%v", err)
+	default:
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+	}
+}

@@ -1,0 +1,469 @@
+package fabric_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/fabric"
+	"repro/internal/fault"
+)
+
+// testSpec is a campaign small enough to simulate in milliseconds but
+// large enough to split into several chunks (48 FFs x 6 injections = 288
+// jobs = 5 chunks of 64).
+func testSpec() api.CampaignSpec {
+	return api.CampaignSpec{
+		Scenario:        "random/noise",
+		Scale:           "small",
+		Seed:            11,
+		InjectionsPerFF: 6,
+		CampaignSeed:    77,
+		ChunkJobs:       64,
+	}
+}
+
+// singleNodeFingerprint runs the spec single-node with a checkpoint and
+// returns the canonical checkpoint fingerprint — the reference every
+// distributed test must hit exactly.
+func singleNodeFingerprint(t *testing.T, spec api.CampaignSpec) uint64 {
+	t.Helper()
+	camp, err := fabric.BuildCampaign(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "single.ckpt")
+	cfg := fault.RunnerConfig{
+		ChunkJobs:      camp.Spec.ChunkJobs,
+		Workers:        2,
+		Golden:         camp.M.Golden,
+		Snapshots:      camp.M.Snapshots,
+		Schedule:       fault.Schedule(camp.Spec.Schedule),
+		CheckpointPath: ckPath,
+	}
+	if _, err := fault.RunJobs(camp.M.Program, camp.M.Bench.Stim, camp.M.Bench.Monitors,
+		camp.M.Bench.Classifier, camp.Jobs, cfg); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := fault.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck.Fingerprint()
+}
+
+// fakeClock is a manually advanced coordinator clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// TestTwoWorkerCampaignMatchesSingleNode is the acceptance gate: a
+// 2-worker distributed campaign over HTTP produces a merged checkpoint
+// fingerprint-identical to the single-node run of the same spec.
+func TestTwoWorkerCampaignMatchesSingleNode(t *testing.T) {
+	spec := testSpec()
+	want := singleNodeFingerprint(t, spec)
+
+	ckPath := filepath.Join(t.TempDir(), "coord.ckpt")
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec:           spec,
+		LeaseTTL:       5 * time.Second,
+		CheckpointPath: ckPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i, name := range []string{"w1", "w2"} {
+		w, err := fabric.NewWorker(fabric.WorkerConfig{
+			Name:        name,
+			Coordinator: srv.URL,
+			Workers:     1,
+			Heartbeat:   100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := coord.CheckpointFingerprint()
+	if !ok {
+		t.Fatal("campaign finished without a fingerprint")
+	}
+	if got != want {
+		t.Fatalf("distributed fingerprint %x != single-node %x", got, want)
+	}
+
+	// The coordinator's on-disk checkpoint is the same artifact a
+	// single-node run writes: loadable, fingerprint-identical.
+	ck, err := fault.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Fingerprint() != want {
+		t.Fatalf("persisted fingerprint %x != single-node %x", ck.Fingerprint(), want)
+	}
+
+	st := coord.Status()
+	if !st.Done || st.DoneChunks != st.TotalChunks {
+		t.Fatalf("status not done: %+v", st)
+	}
+	if st.CheckpointFingerprint == "" {
+		t.Fatal("status missing checkpoint fingerprint")
+	}
+
+	// Resuming from the finished checkpoint completes without any worker.
+	resumed, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec:           spec,
+		CheckpointPath: ckPath,
+		Resume:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resumed.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := resumed.CheckpointFingerprint(); !ok || got != want {
+		t.Fatalf("resumed fingerprint %x (ok=%v), want %x", got, ok, want)
+	}
+}
+
+// TestLeaseExpiryRequeues pins the worker-crash path at the lease level: a
+// chunk leased to a worker that never heartbeats returns to the pending
+// queue after the TTL and is granted to the next requester.
+func TestLeaseExpiryRequeues(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1000, 0)}
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec:           testSpec(),
+		LeaseTTL:       10 * time.Second,
+		MaxLeaseChunks: 1,
+		Clock:          clk.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, err := coord.Lease(api.LeaseRequest{Worker: "crasher", Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l1.Chunks) != 1 {
+		t.Fatalf("lease granted %d chunks, want 1", len(l1.Chunks))
+	}
+
+	// Before expiry the chunk is not re-granted from pending (the next
+	// grants come from the rest of the queue).
+	clk.Advance(5 * time.Second)
+	l2, err := coord.Lease(api.LeaseRequest{Worker: "other", Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l2.Chunks) == 1 && l2.Chunks[0] == l1.Chunks[0] {
+		t.Fatal("unexpired chunk re-granted from pending")
+	}
+
+	// Past expiry the crashed worker's chunk is first in line again.
+	clk.Advance(6 * time.Second)
+	l3, err := coord.Lease(api.LeaseRequest{Worker: "other", Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l3.Chunks) != 1 || l3.Chunks[0] != l1.Chunks[0] {
+		t.Fatalf("expired chunk not re-leased first: got %v, want [%d]", l3.Chunks, l1.Chunks[0])
+	}
+	if st := coord.Status(); st.LeaseExpirations == 0 {
+		t.Fatal("expiry not counted")
+	}
+
+	// Heartbeats keep a lease alive across the TTL.
+	l4, err := coord.Lease(api.LeaseRequest{Worker: "steady", Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(8 * time.Second)
+	if _, err := coord.Heartbeat(api.HeartbeatRequest{Worker: "steady", Chunks: l4.Chunks}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(8 * time.Second)
+	l5, err := coord.Lease(api.LeaseRequest{Worker: "other", Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l5.Chunks) == 1 && l5.Chunks[0] == l4.Chunks[0] {
+		t.Fatal("heartbeated lease expired anyway")
+	}
+}
+
+// TestWorkerCrashRecovery kills a worker mid-campaign: the worker leases
+// chunks over HTTP and vanishes without completing them. After the lease
+// TTL a healthy worker picks up everything and the merged checkpoint still
+// fingerprints identically to the single-node run (satellite: worker-crash
+// coverage).
+func TestWorkerCrashRecovery(t *testing.T) {
+	spec := testSpec()
+	want := singleNodeFingerprint(t, spec)
+
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec:           spec,
+		LeaseTTL:       200 * time.Millisecond,
+		MaxLeaseChunks: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	client := fabric.NewClient(srv.URL)
+
+	// The "crashing worker": joins, leases two chunks, dies. It never
+	// heartbeats and never completes, exactly like a killed process.
+	if _, err := client.Join(api.JoinRequest{Worker: "crasher"}); err != nil {
+		t.Fatal(err)
+	}
+	crashed, err := client.Lease(api.LeaseRequest{Worker: "crasher", Max: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crashed.Chunks) == 0 {
+		t.Fatal("crasher got no chunks")
+	}
+
+	// Let the crasher's leases expire before anyone else asks for work, so
+	// recovery deterministically goes through the expiry path rather than
+	// work stealing.
+	time.Sleep(250 * time.Millisecond)
+
+	// A second worker is also canceled mid-run to exercise the
+	// interrupted-lease path (it posts finished chunks before exiting).
+	interrupted, err := fabric.NewWorker(fabric.WorkerConfig{
+		Name: "interrupted", Coordinator: srv.URL, Workers: 1,
+		Heartbeat: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ictx, icancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		icancel()
+	}()
+	if err := interrupted.Run(ictx); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted worker: %v", err)
+	}
+
+	// The survivor finishes the campaign, re-leasing whatever expired.
+	survivor, err := fabric.NewWorker(fabric.WorkerConfig{
+		Name: "survivor", Coordinator: srv.URL, Workers: 2,
+		Heartbeat: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := coord.CheckpointFingerprint()
+	if !ok || got != want {
+		t.Fatalf("post-crash fingerprint %x (ok=%v), want %x", got, ok, want)
+	}
+	if st := coord.Status(); st.LeaseExpirations == 0 {
+		t.Fatalf("crash recovery without lease expirations: %+v", st)
+	}
+}
+
+// TestWorkStealing drains the pending queue with one slow holder and
+// verifies the straggler chunk is stolen, the duplicate completion is
+// verified identical, and a contradictory duplicate is rejected as a
+// conflict.
+func TestWorkStealing(t *testing.T) {
+	spec := testSpec()
+	camp, err := fabric.BuildCampaign(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec:           spec,
+		LeaseTTL:       time.Hour, // nothing expires: stealing must not need expiry
+		MaxLeaseChunks: camp.Shards.NumChunks(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+	client := fabric.NewClient(srv.URL)
+
+	// The slow worker leases every chunk.
+	slow, err := client.Lease(api.LeaseRequest{Worker: "slow", Max: camp.Shards.NumChunks()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Chunks) != camp.Shards.NumChunks() {
+		t.Fatalf("slow worker leased %d of %d chunks", len(slow.Chunks), camp.Shards.NumChunks())
+	}
+
+	// A fast worker finds the queue empty and steals a straggler.
+	fast, err := client.Lease(api.LeaseRequest{Worker: "fast", Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast.Chunks) != 1 || fast.Stolen != 1 {
+		t.Fatalf("steal not granted: %+v", fast)
+	}
+	stolen := fast.Chunks[0]
+
+	// Simulate everything locally (the masks are deterministic, so any
+	// node's copy is THE copy).
+	all := make([]int, camp.Shards.NumChunks())
+	for i := range all {
+		all[i] = i
+	}
+	masks, err := camp.Runner.RunChunks(context.Background(), camp.Jobs, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fast completes the stolen chunk first...
+	resp, err := client.Complete(api.CompleteRequest{
+		Worker: "fast", Chunk: stolen,
+		PlanHash: camp.PlanHashHex(), Masks: api.EncodeMasks(masks[stolen]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accepted || resp.Duplicate {
+		t.Fatalf("stolen completion: %+v", resp)
+	}
+	// ...then the slow holder's identical copy arrives: duplicate, accepted.
+	resp, err = client.Complete(api.CompleteRequest{
+		Worker: "slow", Chunk: stolen,
+		PlanHash: camp.PlanHashHex(), Masks: api.EncodeMasks(masks[stolen]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Accepted || !resp.Duplicate {
+		t.Fatalf("duplicate completion: %+v", resp)
+	}
+
+	// A contradictory duplicate is a determinism violation: 409 + conflict
+	// code through the common error envelope.
+	bad := append([]uint64(nil), masks[stolen]...)
+	bad[0] ^= 1
+	_, err = client.Complete(api.CompleteRequest{
+		Worker: "evil", Chunk: stolen,
+		PlanHash: camp.PlanHashHex(), Masks: api.EncodeMasks(bad),
+	})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeConflict {
+		t.Fatalf("contradictory duplicate: err %v, want %s", err, api.CodeConflict)
+	}
+
+	// Slow finishes the rest; the campaign completes with steal bookkeeping.
+	for _, ci := range slow.Chunks {
+		if ci == stolen {
+			continue
+		}
+		if _, err := client.Complete(api.CompleteRequest{
+			Worker: "slow", Chunk: ci,
+			PlanHash: camp.PlanHashHex(), Masks: api.EncodeMasks(masks[ci]),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := client.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Done || st.ShardsStolen != 1 {
+		t.Fatalf("final status: %+v", st)
+	}
+	want := singleNodeFingerprint(t, spec)
+	if got, ok := coord.CheckpointFingerprint(); !ok || got != want {
+		t.Fatalf("fingerprint %x (ok=%v), want %x", got, ok, want)
+	}
+
+	// Post-completion leases tell workers to exit.
+	done, err := client.Lease(api.LeaseRequest{Worker: "slow", Max: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done.Done {
+		t.Fatalf("lease after completion: %+v", done)
+	}
+}
+
+// TestCompleteValidation covers the protocol guards: foreign plan hash,
+// bad chunk index, wrong mask count.
+func TestCompleteValidation(t *testing.T) {
+	spec := testSpec()
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{Spec: spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	camp := coord.Campaign()
+	if _, err := coord.Complete(api.CompleteRequest{
+		Worker: "w", Chunk: 0, PlanHash: "deadbeef", Masks: []string{"0"},
+	}); err == nil {
+		t.Fatal("foreign plan hash accepted")
+	}
+	if _, err := coord.Complete(api.CompleteRequest{
+		Worker: "w", Chunk: camp.Shards.NumChunks(), PlanHash: camp.PlanHashHex(), Masks: []string{"0"},
+	}); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	if _, err := coord.Complete(api.CompleteRequest{
+		Worker: "w", Chunk: 0, PlanHash: camp.PlanHashHex(), Masks: []string{"0", "0", "0"},
+	}); err == nil {
+		t.Fatal("wrong mask count accepted")
+	}
+	if _, err := coord.Complete(api.CompleteRequest{
+		Worker: "w", Chunk: 0, PlanHash: camp.PlanHashHex(), Masks: []string{"xyz"},
+	}); err == nil {
+		t.Fatal("unparseable mask accepted")
+	}
+}

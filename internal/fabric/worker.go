@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/fault"
+)
+
+// WorkerConfig parameterizes a fabric worker.
+type WorkerConfig struct {
+	// Name identifies the worker to the coordinator; must be unique per
+	// campaign.
+	Name string
+	// Coordinator is the coordinator base URL.
+	Coordinator string
+	// Client overrides the protocol client (tests); nil builds one from
+	// Coordinator.
+	Client *Client
+	// Workers bounds the local simulation pool (0 = GOMAXPROCS).
+	Workers int
+	// MaxChunks caps chunks requested per lease (0 = coordinator's cap).
+	MaxChunks int
+	// Heartbeat overrides the heartbeat interval (0 = a third of the
+	// coordinator's lease TTL).
+	Heartbeat time.Duration
+	// Log receives progress lines; nil is silent.
+	Log *log.Logger
+}
+
+// Worker is the fabric worker loop: join, verify the campaign contract,
+// then lease→simulate→complete until the coordinator reports done.
+type Worker struct {
+	cfg    WorkerConfig
+	client *Client
+	camp   *Campaign
+
+	mu   sync.Mutex
+	held []int // chunks under lease, heartbeated until completed
+
+	// Completed counts chunks this worker posted (including duplicates).
+	completed int
+}
+
+// NewWorker validates the config; the campaign is materialized in Run (it
+// needs the coordinator's spec).
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("fabric: worker needs a name")
+	}
+	client := cfg.Client
+	if client == nil {
+		if cfg.Coordinator == "" {
+			return nil, fmt.Errorf("fabric: worker needs a coordinator URL")
+		}
+		client = NewClient(cfg.Coordinator)
+	}
+	return &Worker{cfg: cfg, client: client}, nil
+}
+
+// Completed returns the number of chunk results this worker posted.
+func (w *Worker) Completed() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.completed
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Log != nil {
+		w.cfg.Log.Printf(format, args...)
+	}
+}
+
+// hold/release maintain the heartbeat set.
+func (w *Worker) hold(chunks []int) {
+	w.mu.Lock()
+	w.held = append(w.held, chunks...)
+	w.mu.Unlock()
+}
+
+func (w *Worker) release(ci int) {
+	w.mu.Lock()
+	for i, c := range w.held {
+		if c == ci {
+			w.held = append(w.held[:i], w.held[i+1:]...)
+			break
+		}
+	}
+	w.mu.Unlock()
+}
+
+func (w *Worker) heldChunks() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]int(nil), w.held...)
+}
+
+// Run executes the worker loop until the campaign completes, the context
+// is canceled, or the campaign contract cannot be satisfied. On
+// cancellation mid-chunk it posts whatever chunks finished before
+// returning, so the lease is not wasted.
+func (w *Worker) Run(ctx context.Context) error {
+	join, err := w.client.Join(api.JoinRequest{Worker: w.cfg.Name})
+	if err != nil {
+		return fmt.Errorf("fabric: worker %s join: %w", w.cfg.Name, err)
+	}
+	camp, err := BuildCampaign(join.Spec, w.cfg.Workers)
+	if err != nil {
+		return fmt.Errorf("fabric: worker %s materializing campaign: %w", w.cfg.Name, err)
+	}
+	if err := camp.CheckAgainst(join); err != nil {
+		return err
+	}
+	w.camp = camp
+	w.logf("worker %s joined: %s (%d chunks of %d jobs)",
+		w.cfg.Name, camp.Spec.Scenario, join.NumChunks, join.ChunkJobs)
+
+	hb := w.cfg.Heartbeat
+	if hb <= 0 {
+		hb = time.Duration(join.LeaseTTLMillis) * time.Millisecond / 3
+	}
+	if hb <= 0 {
+		hb = time.Second
+	}
+	hbCtx, stopHB := context.WithCancel(context.Background())
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx, hb)
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lease, err := w.client.Lease(api.LeaseRequest{Worker: w.cfg.Name, Max: w.cfg.MaxChunks})
+		if err != nil {
+			return fmt.Errorf("fabric: worker %s lease: %w", w.cfg.Name, err)
+		}
+		if lease.Done {
+			w.logf("worker %s done: campaign complete", w.cfg.Name)
+			return nil
+		}
+		if len(lease.Chunks) == 0 {
+			retry := time.Duration(lease.RetryMillis) * time.Millisecond
+			if retry <= 0 {
+				retry = DefaultRetryMillis * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(retry):
+			}
+			continue
+		}
+		if lease.Stolen > 0 {
+			w.logf("worker %s stole %d straggler chunk(s)", w.cfg.Name, lease.Stolen)
+		}
+		w.hold(lease.Chunks)
+		runErr := w.runLease(ctx, lease.Chunks)
+		if runErr != nil {
+			return runErr
+		}
+	}
+}
+
+// runLease simulates the leased chunks and posts each result. On
+// cancellation it still posts the chunks that finished, then reports the
+// context error.
+func (w *Worker) runLease(ctx context.Context, chunks []int) error {
+	done, runErr := w.camp.Runner.RunChunks(ctx, w.camp.Jobs, chunks)
+	if runErr != nil && !errors.Is(runErr, fault.ErrInterrupted) {
+		return fmt.Errorf("fabric: worker %s simulating: %w", w.cfg.Name, runErr)
+	}
+	for _, ci := range sortedChunks(done) {
+		resp, err := w.client.Complete(api.CompleteRequest{
+			Worker:   w.cfg.Name,
+			Chunk:    ci,
+			PlanHash: w.camp.PlanHashHex(),
+			Masks:    api.EncodeMasks(done[ci]),
+		})
+		if err != nil {
+			return fmt.Errorf("fabric: worker %s completing chunk %d: %w", w.cfg.Name, ci, err)
+		}
+		w.release(ci)
+		w.mu.Lock()
+		w.completed++
+		w.mu.Unlock()
+		if resp.Duplicate {
+			w.logf("worker %s chunk %d was a duplicate", w.cfg.Name, ci)
+		}
+	}
+	if runErr != nil {
+		// Interrupted: the unfinished chunks stay held until their leases
+		// expire; report the cancellation.
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// heartbeatLoop extends the worker's leases until stopped. Heartbeat
+// failures are non-fatal (the lease simply expires); cancellations
+// reported by the coordinator drop chunks from the held set so they stop
+// being heartbeated.
+func (w *Worker) heartbeatLoop(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		held := w.heldChunks()
+		if len(held) == 0 {
+			continue
+		}
+		resp, err := w.client.Heartbeat(api.HeartbeatRequest{Worker: w.cfg.Name, Chunks: held})
+		if err != nil {
+			w.logf("worker %s heartbeat failed: %v", w.cfg.Name, err)
+			continue
+		}
+		for _, ci := range resp.Canceled {
+			w.release(ci)
+		}
+	}
+}
+
+// sortedChunks returns map keys ascending, for deterministic posting.
+func sortedChunks(done map[int][]uint64) []int {
+	out := make([]int, 0, len(done))
+	for ci := range done {
+		out = append(out, ci)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -85,6 +85,42 @@ type checkpointHeader struct {
 	Completed      int    `json:"completed_chunks"`
 }
 
+// Fingerprint returns a canonical 64-bit digest of the checkpoint's
+// content: campaign fingerprints, shard geometry, normalized schedule and
+// every completed chunk's masks, visited in ascending chunk order. Two
+// checkpoints fingerprint equal iff they represent the same campaign state
+// — regardless of file-level encoding details (gob serializes the chunk
+// map in nondeterministic order, so comparing file bytes would not work).
+// This is how the distributed fabric proves a merged multi-worker campaign
+// is bit-identical to a single-node run.
+func (c *Checkpoint) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	write(c.PlanHash)
+	write(c.GoldenHash)
+	write(c.ClassifierHash)
+	sched := normalizeCheckpointSchedule(c.Schedule)
+	write(uint64(len(sched)))
+	h.Write([]byte(sched))
+	write(uint64(c.TotalJobs))
+	write(uint64(c.ChunkJobs))
+	write(uint64(c.NumChunks))
+	write(uint64(len(c.Chunks)))
+	for _, ci := range sortedChunkIndices(c.Chunks) {
+		masks := c.Chunks[ci]
+		write(uint64(ci))
+		write(uint64(len(masks)))
+		for _, m := range masks {
+			write(m)
+		}
+	}
+	return h.Sum64()
+}
+
 // PlanFingerprint returns a stable 64-bit digest of an injection plan. Two
 // plans fingerprint equal iff they contain the same jobs in the same order,
 // which is how checkpoints detect being resumed against a different seed,

@@ -1,0 +1,188 @@
+package fault_test
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestRunChunksMergeMatchesRun pins the distributed substrate: splitting a
+// plan's chunks across two independent Runners (as two fabric workers
+// would), merging the masks and assembling a checkpoint must be
+// bit-identical — same Result, same checkpoint fingerprint — to one
+// single-node Run of the same plan.
+func TestRunChunksMergeMatchesRun(t *testing.T) {
+	p, bench := smallMAC(t)
+	cls := fault.NewMACClassifier(bench, true)
+	jobs := fault.NewPlan(p.NumFFs(), 3, bench.ActiveCycles, 41)
+	cfg := fault.RunnerConfig{ChunkJobs: 2 * 64, Workers: 2}
+
+	// Single-node reference, checkpointed.
+	ckPath := filepath.Join(t.TempDir(), "single.ckpt")
+	refCfg := cfg
+	refCfg.CheckpointPath = ckPath
+	ref, err := fault.RunJobs(p, bench.Stim, bench.Monitors, cls, jobs, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singleCk, err := fault.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two "workers": independent runners, disjoint chunk sets.
+	sh, err := fault.PlanShards(len(jobs), cfg.ChunkJobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.NumChunks() < 2 {
+		t.Fatalf("plan too small: %d chunks", sh.NumChunks())
+	}
+	var even, odd []int
+	for ci := 0; ci < sh.NumChunks(); ci++ {
+		if ci%2 == 0 {
+			even = append(even, ci)
+		} else {
+			odd = append(odd, ci)
+		}
+	}
+	merged := make(map[int][]uint64)
+	for _, chunkSet := range [][]int{even, odd} {
+		w, err := fault.NewRunner(p, bench.Stim, bench.Monitors, fault.NewMACClassifier(bench, true), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		masks, err := w.RunChunks(context.Background(), jobs, chunkSet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(masks) != len(chunkSet) {
+			t.Fatalf("worker returned %d of %d chunks", len(masks), len(chunkSet))
+		}
+		for ci, m := range masks {
+			merged[ci] = m
+		}
+	}
+
+	// Coordinator-side merge: Result and checkpoint must match the
+	// single-node run exactly.
+	coord, err := fault.NewRunner(p, bench.Stim, bench.Monitors, cls, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := coord.MergeChunks(jobs, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ff := range ref.FDR {
+		if res.Failures[ff] != ref.Failures[ff] || res.Injections[ff] != ref.Injections[ff] {
+			t.Fatalf("FF %d: distributed %d/%d, single-node %d/%d", ff,
+				res.Failures[ff], res.Injections[ff], ref.Failures[ff], ref.Injections[ff])
+		}
+	}
+	distCk, err := coord.CampaignCheckpoint(jobs, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if distCk.Fingerprint() != singleCk.Fingerprint() {
+		t.Fatalf("checkpoint fingerprints differ: distributed %x, single-node %x",
+			distCk.Fingerprint(), singleCk.Fingerprint())
+	}
+
+	// The merged checkpoint must round-trip through the existing on-disk
+	// format and keep its fingerprint.
+	distPath := filepath.Join(t.TempDir(), "merged.ckpt")
+	if err := fault.SaveCheckpoint(distPath, distCk); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := fault.LoadCheckpoint(distPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fingerprint() != singleCk.Fingerprint() {
+		t.Fatalf("fingerprint changed across save/load: %x != %x",
+			loaded.Fingerprint(), singleCk.Fingerprint())
+	}
+}
+
+// TestRunChunksValidation covers the error paths workers depend on.
+func TestRunChunksValidation(t *testing.T) {
+	p, bench := smallMAC(t)
+	cls := fault.NewMACClassifier(bench, true)
+	jobs := fault.NewPlan(p.NumFFs(), 1, bench.ActiveCycles, 5)
+	r, err := fault.NewRunner(p, bench.Stim, bench.Monitors, cls, fault.RunnerConfig{ChunkJobs: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.RunChunks(context.Background(), jobs, []int{-1}); err == nil {
+		t.Fatal("negative chunk accepted")
+	}
+	if _, err := r.RunChunks(context.Background(), jobs, []int{1 << 30}); err == nil {
+		t.Fatal("out-of-range chunk accepted")
+	}
+	if _, err := r.RunChunks(context.Background(), jobs, []int{0, 0}); err == nil {
+		t.Fatal("duplicate chunk accepted")
+	}
+	if _, err := r.MergeChunks(jobs, map[int][]uint64{}); err == nil {
+		t.Fatal("incomplete merge accepted")
+	}
+	if _, err := r.MergeChunks(jobs, map[int][]uint64{0: {0}, 1: {0}, 1 << 20: {0}}); err == nil {
+		t.Fatal("foreign chunk index accepted")
+	}
+}
+
+// TestRunChunksInterrupted pins the lease-abandon path: cancellation
+// returns the finished chunks plus ErrInterrupted.
+func TestRunChunksInterrupted(t *testing.T) {
+	p, bench := smallMAC(t)
+	cls := fault.NewMACClassifier(bench, true)
+	jobs := fault.NewPlan(p.NumFFs(), 2, bench.ActiveCycles, 7)
+	r, err := fault.NewRunner(p, bench.Stim, bench.Monitors, cls, fault.RunnerConfig{ChunkJobs: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := fault.PlanShards(len(jobs), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, sh.NumChunks())
+	for i := range all {
+		all[i] = i
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: nothing should be dispatched
+	done, err := r.RunChunks(ctx, jobs, all)
+	if !errors.Is(err, fault.ErrInterrupted) {
+		t.Fatalf("err %v, want ErrInterrupted", err)
+	}
+	if len(done) >= len(all) {
+		t.Fatalf("canceled run completed all %d chunks", len(done))
+	}
+}
+
+// TestPlanShardsGeometry pins the exported geometry against the internal
+// splitting (whole 64-lane batches, short last chunk).
+func TestPlanShardsGeometry(t *testing.T) {
+	sh, err := fault.PlanShards(300, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.ChunkJobs() != 128 { // 100 rounded up to 2 batches
+		t.Fatalf("chunk jobs %d, want 128", sh.ChunkJobs())
+	}
+	if sh.NumChunks() != 3 || sh.TotalJobs() != 300 {
+		t.Fatalf("geometry %d chunks / %d jobs", sh.NumChunks(), sh.TotalJobs())
+	}
+	if lo, hi := sh.ChunkRange(2); lo != 256 || hi != 300 {
+		t.Fatalf("last chunk [%d,%d)", lo, hi)
+	}
+	if sh.ChunkBatches(2) != 1 {
+		t.Fatalf("last chunk batches %d", sh.ChunkBatches(2))
+	}
+	if _, err := fault.PlanShards(-1, 0); err == nil {
+		t.Fatal("negative plan accepted")
+	}
+}

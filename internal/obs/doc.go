@@ -1,0 +1,16 @@
+// Package obs is a dependency-free observability core: Prometheus-style
+// counters, gauges and histograms behind a Registry that exposes them in
+// the Prometheus text format (version 0.0.4) at /metrics.
+//
+// The prediction service and the campaign fabric register their metric
+// families here — request latency histograms, cache hit counters, queue
+// depth gauges, lease-churn counters — so a fleet of predictors and
+// coordinators can be scraped and load-balanced by stock monitoring
+// tooling without this repository taking a client_golang dependency.
+//
+// The implementation favors hot-path cheapness: counters and gauges are a
+// single atomic word, histograms one atomic word per bucket, and label
+// lookup is a read-locked map hit. Metric families are created once at
+// construction (Counter, CounterVec, Gauge, Histogram) and used lock-free
+// afterwards.
+package obs

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ffr_requests_total", "total requests")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotone
+	if c.Value() != 3 {
+		t.Fatalf("counter %v, want 3", c.Value())
+	}
+	g := r.Gauge("ffr_queue_depth", "queue depth")
+	g.Set(10)
+	g.Dec()
+	g.Add(-2)
+	if g.Value() != 7 {
+		t.Fatalf("gauge %v, want 7", g.Value())
+	}
+	// Re-registration returns the same instance.
+	if r.Counter("ffr_requests_total", "total requests") != c {
+		t.Fatal("re-registered counter is a new instance")
+	}
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ffr_http_total", "by endpoint and code", "endpoint", "code")
+	v.With("/v1/predict", "200").Add(5)
+	v.With("/v1/predict", "429").Inc()
+	v.With("/v1/models", "200").Inc()
+	if got := v.With("/v1/predict", "200").Value(); got != 5 {
+		t.Fatalf("labeled counter %v", got)
+	}
+	var text strings.Builder
+	r.WriteText(&text)
+	for _, want := range []string{
+		"# TYPE ffr_http_total counter",
+		`ffr_http_total{endpoint="/v1/predict",code="200"} 5`,
+		`ffr_http_total{endpoint="/v1/predict",code="429"} 1`,
+		`ffr_http_total{endpoint="/v1/models",code="200"} 1`,
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ffr_latency_seconds", "request latency", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if h.Sum() != 6.05 {
+		t.Fatalf("sum %v", h.Sum())
+	}
+	var text strings.Builder
+	r.WriteText(&text)
+	for _, want := range []string{
+		"# TYPE ffr_latency_seconds histogram",
+		`ffr_latency_seconds_bucket{le="0.1"} 1`,
+		`ffr_latency_seconds_bucket{le="1"} 3`,
+		`ffr_latency_seconds_bucket{le="+Inf"} 4`,
+		"ffr_latency_seconds_sum 6.05",
+		"ffr_latency_seconds_count 4",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ffr_up", "liveness").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "ffr_up 1") {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+}
+
+// TestConcurrentUse drives all metric kinds from many goroutines; run with
+// -race this pins the lock-free hot paths.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h", "h", nil)
+	v := r.CounterVec("v", "v", "l")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(j) / 1000)
+				v.With("x").Inc()
+				if j%3 == 0 {
+					v.With("y").Inc()
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 16000 {
+		t.Fatalf("counter %v", c.Value())
+	}
+	if h.Count() != 16000 {
+		t.Fatalf("histogram count %d", h.Count())
+	}
+	if v.With("x").Value() != 16000 {
+		t.Fatalf("vec %v", v.With("x").Value())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"time"
 
@@ -99,6 +100,48 @@ func (a *Artifact) CheckVector(x []float64) error {
 			ErrSchemaMismatch, len(x), a.Name, len(a.FeatureNames))
 	}
 	return nil
+}
+
+// Fingerprint returns a stable 64-bit digest of the artifact's identity:
+// name, kind, scenario tags, feature schema, training provenance and save
+// timestamp. Two artifacts fingerprint equal only when they describe the
+// same trained model; any retrain or re-save produces a new fingerprint
+// (Save stamps CreatedAt), which is what lets the prediction service key
+// its response cache per artifact so a hot reload never serves stale
+// predictions.
+func (a *Artifact) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		write(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeStr(a.Name)
+	writeStr(a.Kind)
+	writeStr(a.Circuit)
+	writeStr(a.Workload)
+	write(uint64(len(a.FeatureNames)))
+	for _, f := range a.FeatureNames {
+		writeStr(f)
+	}
+	write(uint64(a.TrainRows))
+	write(a.TrainHash)
+	write(uint64(a.CreatedAt.UnixNano()))
+	keys := make([]string, 0, len(a.Metrics))
+	for k := range a.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	write(uint64(len(keys)))
+	for _, k := range keys {
+		writeStr(k)
+		write(math.Float64bits(a.Metrics[k]))
+	}
+	return h.Sum64()
 }
 
 // DataFingerprint returns a stable 64-bit digest of a training set: exact

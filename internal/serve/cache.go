@@ -33,13 +33,19 @@ func newLRUCache(capacity int) *lruCache {
 	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-// cacheKey builds the lookup key from the model name and the exact bits of
-// the vector, so two vectors collide only when every float is identical.
-func cacheKey(model string, x []float64) string {
-	b := make([]byte, 0, len(model)+1+8*len(x))
+// cacheKey builds the lookup key from the model name, the serving
+// artifact's fingerprint and the exact bits of the vector, so two vectors
+// collide only when every float is identical AND the exact same trained
+// artifact is serving. Including the fingerprint is what makes hot reload
+// safe: a freshly swapped model can never be answered from its
+// predecessor's cached predictions.
+func cacheKey(model string, fingerprint uint64, x []float64) string {
+	b := make([]byte, 0, len(model)+9+8*len(x))
 	b = append(b, model...)
 	b = append(b, 0)
 	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], fingerprint)
+	b = append(b, buf[:]...)
 	for _, v := range x {
 		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
 		b = append(b, buf[:]...)

@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates identical in-flight evaluations (a minimal
+// singleflight): concurrent callers with the same key share one execution
+// of fn. FDR prediction traffic is repetitive enough that bursts of
+// identical feature vectors arrive together — before they land in the LRU
+// cache, coalescing stops them from all burning worker-pool slots on the
+// same arithmetic.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+	// waiting counts callers currently parked on another caller's
+	// execution; tests use it to synchronize on a follower having joined.
+	waiting atomic.Int32
+}
+
+type flightCall struct {
+	wg  sync.WaitGroup
+	val float64
+	err error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do executes fn once per key among concurrent callers. shared reports
+// whether this caller rode on another caller's execution. Errors (and
+// recovered panics, which fn must convert to errors) propagate to every
+// waiter.
+func (g *flightGroup) do(key string, fn func() (float64, error)) (val float64, shared bool, err error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		g.waiting.Add(1)
+		c.wg.Wait()
+		g.waiting.Add(-1)
+		return c.val, true, c.err
+	}
+	c := &flightCall{}
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+	c.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return c.val, false, c.err
+}

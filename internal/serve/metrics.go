@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metrics is the server's observability surface, exported in Prometheus
+// text format at /metrics.
+type metrics struct {
+	requests    *obs.CounterVec // path, code
+	latency     *obs.Histogram
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	coalesced   *obs.Counter
+	rejected    *obs.Counter
+	inflight    *obs.GaugeVec // model
+	reloads     *obs.Counter
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		requests: reg.CounterVec("ffr_serve_requests_total",
+			"HTTP requests by path and status code", "path", "code"),
+		latency: reg.Histogram("ffr_serve_request_seconds",
+			"request latency in seconds", obs.DefBuckets),
+		cacheHits: reg.Counter("ffr_serve_cache_hits_total",
+			"prediction vectors served from the response cache"),
+		cacheMisses: reg.Counter("ffr_serve_cache_misses_total",
+			"prediction vectors evaluated by a model"),
+		coalesced: reg.Counter("ffr_serve_coalesced_total",
+			"prediction vectors deduplicated onto an identical in-flight evaluation"),
+		rejected: reg.Counter("ffr_serve_rejected_total",
+			"requests rejected with 429 by per-model admission control"),
+		inflight: reg.GaugeVec("ffr_serve_inflight_requests",
+			"admitted requests currently executing (admission queue depth)", "model"),
+		reloads: reg.Counter("ffr_serve_model_reloads_total",
+			"artifacts hot-swapped via /v1/models/reload"),
+	}
+}
+
+// statusRecorder captures the response status for request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency
+// observation, labeled by route pattern (not raw URL, to bound
+// cardinality).
+func (m *metrics) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		m.latency.Observe(time.Since(start).Seconds())
+		m.requests.With(path, strconv.Itoa(rec.status)).Inc()
+	}
+}

@@ -1,209 +1,216 @@
 package serve
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
-	"strconv"
 	"sync"
-	"time"
 
+	"repro/internal/api"
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
-// MaxBatch bounds the vectors accepted in one predict request; larger
-// workloads should be split client-side so no single request can pin the
-// worker pool.
+// MaxBatch bounds the vectors accepted in one predict request when
+// Limits.MaxBatch is zero; larger workloads should be split client-side so
+// no single request can pin the worker pool.
 const MaxBatch = 65536
 
-// Config parameterizes a Server.
-type Config struct {
+// DefaultCacheSize is the response-cache capacity when Cache.Size is zero.
+const DefaultCacheSize = 4096
+
+// DefaultQueueDepth is the per-model admission bound when
+// Limits.QueueDepth is zero: the number of requests per model allowed in
+// flight before the server answers 429.
+const DefaultQueueDepth = 1024
+
+// DefaultRetryAfterSeconds is the Retry-After hint on 429 responses when
+// Limits.RetryAfterSeconds is zero.
+const DefaultRetryAfterSeconds = 1
+
+// PoolConfig sizes the shared evaluation worker pool.
+type PoolConfig struct {
 	// Workers bounds concurrent model evaluations across all in-flight
 	// requests (0 = GOMAXPROCS).
 	Workers int
-	// CacheSize is the LRU response-cache capacity in vectors
-	// (0 = default 4096, negative = caching disabled).
-	CacheSize int
 }
 
-// DefaultCacheSize is the response-cache capacity when Config.CacheSize
-// is zero.
-const DefaultCacheSize = 4096
+// CacheConfig sizes the response cache.
+type CacheConfig struct {
+	// Size is the LRU response-cache capacity in vectors (0 = default
+	// 4096, negative = caching disabled).
+	Size int
+}
 
-// Server is the model registry plus the HTTP handlers. Safe for concurrent
-// use: the registry is guarded, the cache is internally synchronized, and
+// LimitConfig is the admission-control surface.
+type LimitConfig struct {
+	// MaxBatch bounds vectors per predict request (0 = MaxBatch const).
+	MaxBatch int
+	// QueueDepth bounds in-flight requests per model; request number
+	// QueueDepth+1 is answered 429 + Retry-After (0 = DefaultQueueDepth,
+	// negative = unbounded).
+	QueueDepth int
+	// RetryAfterSeconds is the Retry-After hint on 429 responses
+	// (0 = DefaultRetryAfterSeconds).
+	RetryAfterSeconds int
+}
+
+// Config parameterizes a Server.
+type Config struct {
+	// Registry is the model store to serve; nil creates an empty one.
+	// Sharing a registry between servers (or with a background loader) is
+	// safe.
+	Registry *Registry
+	// Pool sizes the evaluation worker pool.
+	Pool PoolConfig
+	// Cache sizes the prediction response cache.
+	Cache CacheConfig
+	// Limits is the admission-control configuration.
+	Limits LimitConfig
+	// Metrics optionally receives the serve metric families; nil creates a
+	// private registry (still exported at /metrics).
+	Metrics *obs.Registry
+}
+
+// Server is the prediction service: a model registry behind HTTP handlers
+// with response caching, request coalescing, per-model admission control,
+// hot reload and a metrics endpoint. Safe for concurrent use: the registry
+// is guarded, the cache and flight group are internally synchronized, and
 // loaded models are only read.
 type Server struct {
-	mu     sync.RWMutex
-	models map[string]*persist.Artifact
-	order  []string // registration order, for stable /v1/models listings
+	reg     *Registry
+	cache   *lruCache
+	flights *flightGroup
+	sem     chan struct{}
+	limits  LimitConfig
 
-	cache *lruCache
-	sem   chan struct{}
+	admitMu sync.Mutex
+	admit   map[string]chan struct{}
+
+	obsReg  *obs.Registry
+	metrics *metrics
 }
 
-// New builds an empty server; load models with Add or LoadArtifact.
+// New builds a server; load models with Add or LoadArtifact (or pass a
+// pre-populated Registry).
 func New(cfg Config) *Server {
-	workers := cfg.Workers
+	workers := cfg.Pool.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cacheSize := cfg.CacheSize
+	cacheSize := cfg.Cache.Size
 	if cacheSize == 0 {
 		cacheSize = DefaultCacheSize
 	}
 	if cacheSize < 0 {
 		cacheSize = 0
 	}
+	limits := cfg.Limits
+	if limits.MaxBatch <= 0 {
+		limits.MaxBatch = MaxBatch
+	}
+	if limits.QueueDepth == 0 {
+		limits.QueueDepth = DefaultQueueDepth
+	}
+	if limits.RetryAfterSeconds <= 0 {
+		limits.RetryAfterSeconds = DefaultRetryAfterSeconds
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	obsReg := cfg.Metrics
+	if obsReg == nil {
+		obsReg = obs.NewRegistry()
+	}
 	return &Server{
-		models: make(map[string]*persist.Artifact),
-		cache:  newLRUCache(cacheSize),
-		sem:    make(chan struct{}, workers),
+		reg:     reg,
+		cache:   newLRUCache(cacheSize),
+		flights: newFlightGroup(),
+		sem:     make(chan struct{}, workers),
+		limits:  limits,
+		admit:   make(map[string]chan struct{}),
+		obsReg:  obsReg,
+		metrics: newMetrics(obsReg),
 	}
 }
+
+// Registry returns the server's model store.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Metrics returns the registry serving /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.obsReg }
 
 // Add registers a loaded artifact under its model name.
-func (s *Server) Add(a *persist.Artifact) error {
-	if a == nil || a.Model == nil {
-		return fmt.Errorf("serve: nil artifact or model")
-	}
-	if a.Name == "" || len(a.FeatureNames) == 0 {
-		return fmt.Errorf("serve: artifact without name or feature schema")
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.models[a.Name]; dup {
-		return fmt.Errorf("serve: model %q already registered", a.Name)
-	}
-	s.models[a.Name] = a
-	s.order = append(s.order, a.Name)
-	return nil
-}
+func (s *Server) Add(a *persist.Artifact) error { return s.reg.Add(a) }
 
-// LoadArtifact loads a persist artifact file and registers it.
+// LoadArtifact loads a persist artifact file and registers it with the
+// path tracked for hot reload.
 func (s *Server) LoadArtifact(path string) (*persist.Artifact, error) {
-	a, err := persist.Load(path)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.Add(a); err != nil {
-		return nil, err
-	}
-	return a, nil
+	return s.reg.AddFrom(path)
 }
 
 // NumModels reports the registered model count.
-func (s *Server) NumModels() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.models)
-}
-
-func (s *Server) lookup(name string) (*persist.Artifact, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.models[name]
-	return a, ok
-}
-
-// ModelInfo is one /v1/models entry: the artifact header, minus the model.
-// Circuit and Workload identify the corpus scenario the model was trained
-// on, letting clients of a multi-scenario deployment route predictions to
-// the right model.
-type ModelInfo struct {
-	Name        string             `json:"name"`
-	Kind        string             `json:"kind"`
-	Circuit     string             `json:"circuit,omitempty"`
-	Workload    string             `json:"workload,omitempty"`
-	NumFeatures int                `json:"num_features"`
-	Features    []string           `json:"features"`
-	TrainRows   int                `json:"train_rows"`
-	TrainHash   string             `json:"train_hash"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-	CreatedAt   time.Time          `json:"created_at"`
-}
+func (s *Server) NumModels() int { return s.reg.Len() }
 
 // Models lists the registered artifacts in registration order.
-func (s *Server) Models() []ModelInfo {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]ModelInfo, 0, len(s.order))
-	for _, name := range s.order {
-		a := s.models[name]
-		out = append(out, ModelInfo{
-			Name:        a.Name,
-			Kind:        a.Kind,
-			Circuit:     a.Circuit,
-			Workload:    a.Workload,
-			NumFeatures: a.NumFeatures(),
-			Features:    a.FeatureNames,
-			TrainRows:   a.TrainRows,
-			TrainHash:   strconv.FormatUint(a.TrainHash, 16),
-			Metrics:     a.Metrics,
-			CreatedAt:   a.CreatedAt,
-		})
+func (s *Server) Models() []api.ModelInfo { return s.reg.Models() }
+
+// ErrNoModels is returned by Ready when the server has nothing to serve.
+var ErrNoModels = errors.New("serve: no models loaded")
+
+// Ready validates the server can serve traffic (at least one model).
+func (s *Server) Ready() error {
+	if s.reg.Len() == 0 {
+		return ErrNoModels
 	}
-	return out
+	return nil
 }
 
-// Handler returns the service mux.
+// Handler returns the service mux: the versioned prediction API, hot
+// reload, health and metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/predict", s.handlePredict)
-	mux.HandleFunc("GET /v1/models", s.handleModels)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("POST /v1/predict", s.metrics.instrument("/v1/predict", s.handlePredict))
+	mux.HandleFunc("GET /v1/models", s.metrics.instrument("/v1/models", s.handleModels))
+	mux.HandleFunc("POST /v1/models/reload", s.metrics.instrument("/v1/models/reload", s.handleReload))
+	mux.HandleFunc("GET /healthz", s.metrics.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.obsReg.Handler())
 	return mux
 }
 
-type predictRequest struct {
-	Model   string      `json:"model"`
-	Vector  []float64   `json:"vector,omitempty"`
-	Vectors [][]float64 `json:"vectors,omitempty"`
-}
-
-type predictResponse struct {
-	Model       string    `json:"model"`
-	Predictions []float64 `json:"predictions"`
-	// Prediction mirrors Predictions[0] for single-vector requests.
-	Prediction *float64 `json:"prediction,omitempty"`
-	CacheHits  int      `json:"cache_hits"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+// admission returns the bounded per-model slot channel.
+func (s *Server) admission(model string) chan struct{} {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	ch, ok := s.admit[model]
+	if !ok {
+		ch = make(chan struct{}, s.limits.QueueDepth)
+		s.admit[model] = ch
+	}
+	return ch
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, 64<<20)
-	var req predictRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+	var req api.PredictRequest
+	if err := api.ReadJSON(r, w, 64<<20, &req); err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	if req.Model == "" {
-		writeError(w, http.StatusBadRequest, "missing model name")
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "missing model name")
 		return
 	}
 	single := req.Vector != nil
 	if single == (req.Vectors != nil) {
-		writeError(w, http.StatusBadRequest, "provide exactly one of vector or vectors")
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "provide exactly one of vector or vectors")
 		return
 	}
-	a, ok := s.lookup(req.Model)
+	a, ok := s.reg.Get(req.Model)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown model %q", req.Model)
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "unknown model %q", req.Model)
 		return
 	}
 	X := req.Vectors
@@ -211,110 +218,150 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		X = [][]float64{req.Vector}
 	}
 	if len(X) == 0 {
-		writeError(w, http.StatusBadRequest, "empty batch")
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "empty batch")
 		return
 	}
-	if len(X) > MaxBatch {
-		writeError(w, http.StatusBadRequest, "batch of %d vectors exceeds limit %d", len(X), MaxBatch)
+	if len(X) > s.limits.MaxBatch {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"batch of %d vectors exceeds limit %d", len(X), s.limits.MaxBatch)
 		return
 	}
 	for i, x := range X {
 		if err := a.CheckVector(x); err != nil {
-			writeError(w, http.StatusBadRequest, "vector %d: %v", i, err)
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "vector %d: %v", i, err)
 			return
 		}
 	}
 
-	preds, hits, err := s.predictBatch(a, X)
+	// Per-model admission: a bounded number of requests may be in flight
+	// per model; the rest are shed immediately with 429 + Retry-After so
+	// overload degrades into fast, explicit backpressure instead of
+	// unbounded queueing.
+	if s.limits.QueueDepth > 0 {
+		slots := s.admission(req.Model)
+		select {
+		case slots <- struct{}{}:
+			defer func() { <-slots }()
+		default:
+			s.metrics.rejected.Inc()
+			api.WriteOverloaded(w, s.limits.RetryAfterSeconds,
+				"model %q has %d requests in flight", req.Model, cap(slots))
+			return
+		}
+	}
+	g := s.metrics.inflight.With(req.Model)
+	g.Inc()
+	defer g.Dec()
+
+	preds, hits, coalesced, err := s.predictBatch(a, X)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+		api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "%v", err)
 		return
 	}
-	resp := predictResponse{Model: a.Name, Predictions: preds, CacheHits: hits}
+	resp := api.PredictResponse{Model: a.Name, Predictions: preds, CacheHits: hits, Coalesced: coalesced}
 	if single {
 		resp.Prediction = &preds[0]
 	}
-	writeJSON(w, http.StatusOK, resp)
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
-// predictBatch serves each vector from the cache when possible and
-// evaluates the misses in parallel on the shared worker pool. A panicking
-// model (e.g. an artifact whose payload was trained on a different width
-// than its header claims) is contained: the pool goroutines recover, the
-// request fails with an error, and the server keeps serving — net/http's
-// per-connection recover would not cover these goroutines.
-func (s *Server) predictBatch(a *persist.Artifact, X [][]float64) ([]float64, int, error) {
+// predictBatch serves each vector from the cache when possible, coalesces
+// identical in-flight vectors onto one evaluation, and runs the remaining
+// misses in parallel on the shared worker pool. Cache keys include the
+// artifact fingerprint, so a hot-reloaded model can never serve
+// predictions cached from its predecessor. A panicking model (e.g. an
+// artifact whose payload was trained on a different width than its header
+// claims) is contained: evaluation recovers, the request fails with an
+// error, and the server keeps serving — net/http's per-connection recover
+// would not cover the pool goroutines.
+func (s *Server) predictBatch(a *persist.Artifact, X [][]float64) (preds []float64, hits, coalesced int, err error) {
+	fp := a.Fingerprint()
 	out := make([]float64, len(X))
 	keys := make([]string, len(X))
 	var misses []int
 	for i, x := range X {
-		keys[i] = cacheKey(a.Name, x)
+		keys[i] = cacheKey(a.Name, fp, x)
 		if v, ok := s.cache.get(keys[i]); ok {
 			out[i] = v
 		} else {
 			misses = append(misses, i)
 		}
 	}
+	s.metrics.cacheHits.Add(float64(len(X) - len(misses)))
+	s.metrics.cacheMisses.Add(float64(len(misses)))
+
 	var (
-		wg        sync.WaitGroup
-		panicMu   sync.Mutex
-		panicked  any
-		panicOnce bool
+		wg       sync.WaitGroup
+		statMu   sync.Mutex
+		shared   int
+		firstErr error
 	)
 	for _, i := range misses {
 		wg.Add(1)
-		s.sem <- struct{}{}
 		go func(i int) {
-			defer func() {
-				if r := recover(); r != nil {
-					panicMu.Lock()
-					if !panicOnce {
-						panicked, panicOnce = r, true
-					}
-					panicMu.Unlock()
-				}
-				<-s.sem
-				wg.Done()
-			}()
-			out[i] = a.Model.Predict(X[i])
+			defer wg.Done()
+			v, wasShared, perr := s.flights.do(keys[i], func() (float64, error) {
+				s.sem <- struct{}{}
+				defer func() { <-s.sem }()
+				return safePredict(a, X[i])
+			})
+			statMu.Lock()
+			if wasShared {
+				shared++
+			}
+			if perr != nil && firstErr == nil {
+				firstErr = perr
+			}
+			statMu.Unlock()
+			out[i] = v
 		}(i)
 	}
 	wg.Wait()
-	if panicOnce {
-		return nil, 0, fmt.Errorf("model %q failed to evaluate: %v", a.Name, panicked)
+	if firstErr != nil {
+		return nil, 0, 0, firstErr
 	}
+	s.metrics.coalesced.Add(float64(shared))
 	for _, i := range misses {
 		s.cache.put(keys[i], out[i])
 	}
-	return out, len(X) - len(misses), nil
+	return out, len(X) - len(misses), shared, nil
+}
+
+// safePredict evaluates one vector with panic containment.
+func safePredict(a *persist.Artifact, x []float64) (v float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("model %q failed to evaluate: %v", a.Name, r)
+		}
+	}()
+	return a.Model.Predict(x), nil
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		Models []ModelInfo `json:"models"`
-	}{Models: s.Models()})
+	api.WriteJSON(w, http.StatusOK, api.ModelsResponse{Models: s.reg.Models()})
+}
+
+// handleReload hot-swaps file-backed artifacts without draining traffic:
+// in-flight predictions finish against the artifact pointer they resolved;
+// new requests see the fresh artifact (and, through fingerprinted cache
+// keys, never a stale cached prediction).
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req api.ReloadRequest
+	// An empty body means "reload everything".
+	if err := api.ReadJSON(r, w, 1<<20, &req); err != nil && !errors.Is(err, io.EOF) {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	resp := s.reg.Reload(req.Models)
+	s.metrics.reloads.Add(float64(resp.Reloaded))
+	api.WriteJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	n := s.NumModels()
+	n := s.reg.Len()
 	if n == 0 {
-		writeError(w, http.StatusServiceUnavailable, "no models loaded")
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "no models loaded")
 		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Status string `json:"status"`
-		Models int    `json:"models"`
-		Cached int    `json:"cached"`
-	}{Status: "ok", Models: n, Cached: s.cache.len()})
-}
-
-// ErrNoModels is returned by Ready when the server has nothing to serve.
-var ErrNoModels = errors.New("serve: no models loaded")
-
-// Ready validates the server can serve traffic (at least one model).
-func (s *Server) Ready() error {
-	if s.NumModels() == 0 {
-		return ErrNoModels
-	}
-	return nil
+	api.WriteJSON(w, http.StatusOK, api.HealthResponse{Status: "ok", Models: n, Cached: s.cache.len()})
 }

@@ -11,8 +11,11 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/api"
 	"repro/internal/ml"
 	"repro/internal/ml/knn"
 	"repro/internal/ml/linreg"
@@ -23,7 +26,14 @@ import (
 // problem and wraps it as an artifact.
 func syntheticArtifact(t testing.TB, name string, model ml.Regressor) *persist.Artifact {
 	t.Helper()
-	rng := rand.New(rand.NewSource(7))
+	return syntheticArtifactSeed(t, name, model, 7)
+}
+
+// syntheticArtifactSeed varies the training data, producing artifacts that
+// predict differently — the raw material for reload tests.
+func syntheticArtifactSeed(t testing.TB, name string, model ml.Regressor, seed int64) *persist.Artifact {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
 	X := make([][]float64, 120)
 	y := make([]float64, len(X))
 	for i := range X {
@@ -53,18 +63,28 @@ func testServer(t testing.TB, cfg Config) (*Server, *persist.Artifact) {
 	return s, knnArt
 }
 
-func postPredict(t testing.TB, h http.Handler, body string) (*httptest.ResponseRecorder, predictResponse) {
+func postPredict(t testing.TB, h http.Handler, body string) (*httptest.ResponseRecorder, api.PredictResponse) {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodPost, "/v1/predict", strings.NewReader(body))
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
-	var resp predictResponse
+	var resp api.PredictResponse
 	if rec.Code == http.StatusOK {
 		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 			t.Fatalf("bad response body %q: %v", rec.Body.String(), err)
 		}
 	}
 	return rec, resp
+}
+
+// decodeEnvelope parses the common error envelope of a failed response.
+func decodeEnvelope(t testing.TB, rec *httptest.ResponseRecorder) *api.Error {
+	t.Helper()
+	var er api.ErrorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || er.Error == nil {
+		t.Fatalf("error body is not an envelope: %q", rec.Body.String())
+	}
+	return er.Error
 }
 
 func TestPredictSingle(t *testing.T) {
@@ -99,7 +119,7 @@ func TestPredictSingle(t *testing.T) {
 }
 
 func TestPredictBatch(t *testing.T) {
-	s, art := testServer(t, Config{Workers: 4})
+	s, art := testServer(t, Config{Pool: PoolConfig{Workers: 4}})
 	h := s.Handler()
 	rng := rand.New(rand.NewSource(11))
 	X := make([][]float64, 40)
@@ -108,7 +128,7 @@ func TestPredictBatch(t *testing.T) {
 	}
 	want := ml.PredictAll(art.Model, X)
 
-	body, _ := json.Marshal(predictRequest{Model: "k-NN", Vectors: X})
+	body, _ := json.Marshal(api.PredictRequest{Model: "k-NN", Vectors: X})
 	rec, resp := postPredict(t, h, string(body))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -133,16 +153,17 @@ func TestPredictValidation(t *testing.T) {
 		name     string
 		body     string
 		wantCode int
+		wantAPI  string
 		wantMsg  string
 	}{
-		{"bad json", `{"model":`, http.StatusBadRequest, "bad request body"},
-		{"missing model", `{"vector":[1,2,3]}`, http.StatusBadRequest, "missing model"},
-		{"unknown model", `{"model":"nope","vector":[1,2,3]}`, http.StatusNotFound, `unknown model "nope"`},
-		{"neither input", `{"model":"k-NN"}`, http.StatusBadRequest, "exactly one of"},
-		{"both inputs", `{"model":"k-NN","vector":[1,2,3],"vectors":[[1,2,3]]}`, http.StatusBadRequest, "exactly one of"},
-		{"empty batch", `{"model":"k-NN","vectors":[]}`, http.StatusBadRequest, "empty batch"},
-		{"narrow vector", `{"model":"k-NN","vector":[1,2]}`, http.StatusBadRequest, "wants 3"},
-		{"ragged batch", `{"model":"k-NN","vectors":[[1,2,3],[1,2,3,4]]}`, http.StatusBadRequest, "vector 1"},
+		{"bad json", `{"model":`, http.StatusBadRequest, api.CodeBadRequest, "bad request body"},
+		{"missing model", `{"vector":[1,2,3]}`, http.StatusBadRequest, api.CodeBadRequest, "missing model"},
+		{"unknown model", `{"model":"nope","vector":[1,2,3]}`, http.StatusNotFound, api.CodeNotFound, `unknown model "nope"`},
+		{"neither input", `{"model":"k-NN"}`, http.StatusBadRequest, api.CodeBadRequest, "exactly one of"},
+		{"both inputs", `{"model":"k-NN","vector":[1,2,3],"vectors":[[1,2,3]]}`, http.StatusBadRequest, api.CodeBadRequest, "exactly one of"},
+		{"empty batch", `{"model":"k-NN","vectors":[]}`, http.StatusBadRequest, api.CodeBadRequest, "empty batch"},
+		{"narrow vector", `{"model":"k-NN","vector":[1,2]}`, http.StatusBadRequest, api.CodeBadRequest, "wants 3"},
+		{"ragged batch", `{"model":"k-NN","vectors":[[1,2,3],[1,2,3,4]]}`, http.StatusBadRequest, api.CodeBadRequest, "vector 1"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -150,12 +171,12 @@ func TestPredictValidation(t *testing.T) {
 			if rec.Code != c.wantCode {
 				t.Fatalf("status %d, want %d (%s)", rec.Code, c.wantCode, rec.Body.String())
 			}
-			var er errorResponse
-			if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil {
-				t.Fatalf("error body not JSON: %q", rec.Body.String())
+			er := decodeEnvelope(t, rec)
+			if er.Code != c.wantAPI {
+				t.Fatalf("code %q, want %q", er.Code, c.wantAPI)
 			}
-			if !strings.Contains(er.Error, c.wantMsg) {
-				t.Fatalf("error %q does not mention %q", er.Error, c.wantMsg)
+			if !strings.Contains(er.Message, c.wantMsg) {
+				t.Fatalf("message %q does not mention %q", er.Message, c.wantMsg)
 			}
 		})
 	}
@@ -176,9 +197,7 @@ func TestModelsEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var resp struct {
-		Models []ModelInfo `json:"models"`
-	}
+	var resp api.ModelsResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -191,6 +210,9 @@ func TestModelsEndpoint(t *testing.T) {
 	if resp.Models[0].Kind != "pipeline[std,knn]" || resp.Models[0].NumFeatures != 3 {
 		t.Fatalf("k-NN metadata: kind %q, features %d", resp.Models[0].Kind, resp.Models[0].NumFeatures)
 	}
+	if resp.Models[0].Fingerprint == "" {
+		t.Fatal("listing missing artifact fingerprint")
+	}
 }
 
 func TestHealthz(t *testing.T) {
@@ -200,6 +222,9 @@ func TestHealthz(t *testing.T) {
 	empty.Handler().ServeHTTP(rec, req)
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("empty server healthz: status %d, want 503", rec.Code)
+	}
+	if er := decodeEnvelope(t, rec); er.Code != api.CodeUnavailable {
+		t.Fatalf("empty server healthz code %q, want %q", er.Code, api.CodeUnavailable)
 	}
 	if err := empty.Ready(); err == nil {
 		t.Fatal("empty server reports ready")
@@ -221,7 +246,7 @@ func TestHealthz(t *testing.T) {
 // contract end to end: shared models, shared cache, shared worker pool,
 // zero failures.
 func TestConcurrentBatchPredict(t *testing.T) {
-	s, art := testServer(t, Config{Workers: 8, CacheSize: 256})
+	s, art := testServer(t, Config{Pool: PoolConfig{Workers: 8}, Cache: CacheConfig{Size: 256}})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -238,7 +263,7 @@ func TestConcurrentBatchPredict(t *testing.T) {
 			for i := range X {
 				X[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
 			}
-			body, _ := json.Marshal(predictRequest{Model: "k-NN", Vectors: X})
+			body, _ := json.Marshal(api.PredictRequest{Model: "k-NN", Vectors: X})
 			resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(body))
 			if err != nil {
 				errs <- fmt.Errorf("client %d: %w", c, err)
@@ -250,7 +275,7 @@ func TestConcurrentBatchPredict(t *testing.T) {
 				errs <- fmt.Errorf("client %d: status %d: %s", c, resp.StatusCode, b)
 				return
 			}
-			var pr predictResponse
+			var pr api.PredictResponse
 			if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 				errs <- fmt.Errorf("client %d: decoding: %w", c, err)
 				return
@@ -294,6 +319,10 @@ func TestLoadArtifactAndDuplicates(t *testing.T) {
 	if err := s.Add(nil); err == nil {
 		t.Fatal("nil artifact accepted")
 	}
+	// File-backed models surface their source in the listing.
+	if ms := s.Models(); ms[0].Source != path {
+		t.Fatalf("source %q, want %q", ms[0].Source, path)
+	}
 }
 
 // panicModel stands in for an artifact whose payload disagrees with its
@@ -307,7 +336,7 @@ func (panicModel) Predict(x []float64) float64          { panic("width mismatch"
 // request with a 500 instead of killing the process, and that the server
 // keeps serving healthy models afterwards.
 func TestPredictContainsModelPanic(t *testing.T) {
-	s, _ := testServer(t, Config{Workers: 2})
+	s, _ := testServer(t, Config{Pool: PoolConfig{Workers: 2}})
 	bad := &persist.Artifact{Name: "bad", FeatureNames: []string{"f0", "f1", "f2"}, Model: panicModel{}}
 	if err := s.Add(bad); err != nil {
 		t.Fatal(err)
@@ -318,9 +347,9 @@ func TestPredictContainsModelPanic(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500 (%s)", rec.Code, rec.Body.String())
 	}
-	var er errorResponse
-	if err := json.Unmarshal(rec.Body.Bytes(), &er); err != nil || !strings.Contains(er.Error, "bad") {
-		t.Fatalf("error body %q does not name the model", rec.Body.String())
+	er := decodeEnvelope(t, rec)
+	if er.Code != api.CodeInternal || !strings.Contains(er.Message, "bad") {
+		t.Fatalf("error %+v does not name the model with an internal code", er)
 	}
 
 	rec, resp := postPredict(t, h, `{"model":"k-NN","vector":[1,2,3]}`)
@@ -358,11 +387,16 @@ func TestLRUCache(t *testing.T) {
 	}
 
 	// Distinct vectors must produce distinct keys even when they print alike.
-	if cacheKey("m", []float64{1, 2}) == cacheKey("m", []float64{1, 2.0000000000000004}) {
+	if cacheKey("m", 1, []float64{1, 2}) == cacheKey("m", 1, []float64{1, 2.0000000000000004}) {
 		t.Fatal("cache key ignores low-order float bits")
 	}
-	if cacheKey("m1", []float64{1}) == cacheKey("m2", []float64{1}) {
+	if cacheKey("m1", 1, []float64{1}) == cacheKey("m2", 1, []float64{1}) {
 		t.Fatal("cache key ignores model name")
+	}
+	// The artifact fingerprint is part of the key: a hot-reloaded model
+	// must never hit its predecessor's entries.
+	if cacheKey("m", 1, []float64{1}) == cacheKey("m", 2, []float64{1}) {
+		t.Fatal("cache key ignores artifact fingerprint")
 	}
 }
 
@@ -385,9 +419,7 @@ func TestModelsEndpointScenarioTags(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	var resp struct {
-		Models []ModelInfo `json:"models"`
-	}
+	var resp api.ModelsResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -405,5 +437,315 @@ func TestModelsEndpointScenarioTags(t *testing.T) {
 	}
 	if strings.Count(body, `"circuit"`) != 1 {
 		t.Fatalf("untagged model serialized a circuit key: %s", body)
+	}
+}
+
+// TestReloadNeverServesStale pins the hot-reload path end to end: train a
+// model, serve (and cache) a prediction, retrain the artifact file with
+// different data, POST /v1/models/reload, and require the very same vector
+// to be answered by the NEW model — the fingerprinted cache key makes the
+// old cache entry unreachable.
+func TestReloadNeverServesStale(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "knn.ffrm")
+	v1 := syntheticArtifactSeed(t, "k-NN", knn.New(3, knn.Manhattan), 7)
+	if err := persist.Save(path, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{})
+	if _, err := s.LoadArtifact(path); err != nil {
+		t.Fatal(err)
+	}
+	h := s.Handler()
+	x := []float64{0.5, 1.5, 3}
+	body := fmt.Sprintf(`{"model":"k-NN","vector":[%g,%g,%g]}`, x[0], x[1], x[2])
+
+	rec, resp := postPredict(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	oldPred := resp.Predictions[0]
+	// Prime the cache.
+	if rec, resp = postPredict(t, h, body); resp.CacheHits != 1 {
+		t.Fatalf("prime: %d cache hits, want 1", resp.CacheHits)
+	}
+
+	// Retrain on different data and overwrite the artifact file.
+	v2 := syntheticArtifactSeed(t, "k-NN", knn.New(3, knn.Manhattan), 99)
+	if err := persist.Save(path, v2); err != nil {
+		t.Fatal(err)
+	}
+	wantNew := v2.Model.Predict(x)
+	if wantNew == oldPred {
+		t.Fatal("test fixture degenerate: retrained model predicts identically")
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/models/reload", strings.NewReader(`{}`))
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", rec.Code, rec.Body.String())
+	}
+	var rr api.ReloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Reloaded != 1 || len(rr.Results) != 1 || !rr.Results[0].Reloaded || !rr.Results[0].Changed {
+		t.Fatalf("reload response %+v", rr)
+	}
+
+	// The same vector must now be answered by the new model — not the old
+	// model's cached prediction.
+	rec, resp = postPredict(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-reload status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.CacheHits != 0 {
+		t.Fatalf("post-reload request hit the stale cache (%d hits)", resp.CacheHits)
+	}
+	if resp.Predictions[0] != wantNew {
+		t.Fatalf("post-reload prediction %v, want %v (stale: %v)", resp.Predictions[0], wantNew, oldPred)
+	}
+
+	// Reloading an unchanged file is a no-op swap.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/models/reload", strings.NewReader(`{"models":["k-NN"]}`)))
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Results[0].Reloaded || rr.Results[0].Changed {
+		t.Fatalf("unchanged reload response %+v", rr)
+	}
+
+	// Unknown and in-memory models fail per-entry without failing the call.
+	s2, _ := testServer(t, Config{})
+	rec = httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/models/reload",
+		strings.NewReader(`{"models":["k-NN","nope"]}`)))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("partial reload status %d", rec.Code)
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Reloaded != 0 || rr.Results[0].Error == "" || rr.Results[1].Error == "" {
+		t.Fatalf("partial reload response %+v", rr)
+	}
+}
+
+// blockingModel parks every Predict until released, so tests can hold
+// requests in flight deterministically.
+type blockingModel struct {
+	started chan struct{} // receives one token per evaluation begun
+	release chan struct{} // closed to let evaluations finish
+	evals   *atomic.Int32
+}
+
+func (m blockingModel) Fit(X [][]float64, y []float64) error { return nil }
+
+func (m blockingModel) Predict(x []float64) float64 {
+	m.evals.Add(1)
+	select {
+	case m.started <- struct{}{}:
+	default:
+	}
+	<-m.release
+	return x[0]
+}
+
+// TestAdmissionControl pins the per-model bounded queue: with QueueDepth 1
+// and one request parked in flight, the next request is shed with 429, the
+// overloaded error code and a Retry-After hint — and other models are
+// unaffected.
+func TestAdmissionControl(t *testing.T) {
+	evals := &atomic.Int32{}
+	m := blockingModel{started: make(chan struct{}, 8), release: make(chan struct{}), evals: evals}
+	s := New(Config{
+		Pool:   PoolConfig{Workers: 2},
+		Limits: LimitConfig{QueueDepth: 1, RetryAfterSeconds: 7},
+	})
+	if err := s.Add(&persist.Artifact{Name: "slow", FeatureNames: []string{"f0"}, Model: m}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(syntheticArtifact(t, "k-NN", knn.New(3, knn.Manhattan))); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Park one request in flight.
+	type result struct {
+		status int
+		err    error
+	}
+	first := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+			strings.NewReader(`{"model":"slow","vector":[1]}`))
+		if err != nil {
+			first <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		first <- result{status: resp.StatusCode}
+	}()
+	<-m.started // evaluation began: the single admission slot is held
+
+	// The next request for the same model is shed immediately.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"model":"slow","vector":[2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429 (%s)", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After %q, want 7", ra)
+	}
+	if er := api.DecodeError(resp.StatusCode, body); er.Code != api.CodeOverloaded {
+		t.Fatalf("code %q, want %q", er.Code, api.CodeOverloaded)
+	}
+
+	// Admission is per model: a different model still serves.
+	resp, err = http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"model":"k-NN","vector":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("other model status %d, want 200", resp.StatusCode)
+	}
+
+	close(m.release)
+	if r := <-first; r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("parked request finished with %+v", r)
+	}
+}
+
+// TestCoalescing pins request coalescing: two concurrent requests for the
+// identical vector (cache disabled) share ONE model evaluation, and the
+// follower reports it was coalesced.
+func TestCoalescing(t *testing.T) {
+	evals := &atomic.Int32{}
+	m := blockingModel{started: make(chan struct{}, 8), release: make(chan struct{}), evals: evals}
+	s := New(Config{
+		Pool:  PoolConfig{Workers: 4},
+		Cache: CacheConfig{Size: -1}, // caching off: only coalescing can dedup
+	})
+	if err := s.Add(&persist.Artifact{Name: "slow", FeatureNames: []string{"f0"}, Model: m}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	do := func() (api.PredictResponse, error) {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+			strings.NewReader(`{"model":"slow","vector":[3]}`))
+		if err != nil {
+			return api.PredictResponse{}, err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			return api.PredictResponse{}, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+		}
+		var pr api.PredictResponse
+		err = json.NewDecoder(resp.Body).Decode(&pr)
+		return pr, err
+	}
+
+	results := make(chan api.PredictResponse, 2)
+	errc := make(chan error, 2)
+	launch := func() {
+		pr, err := do()
+		if err != nil {
+			errc <- err
+			return
+		}
+		results <- pr
+	}
+	go launch()
+	<-m.started // leader is parked inside Predict
+	go launch() // follower must coalesce onto the leader's evaluation
+
+	// Wait until the follower is parked on the leader's flight before
+	// releasing the model, so exactly one evaluation can ever happen.
+	for s.flights.waiting.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(m.release)
+
+	var got []api.PredictResponse
+	for len(got) < 2 {
+		select {
+		case pr := <-results:
+			got = append(got, pr)
+		case err := <-errc:
+			t.Fatal(err)
+		}
+	}
+	if n := evals.Load(); n != 1 {
+		t.Fatalf("%d evaluations for 2 identical requests, want 1", n)
+	}
+	coalesced := got[0].Coalesced + got[1].Coalesced
+	if coalesced != 1 {
+		t.Fatalf("coalesced counts %d+%d, want exactly one follower", got[0].Coalesced, got[1].Coalesced)
+	}
+	for _, pr := range got {
+		if len(pr.Predictions) != 1 || pr.Predictions[0] != 3 {
+			t.Fatalf("prediction %+v, want [3]", pr.Predictions)
+		}
+	}
+}
+
+// TestMetricsEndpoint pins the Prometheus text exposition: counters and
+// histograms appear after traffic, in the 0.0.4 text format.
+func TestMetricsEndpoint(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	h := s.Handler()
+	body := `{"model":"k-NN","vector":[0.5,1.5,3]}`
+	postPredict(t, h, body)
+	postPredict(t, h, body) // cache hit
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		`ffr_serve_requests_total{path="/v1/predict",code="200"} 2`,
+		"ffr_serve_cache_hits_total 1",
+		"ffr_serve_cache_misses_total 1",
+		"# TYPE ffr_serve_request_seconds histogram",
+		"ffr_serve_request_seconds_count 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestSharedRegistry pins Config.Registry injection: two servers serving
+// one registry see the same models.
+func TestSharedRegistry(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Add(syntheticArtifact(t, "k-NN", knn.New(3, knn.Manhattan))); err != nil {
+		t.Fatal(err)
+	}
+	a := New(Config{Registry: reg})
+	b := New(Config{Registry: reg})
+	if a.NumModels() != 1 || b.NumModels() != 1 {
+		t.Fatalf("shared registry not visible: %d/%d", a.NumModels(), b.NumModels())
+	}
+	if a.Registry() != reg {
+		t.Fatal("Registry() does not return the injected store")
+	}
+	if got := reg.Names(); len(got) != 1 || got[0] != "k-NN" {
+		t.Fatalf("names %v", got)
 	}
 }
