@@ -14,9 +14,9 @@ SMOKE_INJECTIONS ?= 2
 SMOKE_VECTOR := [0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0,0]
 
 # Campaign-benchmark baseline file (see bench-baseline).
-BENCH_FILE ?= BENCH_5.json
+BENCH_FILE ?= BENCH_7.json
 
-.PHONY: all build examples test race lint doc-check bench bench-baseline serve-smoke corpus-smoke fabric-smoke load-smoke
+.PHONY: all build examples test race lint doc-check metrics-lint bench bench-baseline serve-smoke corpus-smoke fabric-smoke load-smoke
 
 all: lint build examples test doc-check
 
@@ -44,18 +44,45 @@ lint:
 doc-check:
 	@sh scripts/doc-check.sh
 
+# Telemetry exposition gate: train a tiny artifact, serve it, take one
+# prediction, and lint the live /metrics exposition (well-formedness +
+# ffr_ prefix; see scripts/metrics-lint.sh). The smoke targets addition-
+# ally lint every exposition they already fetch.
+metrics-lint:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf $$tmp' EXIT; \
+	$(GO) build -o $$tmp/ffrtrain ./cmd/ffrtrain; \
+	$(GO) build -o $$tmp/ffrserve ./cmd/ffrserve; \
+	$$tmp/ffrtrain -model "k-NN" -n $(SMOKE_INJECTIONS) -save $$tmp/knn.ffrm; \
+	$$tmp/ffrserve -addr 127.0.0.1:18083 -model $$tmp/knn.ffrm & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		curl -fsS http://127.0.0.1:18083/healthz >/dev/null 2>&1 && break; \
+		kill -0 $$pid 2>/dev/null || { echo "ffrserve exited early"; exit 1; }; \
+		sleep 0.2; \
+	done; \
+	curl -fsS -X POST -d '{"model":"k-NN","vector":$(SMOKE_VECTOR)}' \
+		http://127.0.0.1:18083/v1/predict >/dev/null; \
+	curl -fsS http://127.0.0.1:18083/metrics | sh scripts/metrics-lint.sh; \
+	echo "metrics lint OK"
+
 # BENCH_SKIP optionally excludes benchmarks by regex (go test -skip); CI
 # uses it to avoid re-running the campaign benchmarks that bench-baseline
-# records right after.
+# records right after. Note BenchmarkFlatInjectionCampaign is a prefix of
+# its Instrumented variant, so one pattern covers both.
 bench:
 	FFR_INJECTIONS=$(FFR_INJECTIONS) $(GO) test -bench=. $(if $(BENCH_SKIP),-skip='$(BENCH_SKIP)') -benchtime=1x -run='^$$' .
 
 # Record the campaign and active-learning benchmarks (the perf trajectory of
 # the incremental engine plus the planner's budget-vs-quality headline) to
-# $(BENCH_FILE) as `go test -json` events. The benchstat-compatible benchmark
-# text is embedded in the Output events; extract it with:
+# $(BENCH_FILE) as `go test -json` events. The flat-campaign pattern also
+# matches BenchmarkFlatInjectionCampaignInstrumented, so the baseline records
+# the plain and telemetry-enabled campaign side by side — the instrumented
+# variant reports its own overhead_pct metric and the two ns/op columns pin
+# telemetry overhead under 2 %. The benchstat-compatible benchmark text is
+# embedded in the Output events; extract it with:
 #
-#	jq -r 'select(.Action=="output").Output' BENCH_5.json | benchstat /dev/stdin
+#	jq -r 'select(.Action=="output").Output' BENCH_7.json | benchstat /dev/stdin
 #
 # Compare against the naive path by re-running with FFR_NAIVE=1 and a
 # different BENCH_FILE.
@@ -122,6 +149,12 @@ corpus-smoke:
 # single-node reference and exits nonzero on mismatch), then the real
 # binaries — ffrcoord serving the fabric protocol over TCP with two
 # ffrwork processes racing for leases until the campaign completes.
+# Both sides run with debug JSON logs and span journals; after the run
+# the smoke asserts the telemetry is *correlated*: a trace ID minted by a
+# worker's lease cycle must appear in the worker's span journal AND the
+# coordinator's span journal AND the coordinator's log — one leased chunk,
+# followable across processes. The coordinator's /metrics exposition is
+# linted mid-campaign.
 fabric-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -131,24 +164,39 @@ fabric-smoke:
 	$(GO) build -o $$tmp/ffrwork ./cmd/ffrwork; \
 	$$tmp/ffrcoord -scenario random/noise -seed 11 -n 6 -campaign-seed 77 \
 		-chunk 64 -addr 127.0.0.1:19090 -checkpoint $$tmp/fabric.ckpt \
+		-log-level debug -log-format json -trace $$tmp/coord.spans \
 		> $$tmp/coord.log 2>&1 & cpid=$$!; \
 	for i in $$(seq 1 50); do \
 		curl -fsS http://127.0.0.1:19090/healthz >/dev/null 2>&1 && break; \
 		kill -0 $$cpid 2>/dev/null || { cat $$tmp/coord.log; echo "ffrcoord exited early"; exit 1; }; \
 		sleep 0.2; \
 	done; \
-	$$tmp/ffrwork -coordinator http://127.0.0.1:19090 -name smoke-a & w1=$$!; \
+	curl -fsS http://127.0.0.1:19090/metrics | sh scripts/metrics-lint.sh; \
+	$$tmp/ffrwork -coordinator http://127.0.0.1:19090 -name smoke-a \
+		-log-level debug -log-format json -trace $$tmp/worker.spans \
+		> $$tmp/worker.log 2>&1 & w1=$$!; \
 	$$tmp/ffrwork -coordinator http://127.0.0.1:19090 -name smoke-b & w2=$$!; \
 	wait $$w1; wait $$w2; wait $$cpid; \
 	cat $$tmp/coord.log; \
 	grep -q "campaign complete" $$tmp/coord.log; \
+	tid=$$(grep '"name":"fabric.simulate"' $$tmp/worker.spans | head -1 \
+		| sed 's/.*"trace_id":"\([0-9a-f]*\)".*/\1/'); \
+	test -n "$$tid" || { echo "no fabric.simulate span in worker journal"; exit 1; }; \
+	grep -q "$$tid" $$tmp/coord.spans || { echo "trace $$tid missing from coordinator span journal"; exit 1; }; \
+	grep -q "$$tid" $$tmp/coord.log || { echo "trace $$tid missing from coordinator log"; exit 1; }; \
+	grep -q "$$tid" $$tmp/worker.log || { echo "trace $$tid missing from worker log"; exit 1; }; \
+	echo "correlated trace $$tid observed in both processes"; \
 	echo "fabric smoke OK"
 
 # Load-test parameters: LOAD_CONCURRENCY requests in flight at once until
 # LOAD_REQUESTS have been issued. The harness exits nonzero on any non-429
 # error, so this is the "survives ten thousand concurrent clients" gate.
+# LOAD_P99_SLO additionally fails the run when p99 latency exceeds the
+# bound — generous enough for shared CI runners, tight enough to catch a
+# serving-path regression that queues requests for whole seconds.
 LOAD_REQUESTS ?= 10000
 LOAD_CONCURRENCY ?= 10000
+LOAD_P99_SLO ?= 10s
 
 # End-to-end overload smoke: train a tiny artifact, serve it, and flood it
 # with $(LOAD_CONCURRENCY) concurrent predict requests. Admission control
@@ -171,6 +219,9 @@ load-smoke:
 		sleep 0.2; \
 	done; \
 	$$tmp/ffrload -url http://127.0.0.1:18082 \
-		-requests $(LOAD_REQUESTS) -concurrency $(LOAD_CONCURRENCY); \
-	curl -fsS http://127.0.0.1:18082/metrics | grep ffr_serve_requests_total; \
+		-requests $(LOAD_REQUESTS) -concurrency $(LOAD_CONCURRENCY) \
+		-p99-slo $(LOAD_P99_SLO); \
+	curl -fsS http://127.0.0.1:18082/metrics | tee $$tmp/metrics.txt \
+		| grep ffr_serve_requests_total; \
+	sh scripts/metrics-lint.sh $$tmp/metrics.txt; \
 	echo "load smoke OK"

@@ -17,6 +17,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -24,10 +25,12 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/fault"
 	"repro/internal/features"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/serve"
 )
@@ -98,6 +101,80 @@ func BenchmarkFlatInjectionCampaign(b *testing.B) {
 				b.ReportMetric(float64(res.ReplayCycles)/float64(res.SimulatedCycles), "gt_cycle_speedup")
 			}
 		}
+	}
+}
+
+// BenchmarkFlatInjectionCampaignInstrumented repeats the partial-campaign
+// measurement of BenchmarkFlatInjectionCampaign with live telemetry: the
+// ffr_campaign_* registry wired in and a debug-level JSON logger (writing
+// to io.Discard, so only encoding cost is measured, not terminal I/O).
+// bench-baseline records it next to the plain benchmark in BENCH_7.json;
+// comparing the two ns/op columns pins telemetry overhead, and the
+// benchmark also times paired instrumented/plain passes inline and
+// reports overhead_pct directly (budget: < 2 %, though single-shot CI
+// timings are noisy — trust the paired metric over one ns/op delta).
+func BenchmarkFlatInjectionCampaignInstrumented(b *testing.B) {
+	study := sharedStudy(b)
+	if _, err := study.RunGroundTruth(); err != nil {
+		b.Fatal(err)
+	}
+	ffs := make([]int, 64)
+	for i := range ffs {
+		ffs[i] = i * study.NumFFs() / 64
+	}
+	reg := obs.NewRegistry()
+	logger := obs.NewLogger(io.Discard, obs.LevelDebug, obs.FormatJSON)
+	plainM, plainL := study.Config.Metrics, study.Config.Logger
+	instrument := func(on bool) {
+		if on {
+			study.Config.Metrics, study.Config.Logger = reg, logger
+		} else {
+			study.Config.Metrics, study.Config.Logger = plainM, plainL
+		}
+	}
+	defer instrument(false)
+
+	instrument(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		part, err := study.RunPartialCampaign(ffs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(part.TotalRuns), "injections/op")
+		}
+	}
+	b.StopTimer()
+
+	// The registry must have observed the campaign — an instrumented
+	// benchmark against a silently disconnected registry would "prove"
+	// zero overhead.
+	var buf bytes.Buffer
+	reg.WriteText(&buf)
+	if !strings.Contains(buf.String(), "ffr_campaign_chunks_completed_total") {
+		b.Fatal("campaign metrics not collected during instrumented run")
+	}
+
+	// Paired passes, alternating modes so machine drift hits both sides.
+	const pairs = 3
+	var withT, withoutT time.Duration
+	for i := 0; i < pairs; i++ {
+		for _, on := range []bool{true, false} {
+			instrument(on)
+			start := time.Now()
+			if _, err := study.RunPartialCampaign(ffs); err != nil {
+				b.Fatal(err)
+			}
+			if on {
+				withT += time.Since(start)
+			} else {
+				withoutT += time.Since(start)
+			}
+		}
+	}
+	if withoutT > 0 {
+		b.ReportMetric(100*(float64(withT)-float64(withoutT))/float64(withoutT), "overhead_pct")
 	}
 }
 

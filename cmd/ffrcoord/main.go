@@ -11,6 +11,8 @@
 //	         [-n 0] [-campaign-seed 0] [-chunk 0] [-schedule clustered]
 //	         [-addr :9090] [-lease-ttl 15s] [-max-lease 2]
 //	         [-checkpoint camp.ckpt] [-resume] [-checkpoint-every 0]
+//	         [-log-level info] [-log-format text] [-trace spans.jsonl]
+//	         [-metrics-addr :0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The coordinator never simulates injection chunks itself; it serves
 // /v1/fabric/{join,lease,heartbeat,complete}, GET /v1/fabric/status,
@@ -60,6 +62,10 @@ func run() error {
 		checkpoint   = flag.String("checkpoint", "", "checkpoint file for merged worker results (optional)")
 		resume       = flag.Bool("resume", false, "resume from -checkpoint if it exists, skipping completed chunks")
 		ckEvery      = flag.Int("checkpoint-every", 0, "completed chunks between checkpoint flushes (0 = default)")
+		tracePath    = flag.String("trace", "", "write a JSONL span journal of protocol requests to this file")
+		metricsAddr  = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this extra address (off when empty)")
+		logFlags     = cli.RegisterLog()
+		prof         = cli.RegisterProfiling()
 	)
 	flag.Parse()
 
@@ -83,6 +89,20 @@ func run() error {
 	if *leaseTTL <= 0 {
 		return cli.UsageErrorf("ffrcoord", "-lease-ttl must be positive (got %s)", *leaseTTL)
 	}
+	logger, err := logFlags.Logger("ffrcoord")
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := prof.Start("ffrcoord")
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+	tracer, closeTrace, err := cli.OpenTrace("ffrcoord", *tracePath, "ffrcoord")
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 
 	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
 		Spec: api.CampaignSpec{
@@ -99,10 +119,17 @@ func run() error {
 		CheckpointPath:  *checkpoint,
 		CheckpointEvery: *ckEvery,
 		Resume:          *resume,
+		Logger:          logger,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		return err
 	}
+	stopMetrics, err := cli.ServeMetrics("ffrcoord", *metricsAddr, coord.Metrics(), logger)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	camp := coord.Campaign()
 	fmt.Printf("ffrcoord: campaign %s @ %s (seed %d): %d jobs in %d chunks of %d, plan %s, golden %s\n",
 		camp.Spec.Scenario, camp.Spec.Scale, camp.Spec.Seed,

@@ -31,6 +31,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -57,6 +58,7 @@ func run() error {
 		naive      = flag.Bool("naive", false, "disable the incremental campaign engine (full replay per batch)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
+		logFlags   = cli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -76,6 +78,10 @@ func run() error {
 	}
 	if modes != 1 {
 		return cli.UsageErrorf("ffrcorpus", "exactly one of -list, -validate, -sweep is required")
+	}
+	logger, err := logFlags.Logger("ffrcorpus")
+	if err != nil {
+		return err
 	}
 	scale, err := repro.ParseCorpusScale(*scaleStr)
 	if err != nil {
@@ -106,7 +112,7 @@ func run() error {
 		return runSweep(scenarios, sweepConfig{
 			scale: scale, seed: *seed, injections: *n,
 			spec: spec, outDir: *out, shards: *shards, workers: *workers,
-			naive: *naive,
+			naive: *naive, logger: logger,
 		})
 	}
 }
@@ -193,6 +199,7 @@ type sweepConfig struct {
 	shards     int
 	workers    int
 	naive      bool
+	logger     *obs.Logger
 }
 
 // runSweep carries every selected scenario through the full flow and
@@ -213,6 +220,7 @@ func runSweep(scenarios []repro.CorpusScenario, cfg sweepConfig) error {
 			Workers:         cfg.workers,
 			Shards:          cfg.shards,
 			NaiveCampaign:   cfg.naive,
+			Logger:          cfg.logger,
 		})
 		if err != nil {
 			return err

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/features"
 	"repro/internal/ml/modelsel"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -60,6 +61,7 @@ func run() error {
 		scenarios = flag.String("scenarios", "mac10ge/loopback,alupipe/randomops,rrarb/uniform,uartser/paced",
 			"comma-separated corpus scenarios for -exp cross")
 		scaleStr = flag.String("scale", "small", "corpus scale for -exp cross: small or default")
+		logFlags = cli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -86,6 +88,10 @@ func run() error {
 			return cli.UsageErrorf("ffrexp", "%s only applies to -exp cross", strings.Join(misused, ", "))
 		}
 	}
+	logger, err := logFlags.Logger("ffrexp")
+	if err != nil {
+		return err
+	}
 	// The cross experiment runs on corpus studies, not the MAC study, so it
 	// branches off before the (expensive) default study build.
 	if *exp == "cross" {
@@ -93,11 +99,12 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return crossExperiment(*scenarios, scale, *n, *seed, *csvDir)
+		return crossExperiment(*scenarios, scale, *n, *seed, *csvDir, logger)
 	}
 
 	cfg := repro.DefaultStudyConfig()
 	cfg.InjectionsPerFF = *n
+	cfg.Logger = logger
 	study, err := repro.NewStudy(cfg)
 	if err != nil {
 		return err
@@ -420,7 +427,7 @@ func (r runner) pca() error {
 // crossExperiment runs the cross-circuit generalization study: ground truth
 // per scenario, the paper's k-NN trained on each, transfer scores on every
 // ordered pair.
-func crossExperiment(scenarioList string, scale repro.CorpusScale, n int, seed int64, csvDir string) error {
+func crossExperiment(scenarioList string, scale repro.CorpusScale, n int, seed int64, csvDir string, logger *obs.Logger) error {
 	// Resolve and validate the whole list before the first (expensive)
 	// campaign so bad input fails in milliseconds, not minutes.
 	var selected []repro.CorpusScenario
@@ -446,6 +453,7 @@ func crossExperiment(scenarioList string, scale repro.CorpusScale, n int, seed i
 		study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
 			Scale:           scale,
 			InjectionsPerFF: n,
+			Logger:          logger,
 		})
 		if err != nil {
 			return err

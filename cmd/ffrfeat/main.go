@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ffrfeat [-o features.csv] [-fdr] [-n 170]
+//	ffrfeat [-o features.csv] [-fdr] [-n 170] [-log-level info] [-log-format text]
 package main
 
 import (
@@ -26,9 +26,10 @@ func main() {
 
 func run() error {
 	var (
-		out     = flag.String("o", "", "output file (default stdout)")
-		withFDR = flag.Bool("fdr", false, "run the fault campaign and append the fdr column")
-		n       = flag.Int("n", repro.PaperInjections, "injections per flip-flop when -fdr is set")
+		out      = flag.String("o", "", "output file (default stdout)")
+		withFDR  = flag.Bool("fdr", false, "run the fault campaign and append the fdr column")
+		n        = flag.Int("n", repro.PaperInjections, "injections per flip-flop when -fdr is set")
+		logFlags = cli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -38,8 +39,13 @@ func run() error {
 	); err != nil {
 		return err
 	}
+	logger, err := logFlags.Logger("ffrfeat")
+	if err != nil {
+		return err
+	}
 	cfg := repro.DefaultStudyConfig()
 	cfg.InjectionsPerFF = *n
+	cfg.Logger = logger
 	study, err := repro.NewStudy(cfg)
 	if err != nil {
 		return err

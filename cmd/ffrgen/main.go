@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ffrgen [-o netlist.gnl] [-fifo 32] [-statw 16] [-ffs 1054] [-stats]
+//	       [-log-level info] [-log-format text]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/cli"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -26,12 +28,13 @@ func main() {
 
 func run() error {
 	var (
-		out     = flag.String("o", "", "output file (default stdout)")
-		fifo    = flag.Int("fifo", 32, "packet FIFO depth (power of two)")
-		statW   = flag.Int("statw", 16, "statistics counter width")
-		ffs     = flag.Int("ffs", 1054, "target flip-flop count (0 = structural minimum)")
-		stats   = flag.Bool("stats", false, "print netlist statistics to stderr")
-		noSynth = flag.Bool("nosynth", false, "skip the synthesis pass")
+		out      = flag.String("o", "", "output file (default stdout)")
+		fifo     = flag.Int("fifo", 32, "packet FIFO depth (power of two)")
+		statW    = flag.Int("statw", 16, "statistics counter width")
+		ffs      = flag.Int("ffs", 1054, "target flip-flop count (0 = structural minimum)")
+		stats    = flag.Bool("stats", false, "print netlist statistics to stderr")
+		noSynth  = flag.Bool("nosynth", false, "skip the synthesis pass")
+		logFlags = cli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -41,6 +44,10 @@ func run() error {
 		cli.MinInt("ffrgen", "statw", *statW, 1),
 		cli.MinInt("ffrgen", "ffs", *ffs, 0),
 	); err != nil {
+		return err
+	}
+	logger, err := logFlags.Logger("ffrgen")
+	if err != nil {
 		return err
 	}
 	nl, err := circuit.NewMAC10GE(circuit.MACConfig{
@@ -60,6 +67,12 @@ func run() error {
 		st := nl.Stats()
 		fmt.Fprintf(os.Stderr, "design %s: %d cells (%d FF, %d comb), %d nets, depth %d\n",
 			nl.Name, st.Cells, st.FlipFlops, st.Combo, st.Nets, st.MaxLevel)
+	}
+	if logger.Enabled(obs.LevelDebug) {
+		st := nl.Stats()
+		logger.Debug("netlist generated",
+			obs.F("design", nl.Name), obs.F("cells", st.Cells),
+			obs.F("ffs", st.FlipFlops), obs.F("synthesized", !*noSynth))
 	}
 	w := os.Stdout
 	if *out != "" {

@@ -14,6 +14,7 @@
 //	          [-checkpoint state.ffr] [-resume] [-shards 0] [-progress]
 //	          [-naive] [-snapshot-every 0] [-schedule clustered|plan]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	          [-log-level info] [-log-format text] [-metrics-addr :0]
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"repro"
 	"repro/internal/cli"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -56,6 +58,8 @@ func run() error {
 		schedule   = flag.String("schedule", "", "batch-packing schedule: clustered or plan (default: clustered, adopting a resumed checkpoint's schedule)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
+		mAddr      = flag.String("metrics-addr", "", "serve campaign /metrics and /debug/pprof/ on this address during the run (off when empty)")
+		logFlags   = cli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -71,11 +75,21 @@ func run() error {
 	); err != nil {
 		return err
 	}
+	logger, err := logFlags.Logger("ffrinject")
+	if err != nil {
+		return err
+	}
 	stopProfiling, err := profiling.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		return err
 	}
 	defer stopProfiling()
+	reg := obs.NewRegistry()
+	stopMetrics, err := cli.ServeMetrics("ffrinject", *mAddr, reg, logger)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 
 	cfg := repro.DefaultStudyConfig()
 	cfg.InjectionsPerFF = *n
@@ -87,6 +101,8 @@ func run() error {
 	cfg.NaiveCampaign = *naive
 	cfg.SnapshotEvery = *snapEvery
 	cfg.Schedule = fault.Schedule(*schedule)
+	cfg.Metrics = reg
+	cfg.Logger = logger
 	if *progress {
 		cfg.Progress = func(p repro.CampaignProgress) {
 			fmt.Fprintf(os.Stderr, "\rinjected %d/%d jobs (%.1f%%), chunks %d/%d, elapsed %s, eta %s   ",

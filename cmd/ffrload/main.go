@@ -9,6 +9,11 @@
 //
 //	ffrload -url http://127.0.0.1:8080 [-model name] [-requests 10000]
 //	        [-concurrency 10000] [-batch 1] [-seed 1] [-timeout 30s]
+//	        [-p99-slo 0] [-log-level info] [-log-format text]
+//
+// -p99-slo turns the latency report into an assertion: when the measured
+// p99 exceeds the bound the run exits nonzero, so smoke jobs catch serving
+// regressions, not just availability failures.
 //
 // Vectors are generated from -seed against the model's advertised feature
 // width, so runs are reproducible. The file-descriptor soft limit is raised
@@ -30,6 +35,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/cli"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -48,6 +54,8 @@ func run() error {
 		batch       = flag.Int("batch", 1, "vectors per request")
 		seed        = flag.Int64("seed", 1, "vector generation seed")
 		timeout     = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		p99SLO      = flag.Duration("p99-slo", 0, "fail the run when p99 latency exceeds this bound (0 = report only)")
+		logFlags    = cli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -61,6 +69,13 @@ func run() error {
 	}
 	if *url == "" {
 		return cli.UsageErrorf("ffrload", "-url is required")
+	}
+	if *p99SLO < 0 {
+		return cli.UsageErrorf("ffrload", "-p99-slo must be >= 0 (got %s)", *p99SLO)
+	}
+	logger, err := logFlags.Logger("ffrload")
+	if err != nil {
+		return err
 	}
 	if *concurrency > *requests {
 		*concurrency = *requests
@@ -133,13 +148,19 @@ func run() error {
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	report(latencies, elapsed, ok.Load(), throttled.Load(), failed.Load())
+	p99 := report(latencies, elapsed, ok.Load(), throttled.Load(), failed.Load())
+	logger.Debug("run finished",
+		obs.F("ok", ok.Load()), obs.F("throttled", throttled.Load()),
+		obs.F("failed", failed.Load()), obs.F("p99", p99))
 	if n := failed.Load(); n > 0 {
 		msg, _ := firstErr.Load().(string)
 		return fmt.Errorf("%d non-429 failures (first: %s)", n, msg)
 	}
 	if ok.Load() == 0 {
 		return errors.New("every request was throttled; nothing was served")
+	}
+	if *p99SLO > 0 && p99 > *p99SLO {
+		return fmt.Errorf("p99 latency %s exceeds the -p99-slo bound %s", p99, *p99SLO)
 	}
 	return nil
 }
@@ -203,7 +224,9 @@ func raiseFDLimit(want uint64) {
 	syscall.Setrlimit(syscall.RLIMIT_NOFILE, &lim)
 }
 
-func report(latencies []time.Duration, elapsed time.Duration, ok, throttled, failed int64) {
+// report prints the latency summary and returns the measured p99, which
+// -p99-slo asserts against.
+func report(latencies []time.Duration, elapsed time.Duration, ok, throttled, failed int64) time.Duration {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	pct := func(p float64) time.Duration {
 		i := int(p * float64(len(latencies)-1))
@@ -215,4 +238,5 @@ func report(latencies []time.Duration, elapsed time.Duration, ok, throttled, fai
 	fmt.Printf("ffrload: ok %d, throttled(429) %d, failed %d\n", ok, throttled, failed)
 	fmt.Printf("ffrload: latency p50 %s  p90 %s  p99 %s  max %s\n",
 		pct(0.50), pct(0.90), pct(0.99), pct(1.0))
+	return pct(0.99)
 }

@@ -14,6 +14,8 @@
 //	        [-strategy committee] [-model "k-NN"] [-n 0] [-budget 0.5]
 //	        [-rounds 0] [-init 0] [-batch 0] [-delta 0] [-ci 0] [-patience 0]
 //	        [-checkpoint loop.ffrp] [-resume] [-workers 0] [-eval] [-csv out.csv]
+//	        [-log-level info] [-log-format text] [-metrics-addr :0]
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -budget is the fraction of flip-flops the loop may measure; -delta and
 // -ci enable early convergence (round-over-round FFR change and 95 % CI
@@ -39,6 +41,7 @@ import (
 	"repro"
 	"repro/internal/cli"
 	"repro/internal/ml/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -68,6 +71,9 @@ func run() error {
 		workers    = flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
 		eval       = flag.Bool("eval", false, "also run the exhaustive campaign and score the adaptive estimate against it")
 		csvOut     = flag.String("csv", "", "write the per-round trajectory to this CSV file")
+		mAddr      = flag.String("metrics-addr", "", "serve planner /metrics and /debug/pprof/ on this address during the run (off when empty)")
+		logFlags   = cli.RegisterLog()
+		prof       = cli.RegisterProfiling()
 	)
 	flag.Parse()
 
@@ -89,6 +95,21 @@ func run() error {
 	if *budget <= 0 || *budget > 1 {
 		return cli.UsageErrorf("ffrplan", "-budget must be in (0,1] (got %g)", *budget)
 	}
+	logger, err := logFlags.Logger("ffrplan")
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := prof.Start("ffrplan")
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+	reg := obs.NewRegistry()
+	stopMetrics, err := cli.ServeMetrics("ffrplan", *mAddr, reg, logger)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 	scale, err := repro.ParseCorpusScale(*scaleStr)
 	if err != nil {
 		return err
@@ -106,6 +127,8 @@ func run() error {
 		Scale:           scale,
 		InjectionsPerFF: *n,
 		Workers:         *workers,
+		Metrics:         reg,
+		Logger:          logger,
 	})
 	if err != nil {
 		return err

@@ -6,6 +6,8 @@
 //
 //	ffrserve -model knn.ffrm [-model svr.ffrm ...] [-addr :8080]
 //	         [-workers 0] [-cache 4096] [-queue 1024] [-retry-after 1]
+//	         [-log-level info] [-log-format text]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Endpoints: POST /v1/predict (single + batch, coalesced and cached),
 // POST /v1/models/reload (hot-swap artifacts without drain), GET
@@ -59,6 +61,8 @@ func run() error {
 		cache      = flag.Int("cache", 0, "LRU response cache capacity in vectors (0 = default 4096, negative disables)")
 		queue      = flag.Int("queue", 0, "per-model in-flight request bound before 429 (0 = default 1024, negative = unbounded)")
 		retryAfter = flag.Int("retry-after", 0, "Retry-After seconds on 429 responses (0 = default 1)")
+		logFlags   = cli.RegisterLog()
+		prof       = cli.RegisterProfiling()
 	)
 	flag.Var(&models, "model", "model artifact file to serve (repeatable)")
 	flag.Parse()
@@ -73,11 +77,21 @@ func run() error {
 	if len(models) == 0 {
 		return cli.UsageErrorf("ffrserve", "at least one -model artifact is required")
 	}
+	logger, err := logFlags.Logger("ffrserve")
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := prof.Start("ffrserve")
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
 
 	srv := serve.New(serve.Config{
 		Pool:   serve.PoolConfig{Workers: *workers},
 		Cache:  serve.CacheConfig{Size: *cache},
 		Limits: serve.LimitConfig{QueueDepth: *queue, RetryAfterSeconds: *retryAfter},
+		Logger: logger,
 	})
 	for _, path := range models {
 		a, err := srv.LoadArtifact(path)

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	ffrsim [-packets 10] [-seed 0x10ABCDEF] [-activity out.csv]
+//	       [-log-level info] [-log-format text]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/cli"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -28,9 +30,10 @@ func main() {
 
 func run() error {
 	var (
-		packets = flag.Int("packets", 10, "packets to send")
-		seed    = flag.Uint64("seed", 0x10ABCDEF, "payload generator seed")
-		actOut  = flag.String("activity", "", "write per-FF activity CSV to this file")
+		packets  = flag.Int("packets", 10, "packets to send")
+		seed     = flag.Uint64("seed", 0x10ABCDEF, "payload generator seed")
+		actOut   = flag.String("activity", "", "write per-FF activity CSV to this file")
+		logFlags = cli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -38,6 +41,10 @@ func run() error {
 		cli.NoArgs("ffrsim"),
 		cli.MinInt("ffrsim", "packets", *packets, 1),
 	); err != nil {
+		return err
+	}
+	logger, err := logFlags.Logger("ffrsim")
+	if err != nil {
 		return err
 	}
 	nl, err := circuit.NewMAC10GE(circuit.DefaultMACConfig())
@@ -65,6 +72,10 @@ func run() error {
 	})
 
 	got := bench.LanePackets(trace, 0)
+	logger.Debug("golden run complete",
+		obs.F("cycles", bench.Stim.Cycles()),
+		obs.F("sent", len(bench.Packets)),
+		obs.F("received", len(got)))
 	fmt.Printf("simulated %d cycles, sent %d packets, received %d packets\n",
 		bench.Stim.Cycles(), len(bench.Packets), len(got))
 	for i, pkt := range got {

@@ -12,6 +12,7 @@
 //
 //	ffrtrain [-model "k-NN"] [-train 0.5] [-splits 10] [-n 170] [-tune]
 //	         [-samples 20] [-save model.ffrm]
+//	         [-log-level info] [-log-format text]
 //
 // Model names: "Linear Least Squares", "k-NN", "SVR w/ RBF Kernel",
 // "Decision Tree", "Random Forest", "Gradient Boosting", "MLP".
@@ -35,13 +36,14 @@ func main() {
 
 func run() error {
 	var (
-		model   = flag.String("model", "k-NN", "model name (Table I row label)")
-		train   = flag.Float64("train", repro.PaperTrainFrac, "training size fraction")
-		splits  = flag.Int("splits", repro.PaperCVSplits, "cross-validation splits")
-		n       = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
-		tune    = flag.Bool("tune", false, "random+grid hyperparameter search before evaluation")
-		samples = flag.Int("samples", 20, "random-search samples when -tune is set")
-		save    = flag.String("save", "", "write the final fitted model to this artifact file")
+		model    = flag.String("model", "k-NN", "model name (Table I row label)")
+		train    = flag.Float64("train", repro.PaperTrainFrac, "training size fraction")
+		splits   = flag.Int("splits", repro.PaperCVSplits, "cross-validation splits")
+		n        = flag.Int("n", repro.PaperInjections, "injections per flip-flop")
+		tune     = flag.Bool("tune", false, "random+grid hyperparameter search before evaluation")
+		samples  = flag.Int("samples", 20, "random-search samples when -tune is set")
+		save     = flag.String("save", "", "write the final fitted model to this artifact file")
+		logFlags = cli.RegisterLog()
 	)
 	flag.Parse()
 
@@ -55,12 +57,17 @@ func run() error {
 		return err
 	}
 
+	logger, err := logFlags.Logger("ffrtrain")
+	if err != nil {
+		return err
+	}
 	spec, err := repro.FindModel(*model)
 	if err != nil {
 		return err
 	}
 	cfg := repro.DefaultStudyConfig()
 	cfg.InjectionsPerFF = *n
+	cfg.Logger = logger
 	study, err := repro.NewStudy(cfg)
 	if err != nil {
 		return err

@@ -7,6 +7,8 @@
 //
 //	ffrwork -coordinator http://host:9090 [-name worker-1]
 //	        [-workers 0] [-max-chunks 0] [-heartbeat 0]
+//	        [-log-level info] [-log-format text] [-trace spans.jsonl]
+//	        [-metrics-addr :0] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // Workers never receive jobs over the wire — only chunk indices; the
 // campaign spec is deterministic, so every node derives identical plans.
@@ -27,6 +29,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -43,6 +46,10 @@ func run() error {
 		workers     = flag.Int("workers", 0, "local simulation goroutines (0 = GOMAXPROCS)")
 		maxChunks   = flag.Int("max-chunks", 0, "maximum chunks requested per lease (0 = coordinator's cap)")
 		heartbeat   = flag.Duration("heartbeat", 0, "lease heartbeat interval (0 = a third of the coordinator's TTL)")
+		tracePath   = flag.String("trace", "", "write a JSONL span journal of lease cycles to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics and /debug/pprof/ on this address (off when empty)")
+		logFlags    = cli.RegisterLog()
+		prof        = cli.RegisterProfiling()
 	)
 	flag.Parse()
 
@@ -63,6 +70,26 @@ func run() error {
 		}
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	logger, err := logFlags.Logger("ffrwork")
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := prof.Start("ffrwork")
+	if err != nil {
+		return err
+	}
+	defer stopProfiles()
+	tracer, closeTrace, err := cli.OpenTrace("ffrwork", *tracePath, "ffrwork")
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
+	reg := obs.NewRegistry()
+	stopMetrics, err := cli.ServeMetrics("ffrwork", *metricsAddr, reg, logger)
+	if err != nil {
+		return err
+	}
+	defer stopMetrics()
 
 	w, err := fabric.NewWorker(fabric.WorkerConfig{
 		Name:        *name,
@@ -71,6 +98,9 @@ func run() error {
 		MaxChunks:   *maxChunks,
 		Heartbeat:   *heartbeat,
 		Log:         log.New(os.Stdout, "ffrwork: ", log.Ltime),
+		Logger:      logger,
+		Tracer:      tracer,
+		Metrics:     reg,
 	})
 	if err != nil {
 		return err

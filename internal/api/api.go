@@ -38,6 +38,10 @@ type Error struct {
 	// Detail optionally carries additional context (offending field,
 	// expected value).
 	Detail string `json:"detail,omitempty"`
+	// TraceID correlates the failure with server-side structured logs and
+	// span journals. Filled by WriteError when the Traced middleware has
+	// stamped the request.
+	TraceID string `json:"trace_id,omitempty"`
 	// Status is the HTTP status the envelope traveled under; clients fill
 	// it on decode. It is not part of the wire format.
 	Status int `json:"-"`
@@ -66,11 +70,14 @@ func WriteJSON(w http.ResponseWriter, status int, v any) {
 }
 
 // WriteError writes the common error envelope with the given status and
-// code.
+// code. When the Traced middleware handled the request, the trace ID it
+// stamped onto the response headers is echoed into the envelope so a
+// client-reported failure can be matched to server logs.
 func WriteError(w http.ResponseWriter, status int, code, format string, args ...any) {
 	WriteJSON(w, status, ErrorResponse{Error: &Error{
 		Code:    code,
 		Message: fmt.Sprintf(format, args...),
+		TraceID: w.Header().Get(HeaderTraceID),
 		Status:  status,
 	}})
 }

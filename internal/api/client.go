@@ -2,10 +2,13 @@ package api
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
+
+	"repro/internal/obs"
 )
 
 // Client speaks the /v1 wire surface against one base URL. The zero Base is
@@ -35,6 +38,13 @@ func (c *Client) httpClient() *http.Client {
 // body (nil for none), the response decoded into out (nil to discard). A
 // non-2xx response decodes the error envelope and returns it as *Error.
 func (c *Client) Do(method, path string, in, out any) error {
+	return c.DoCtx(context.Background(), method, path, in, out)
+}
+
+// DoCtx is Do with a caller context: the request is cancellable, and a
+// trace carried by the context (obs.ContextWithTrace) is stamped onto the
+// outbound headers so the server joins the caller's trace.
+func (c *Client) DoCtx(ctx context.Context, method, path string, in, out any) error {
 	var body *bytes.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -45,12 +55,15 @@ func (c *Client) Do(method, path string, in, out any) error {
 	} else {
 		body = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequest(method, strings.TrimRight(c.Base, "/")+path, body)
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.Base, "/")+path, body)
 	if err != nil {
 		return fmt.Errorf("api: %s %s: %w", method, path, err)
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if tc, ok := obs.TraceFrom(ctx); ok {
+		InjectTrace(req.Header, tc)
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

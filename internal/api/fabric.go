@@ -126,13 +126,22 @@ type FabricWorkerStatus struct {
 
 // FabricStatus is the success body of GET /v1/fabric/status.
 type FabricStatus struct {
-	Scenario    string               `json:"scenario"`
-	TotalChunks int                  `json:"total_chunks"`
-	DoneChunks  int                  `json:"done_chunks"`
-	Pending     int                  `json:"pending"`
-	Leased      int                  `json:"leased"`
-	Done        bool                 `json:"done"`
-	Workers     []FabricWorkerStatus `json:"workers,omitempty"`
+	Scenario    string `json:"scenario"`
+	TotalChunks int    `json:"total_chunks"`
+	DoneChunks  int    `json:"done_chunks"`
+	Pending     int    `json:"pending"`
+	Leased      int    `json:"leased"`
+	Done        bool   `json:"done"`
+	// JobsDone and JobsTotal express progress in injection jobs rather than
+	// chunks (the last chunk may be short).
+	JobsDone  int `json:"jobs_done"`
+	JobsTotal int `json:"jobs_total"`
+	// ProgressPercent is completed jobs over total, in [0,100].
+	ProgressPercent float64 `json:"progress_percent"`
+	// ETAMillis extrapolates the remaining wall time from the campaign's
+	// completion rate so far; 0 until the first chunk lands or once done.
+	ETAMillis int64                `json:"eta_millis,omitempty"`
+	Workers   []FabricWorkerStatus `json:"workers,omitempty"`
 	// LeaseExpirations and ShardsStolen count fault-tolerance events.
 	LeaseExpirations int64 `json:"lease_expirations"`
 	ShardsStolen     int64 `json:"shards_stolen"`

@@ -1,0 +1,51 @@
+package api
+
+import (
+	"net/http"
+
+	"repro/internal/obs"
+)
+
+// Trace propagation headers. The client stamps them from the request
+// context; the Traced middleware extracts them on the server side, so one
+// trace ID follows a prediction or a leased chunk across processes.
+const (
+	// HeaderTraceID carries the operation's trace identifier.
+	HeaderTraceID = "Ffr-Trace-Id"
+	// HeaderSpanID carries the caller's current span identifier; spans the
+	// server starts become its children.
+	HeaderSpanID = "Ffr-Span-Id"
+)
+
+// InjectTrace stamps the trace onto outbound request headers.
+func InjectTrace(h http.Header, tc obs.Trace) {
+	if !tc.Valid() {
+		return
+	}
+	h.Set(HeaderTraceID, tc.TraceID)
+	if tc.SpanID != "" {
+		h.Set(HeaderSpanID, tc.SpanID)
+	}
+}
+
+// ExtractTrace reads the propagated trace from inbound request headers; ok
+// is false when no trace was stamped.
+func ExtractTrace(h http.Header) (obs.Trace, bool) {
+	tc := obs.Trace{TraceID: h.Get(HeaderTraceID), SpanID: h.Get(HeaderSpanID)}
+	return tc, tc.Valid()
+}
+
+// Traced is the server-side trace middleware: it extracts the propagated
+// trace (or starts a fresh one, so every request is correlatable), attaches
+// it to the request context, and echoes the trace ID as a response header —
+// which is also how WriteError finds the trace_id for its error envelope.
+func Traced(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc, ok := ExtractTrace(r.Header)
+		if !ok {
+			tc = obs.Trace{TraceID: obs.NewTraceID()}
+		}
+		w.Header().Set(HeaderTraceID, tc.TraceID)
+		next.ServeHTTP(w, r.WithContext(obs.ContextWithTrace(r.Context(), tc)))
+	})
+}

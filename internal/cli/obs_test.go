@@ -1,0 +1,47 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestLogDefaults(t *testing.T) {
+	cases := []struct {
+		env, level, format string
+	}{
+		{"", "info", obs.FormatText},
+		{"debug", "debug", obs.FormatText},
+		{"debug,json", "debug", "json"},
+		{",json", "info", "json"},
+		{"warn,", "warn", obs.FormatText},
+	}
+	for _, c := range cases {
+		level, format := logDefaults(c.env)
+		if level != c.level || format != c.format {
+			t.Errorf("logDefaults(%q) = %q, %q, want %q, %q",
+				c.env, level, format, c.level, c.format)
+		}
+	}
+}
+
+func TestLogFlagsLogger(t *testing.T) {
+	f := &LogFlags{Level: "debug", Format: "json"}
+	logger, err := f.Logger("ffrx")
+	if err != nil {
+		t.Fatalf("valid flags rejected: %v", err)
+	}
+	if !logger.Enabled(obs.LevelDebug) {
+		t.Error("debug level not applied")
+	}
+
+	f = &LogFlags{Level: "loud", Format: "text"}
+	if _, err := f.Logger("ffrx"); err == nil || !strings.Contains(err.Error(), "-log-level") {
+		t.Errorf("bad level = %v, want -log-level usage error", err)
+	}
+	f = &LogFlags{Level: "info", Format: "xml"}
+	if _, err := f.Logger("ffrx"); err == nil || !strings.Contains(err.Error(), "-log-format") {
+		t.Errorf("bad format = %v, want -log-format usage error", err)
+	}
+}

@@ -96,6 +96,8 @@ func NewAdaptiveStudy(s *Study, cfg AdaptiveConfig) (*AdaptiveStudy, error) {
 		CheckpointPath: cfg.Checkpoint,
 		Resume:         cfg.Resume,
 		OnRound:        cfg.OnRound,
+		Metrics:        s.Config.Metrics,
+		Logger:         s.Config.Logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: adaptive study: %w", err)
@@ -142,6 +144,8 @@ func (t *studyTarget) RunRound(ctx context.Context, ffs []int, checkpointPath st
 		CheckpointEvery: s.Config.CheckpointEvery,
 		Resume:          resume && checkpointPath != "",
 		OnProgress:      s.Config.Progress,
+		Metrics:         s.Config.Metrics,
+		Logger:          s.Config.Logger,
 	})
 	if err != nil {
 		return nil, err

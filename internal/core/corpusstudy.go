@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // CorpusStudyConfig assembles a study from a registered corpus scenario.
@@ -37,6 +38,12 @@ type CorpusStudyConfig struct {
 	// Schedule selects the campaign batch-packing schedule (see
 	// StudyConfig.Schedule).
 	Schedule fault.Schedule
+	// Metrics optionally receives campaign metric families (see
+	// StudyConfig.Metrics).
+	Metrics *obs.Registry
+	// Logger optionally receives structured campaign records (see
+	// StudyConfig.Logger).
+	Logger *obs.Logger
 }
 
 // NewCorpusStudy materializes a corpus scenario into a Study: the full
@@ -74,6 +81,8 @@ func NewCorpusStudy(sc corpus.Scenario, cfg CorpusStudyConfig) (*Study, error) {
 			CheckpointEvery: cfg.CheckpointEvery,
 			Resume:          cfg.Resume,
 			OnProgress:      cfg.Progress,
+			Metrics:         cfg.Metrics,
+			Logger:          cfg.Logger,
 		})
 	if err != nil {
 		return nil, fmt.Errorf("core: corpus study runner: %w", err)
@@ -91,6 +100,8 @@ func NewCorpusStudy(sc corpus.Scenario, cfg CorpusStudyConfig) (*Study, error) {
 			Progress:        cfg.Progress,
 			NaiveCampaign:   cfg.NaiveCampaign,
 			Schedule:        cfg.Schedule,
+			Metrics:         cfg.Metrics,
+			Logger:          cfg.Logger,
 		},
 		Netlist:      m.Netlist,
 		Program:      m.Program,

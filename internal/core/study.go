@@ -9,6 +9,7 @@ import (
 	"repro/internal/features"
 	"repro/internal/ml"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -63,6 +64,13 @@ type StudyConfig struct {
 	// resumed checkpoint's recorded schedule, keeping pre-schedule
 	// plan-order checkpoints resumable.
 	Schedule fault.Schedule
+	// Metrics optionally receives the ffr_campaign_* metric families of
+	// every campaign this study runs (ground truth and partial); nil
+	// disables campaign metrics.
+	Metrics *obs.Registry
+	// Logger optionally receives structured campaign records; nil
+	// disables logging.
+	Logger *obs.Logger
 }
 
 // DefaultStudyConfig reproduces the paper's setup: the 1054-FF circuit and
@@ -174,6 +182,8 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		CheckpointEvery: cfg.CheckpointEvery,
 		Resume:          cfg.Resume,
 		OnProgress:      cfg.Progress,
+		Metrics:         cfg.Metrics,
+		Logger:          cfg.Logger,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: campaign runner: %w", err)
@@ -273,6 +283,8 @@ func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
 			Snapshots: s.snapshots,
 			Naive:     s.Config.NaiveCampaign,
 			Schedule:  s.Config.Schedule,
+			Metrics:   s.Config.Metrics,
+			Logger:    s.Config.Logger,
 		})
 	if err != nil {
 		return nil, fmt.Errorf("core: partial campaign: %w", err)

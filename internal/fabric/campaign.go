@@ -7,6 +7,7 @@ import (
 	"repro/internal/api"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // Campaign is a materialized campaign spec: everything one node needs to
@@ -73,6 +74,14 @@ func ResolveSpec(spec api.CampaignSpec) (api.CampaignSpec, error) {
 // deterministic in the spec: two nodes building the same spec get
 // fingerprint-identical plans and golden traces.
 func BuildCampaign(spec api.CampaignSpec, workers int) (*Campaign, error) {
+	return BuildCampaignObs(spec, workers, nil, nil)
+}
+
+// BuildCampaignObs is BuildCampaign with campaign instrumentation: the
+// chunk runner reports its ffr_campaign_* metric families to reg and
+// structured campaign records to log (either may be nil; instrumentation
+// never changes results).
+func BuildCampaignObs(spec api.CampaignSpec, workers int, reg *obs.Registry, log *obs.Logger) (*Campaign, error) {
 	spec, err := ResolveSpec(spec)
 	if err != nil {
 		return nil, err
@@ -97,6 +106,8 @@ func BuildCampaign(spec api.CampaignSpec, workers int) (*Campaign, error) {
 			Golden:    m.Golden,
 			Snapshots: m.Snapshots,
 			Schedule:  fault.Schedule(spec.Schedule),
+			Metrics:   reg,
+			Logger:    log,
 		})
 	if err != nil {
 		return nil, err

@@ -55,6 +55,13 @@ type CoordinatorConfig struct {
 	// Metrics optionally receives the fabric metric families; nil creates
 	// a private registry (still served at /metrics).
 	Metrics *obs.Registry
+	// Logger optionally receives structured protocol logs (lease grants,
+	// chunk completions, rejections) with trace IDs; nil disables logging.
+	Logger *obs.Logger
+	// Tracer optionally journals one span per protocol request, joined to
+	// the trace propagated by the requesting worker; nil disables
+	// journaling (traces still propagate).
+	Tracer *obs.Tracer
 	// Clock overrides time.Now for lease-expiry tests.
 	Clock func() time.Time
 }
@@ -89,6 +96,14 @@ type Coordinator struct {
 	doneCh     chan struct{}
 
 	metrics *obs.Registry
+	log     *obs.Logger
+	tracer  *obs.Tracer
+	// started and startDone anchor the ETA extrapolation: progress made
+	// before construction (a resumed checkpoint) must not inflate the
+	// completion rate.
+	started   time.Time
+	startDone int
+
 	mLeases, mExpired, mStolen,
 	mCompleted, mDuplicates, mHeartbeats *obs.Counter
 	gPending, gLeased, gDone, gWorkers *obs.Gauge
@@ -129,6 +144,9 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		workers: make(map[string]*workerInfo),
 		doneCh:  make(chan struct{}),
 		metrics: cfg.Metrics,
+		log:     cfg.Logger.Component("coord"),
+		tracer:  cfg.Tracer,
+		started: cfg.Clock(),
 	}
 	if c.metrics == nil {
 		c.metrics = obs.NewRegistry()
@@ -149,6 +167,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 			return nil, err
 		}
 	}
+	c.startDone = len(c.done)
 	for ci := 0; ci < camp.Shards.NumChunks(); ci++ {
 		if _, ok := c.done[ci]; !ok {
 			c.pending = append(c.pending, ci)
@@ -570,8 +589,23 @@ func (c *Coordinator) Status() api.FabricStatus {
 		Pending:          len(c.pending),
 		Leased:           len(c.leases),
 		Done:             c.finished && c.finalErr == nil,
+		JobsTotal:        c.camp.Shards.TotalJobs(),
 		LeaseExpirations: int64(c.mExpired.Value()),
 		ShardsStolen:     int64(c.mStolen.Value()),
+	}
+	for ci := range c.done {
+		lo, hi := c.camp.Shards.ChunkRange(ci)
+		st.JobsDone += hi - lo
+	}
+	if st.JobsTotal > 0 {
+		st.ProgressPercent = 100 * float64(st.JobsDone) / float64(st.JobsTotal)
+	}
+	// Extrapolate the ETA from chunks merged since this coordinator
+	// started; chunks restored from a resumed checkpoint carry no timing
+	// signal.
+	if newDone := len(c.done) - c.startDone; newDone > 0 && !c.finished {
+		remaining := c.camp.Shards.NumChunks() - len(c.done)
+		st.ETAMillis = now.Sub(c.started).Milliseconds() * int64(remaining) / int64(newDone)
 	}
 	if st.Done {
 		st.CheckpointFingerprint = strconv.FormatUint(c.ckHash, 16)
@@ -601,6 +635,9 @@ func (c *Coordinator) Status() api.FabricStatus {
 
 // Handler returns the coordinator's HTTP surface: the /v1/fabric protocol,
 // /v1/fabric/status, /healthz and /metrics, all speaking the api types.
+// Protocol routes run under the trace middleware: a worker's propagated
+// trace carries through the coordinator's spans and log records, so one
+// leased chunk is followable across both processes.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/fabric/join", func(w http.ResponseWriter, r *http.Request) {
@@ -609,7 +646,16 @@ func (c *Coordinator) Handler() http.Handler {
 			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 			return
 		}
-		c.respond(w, func() (any, error) { return c.Join(req) })
+		c.respond(w, r, "join", req.Worker, func(ctx context.Context) (any, error) {
+			resp, err := c.Join(req)
+			if err == nil {
+				c.log.Info("worker joined",
+					obs.F("worker", req.Worker),
+					obs.F("chunks", resp.NumChunks),
+					obs.F("trace_id", obs.TraceIDFrom(ctx)))
+			}
+			return resp, err
+		})
 	})
 	mux.HandleFunc("POST /v1/fabric/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req api.LeaseRequest
@@ -617,7 +663,17 @@ func (c *Coordinator) Handler() http.Handler {
 			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 			return
 		}
-		c.respond(w, func() (any, error) { return c.Lease(req) })
+		c.respond(w, r, "lease", req.Worker, func(ctx context.Context) (any, error) {
+			resp, err := c.Lease(req)
+			if err == nil && len(resp.Chunks) > 0 {
+				c.log.Info("lease granted",
+					obs.F("worker", req.Worker),
+					obs.F("chunks", resp.Chunks),
+					obs.F("stolen", resp.Stolen),
+					obs.F("trace_id", obs.TraceIDFrom(ctx)))
+			}
+			return resp, err
+		})
 	})
 	mux.HandleFunc("POST /v1/fabric/heartbeat", func(w http.ResponseWriter, r *http.Request) {
 		var req api.HeartbeatRequest
@@ -625,7 +681,9 @@ func (c *Coordinator) Handler() http.Handler {
 			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 			return
 		}
-		c.respond(w, func() (any, error) { return c.Heartbeat(req) })
+		c.respond(w, r, "heartbeat", req.Worker, func(ctx context.Context) (any, error) {
+			return c.Heartbeat(req)
+		})
 	})
 	mux.HandleFunc("POST /v1/fabric/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req api.CompleteRequest
@@ -633,7 +691,22 @@ func (c *Coordinator) Handler() http.Handler {
 			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
 			return
 		}
-		c.respond(w, func() (any, error) { return c.Complete(req) })
+		c.respond(w, r, "complete", req.Worker, func(ctx context.Context) (any, error) {
+			resp, err := c.Complete(req)
+			if err == nil {
+				c.mu.Lock()
+				done, total := len(c.done), c.camp.Shards.NumChunks()
+				c.mu.Unlock()
+				c.log.Info("chunk completed",
+					obs.F("worker", req.Worker),
+					obs.F("chunk", req.Chunk),
+					obs.F("duplicate", resp.Duplicate),
+					obs.F("done", done),
+					obs.F("total", total),
+					obs.F("trace_id", obs.TraceIDFrom(ctx)))
+			}
+			return resp, err
+		})
 	})
 	mux.HandleFunc("GET /v1/fabric/status", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteJSON(w, http.StatusOK, c.Status())
@@ -642,18 +715,27 @@ func (c *Coordinator) Handler() http.Handler {
 		api.WriteJSON(w, http.StatusOK, api.HealthResponse{Status: "ok"})
 	})
 	mux.Handle("GET /metrics", c.metrics.Handler())
-	return mux
+	return api.Traced(mux)
 }
 
-// respond maps a protocol call to the common error envelope.
-func (c *Coordinator) respond(w http.ResponseWriter, fn func() (any, error)) {
-	resp, err := fn()
+// respond runs one protocol call under a span joined to the worker's
+// propagated trace and maps its outcome to the common error envelope.
+func (c *Coordinator) respond(w http.ResponseWriter, r *http.Request, op, worker string, fn func(context.Context) (any, error)) {
+	ctx, span := c.tracer.Start(r.Context(), "fabric."+op, obs.F("worker", worker))
+	defer span.End()
+	resp, err := fn(ctx)
 	switch {
 	case err == nil:
 		api.WriteJSON(w, http.StatusOK, resp)
 	case errors.Is(err, errConflict):
+		c.log.Warn(op+" conflict",
+			obs.F("worker", worker), obs.F("error", err),
+			obs.F("trace_id", obs.TraceIDFrom(ctx)))
 		api.WriteError(w, http.StatusConflict, api.CodeConflict, "%v", err)
 	default:
+		c.log.Warn(op+" rejected",
+			obs.F("worker", worker), obs.F("error", err),
+			obs.F("trace_id", obs.TraceIDFrom(ctx)))
 		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
 	}
 }

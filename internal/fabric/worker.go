@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // WorkerConfig parameterizes a fabric worker.
@@ -32,6 +33,17 @@ type WorkerConfig struct {
 	Heartbeat time.Duration
 	// Log receives progress lines; nil is silent.
 	Log *log.Logger
+	// Logger optionally receives structured records (lease grants, chunk
+	// completions) carrying the trace ID each lease cycle runs under; nil
+	// disables structured logging.
+	Logger *obs.Logger
+	// Metrics optionally receives the local chunk runner's ffr_campaign_*
+	// metric families; nil disables campaign metrics.
+	Metrics *obs.Registry
+	// Tracer optionally journals the worker's spans (one trace per lease
+	// cycle: lease → simulate → complete); nil disables journaling while
+	// trace IDs still propagate to the coordinator.
+	Tracer *obs.Tracer
 }
 
 // Worker is the fabric worker loop: join, verify the campaign contract,
@@ -40,6 +52,8 @@ type Worker struct {
 	cfg    WorkerConfig
 	client *Client
 	camp   *Campaign
+	slog   *obs.Logger
+	tracer *obs.Tracer
 
 	mu   sync.Mutex
 	held []int // chunks under lease, heartbeated until completed
@@ -61,7 +75,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		}
 		client = NewClient(cfg.Coordinator)
 	}
-	return &Worker{cfg: cfg, client: client}, nil
+	return &Worker{
+		cfg:    cfg,
+		client: client,
+		slog:   cfg.Logger.Component("worker").With(obs.F("worker", cfg.Name)),
+		tracer: cfg.Tracer,
+	}, nil
 }
 
 // Completed returns the number of chunk results this worker posted.
@@ -106,11 +125,13 @@ func (w *Worker) heldChunks() []int {
 // cancellation mid-chunk it posts whatever chunks finished before
 // returning, so the lease is not wasted.
 func (w *Worker) Run(ctx context.Context) error {
-	join, err := w.client.Join(api.JoinRequest{Worker: w.cfg.Name})
+	joinCtx, joinSpan := w.tracer.Start(ctx, "fabric.join")
+	join, err := w.client.JoinCtx(joinCtx, api.JoinRequest{Worker: w.cfg.Name})
+	joinSpan.End()
 	if err != nil {
 		return fmt.Errorf("fabric: worker %s join: %w", w.cfg.Name, err)
 	}
-	camp, err := BuildCampaign(join.Spec, w.cfg.Workers)
+	camp, err := BuildCampaignObs(join.Spec, w.cfg.Workers, w.cfg.Metrics, w.cfg.Logger)
 	if err != nil {
 		return fmt.Errorf("fabric: worker %s materializing campaign: %w", w.cfg.Name, err)
 	}
@@ -136,12 +157,19 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		lease, err := w.client.Lease(api.LeaseRequest{Worker: w.cfg.Name, Max: w.cfg.MaxChunks})
+		// Each lease cycle (lease → simulate → complete) runs under one
+		// fresh trace, propagated to the coordinator on every request it
+		// makes, so one chunk's journey is followable across both
+		// processes' logs and span journals.
+		cycleCtx := obs.ContextWithTrace(ctx,
+			obs.Trace{TraceID: obs.NewTraceID(), SpanID: obs.NewSpanID()})
+		lease, err := w.client.LeaseCtx(cycleCtx, api.LeaseRequest{Worker: w.cfg.Name, Max: w.cfg.MaxChunks})
 		if err != nil {
 			return fmt.Errorf("fabric: worker %s lease: %w", w.cfg.Name, err)
 		}
 		if lease.Done {
 			w.logf("worker %s done: campaign complete", w.cfg.Name)
+			w.slog.Info("campaign complete")
 			return nil
 		}
 		if len(lease.Chunks) == 0 {
@@ -159,8 +187,12 @@ func (w *Worker) Run(ctx context.Context) error {
 		if lease.Stolen > 0 {
 			w.logf("worker %s stole %d straggler chunk(s)", w.cfg.Name, lease.Stolen)
 		}
+		w.slog.Info("lease granted",
+			obs.F("chunks", lease.Chunks),
+			obs.F("stolen", lease.Stolen),
+			obs.F("trace_id", obs.TraceIDFrom(cycleCtx)))
 		w.hold(lease.Chunks)
-		runErr := w.runLease(ctx, lease.Chunks)
+		runErr := w.runLease(cycleCtx, lease.Chunks)
 		if runErr != nil {
 			return runErr
 		}
@@ -171,12 +203,14 @@ func (w *Worker) Run(ctx context.Context) error {
 // cancellation it still posts the chunks that finished, then reports the
 // context error.
 func (w *Worker) runLease(ctx context.Context, chunks []int) error {
-	done, runErr := w.camp.Runner.RunChunks(ctx, w.camp.Jobs, chunks)
+	simCtx, span := w.tracer.Start(ctx, "fabric.simulate", obs.F("chunks", len(chunks)))
+	done, runErr := w.camp.Runner.RunChunks(simCtx, w.camp.Jobs, chunks)
+	span.End()
 	if runErr != nil && !errors.Is(runErr, fault.ErrInterrupted) {
 		return fmt.Errorf("fabric: worker %s simulating: %w", w.cfg.Name, runErr)
 	}
 	for _, ci := range sortedChunks(done) {
-		resp, err := w.client.Complete(api.CompleteRequest{
+		resp, err := w.client.CompleteCtx(ctx, api.CompleteRequest{
 			Worker:   w.cfg.Name,
 			Chunk:    ci,
 			PlanHash: w.camp.PlanHashHex(),
@@ -189,6 +223,10 @@ func (w *Worker) runLease(ctx context.Context, chunks []int) error {
 		w.mu.Lock()
 		w.completed++
 		w.mu.Unlock()
+		w.slog.Info("chunk completed",
+			obs.F("chunk", ci),
+			obs.F("duplicate", resp.Duplicate),
+			obs.F("trace_id", obs.TraceIDFrom(ctx)))
 		if resp.Duplicate {
 			w.logf("worker %s chunk %d was a duplicate", w.cfg.Name, ci)
 		}

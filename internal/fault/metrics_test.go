@@ -1,0 +1,102 @@
+package fault_test
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// TestCampaignMetrics pins the ffr_campaign_* families: an instrumented
+// campaign must report consistent chunk/batch/job counts, a plausible
+// fast-forward hit rate, and early-exit accounting that covers every
+// batch.
+func TestCampaignMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	r, jobs := newRunner(t, fault.RunnerConfig{
+		ChunkJobs: sim.Lanes,
+		Workers:   2,
+		Metrics:   reg,
+	})
+	res, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	reg.WriteText(&b)
+	text := b.String()
+	for _, fam := range []string{
+		"ffr_campaign_chunks_completed_total",
+		"ffr_campaign_chunk_seconds_count",
+		"ffr_campaign_batches_total",
+		"ffr_campaign_simulated_cycles_total",
+		"ffr_campaign_replay_cycles_total",
+		"ffr_campaign_early_exits_total",
+		"ffr_campaign_jobs_done",
+		"ffr_campaign_jobs_total",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Fatalf("exposition missing %s:\n%s", fam, text)
+		}
+	}
+
+	get := func(name string) float64 {
+		t.Helper()
+		for _, line := range strings.Split(text, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(line[len(name)+1:]), 64)
+				if err != nil {
+					t.Fatalf("parsing %q: %v", line, err)
+				}
+				return v
+			}
+		}
+		t.Fatalf("exposition has no sample %s:\n%s", name, text)
+		return 0
+	}
+	if got := get("ffr_campaign_chunks_completed_total"); got != float64(res.Chunks) {
+		t.Fatalf("chunks completed %v, result says %d", got, res.Chunks)
+	}
+	if got := get("ffr_campaign_batches_total"); got != float64(res.Batches) {
+		t.Fatalf("batches %v, result says %d", got, res.Batches)
+	}
+	if got := get("ffr_campaign_jobs_done"); got != float64(res.TotalRuns) {
+		t.Fatalf("jobs done gauge %v, result says %d", got, res.TotalRuns)
+	}
+	if got := get("ffr_campaign_simulated_cycles_total"); got != float64(res.SimulatedCycles) {
+		t.Fatalf("simulated cycles %v, result says %d", got, res.SimulatedCycles)
+	}
+	if got := get("ffr_campaign_replay_cycles_total"); got != float64(res.ReplayCycles) {
+		t.Fatalf("replay cycles %v, result says %d", got, res.ReplayCycles)
+	}
+}
+
+// TestCampaignMetricsUnchangedResults pins that instrumentation is
+// observation-only: the same campaign with and without a metrics registry
+// produces identical failure counts.
+func TestCampaignMetricsUnchangedResults(t *testing.T) {
+	plain, jobs := newRunner(t, fault.RunnerConfig{ChunkJobs: sim.Lanes, Workers: 2})
+	want, err := plain.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metered, jobs2 := newRunner(t, fault.RunnerConfig{
+		ChunkJobs: sim.Lanes, Workers: 2, Metrics: obs.NewRegistry(),
+	})
+	got, err := metered.Run(jobs2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Failures) != len(got.Failures) {
+		t.Fatalf("failure vector length %d vs %d", len(want.Failures), len(got.Failures))
+	}
+	for ff := range want.Failures {
+		if want.Failures[ff] != got.Failures[ff] {
+			t.Fatalf("FF %d: %d failures without metrics, %d with", ff, want.Failures[ff], got.Failures[ff])
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -123,6 +124,14 @@ type RunnerConfig struct {
 	// OnProgress, when non-nil, is invoked from the merge stage after
 	// every completed chunk.
 	OnProgress func(Progress)
+	// Metrics optionally receives the ffr_campaign_* metric families
+	// (per-chunk wall time, simulated-vs-replay cycles, fast-forward hit
+	// rate, early-exit reasons, checkpoint latency, job progress gauges);
+	// nil disables campaign metrics.
+	Metrics *obs.Registry
+	// Logger optionally receives structured campaign records (start,
+	// per-chunk completions, checkpoint flushes); nil disables logging.
+	Logger *obs.Logger
 }
 
 // Runner executes injection plans; see the package comment above.
@@ -137,6 +146,9 @@ type Runner struct {
 	// the zero value adopts a resumed checkpoint's schedule instead of
 	// rejecting it, keeping pre-schedule (plan-order) checkpoints usable.
 	scheduleSet bool
+
+	metrics *campaignMetrics
+	log     *obs.Logger
 
 	goldenOnce sync.Once
 	golden     *sim.Trace
@@ -184,13 +196,18 @@ func NewRunner(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifie
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = DefaultCheckpointEvery
 	}
-	return &Runner{
+	r := &Runner{
 		p: p, stim: stim, monitors: monitors, cls: cls, cfg: cfg,
 		schedule:    cfg.Schedule.normalize(),
 		scheduleSet: cfg.Schedule != "",
 		golden:      cfg.Golden,
 		snaps:       cfg.Snapshots,
-	}, nil
+		log:         cfg.Logger.Component("campaign"),
+	}
+	if cfg.Metrics != nil {
+		r.metrics = newCampaignMetrics(cfg.Metrics)
+	}
+	return r, nil
 }
 
 // Golden returns the golden reference trace, simulating it on first use.
@@ -330,6 +347,14 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	r.metrics.startCampaign(jobsDone, sh.totalJobs)
+	r.log.Info("campaign start",
+		obs.F("jobs", sh.totalJobs),
+		obs.F("chunks", sh.numChunks),
+		obs.F("resumed", resumed),
+		obs.F("workers", workers),
+		obs.F("schedule", string(r.schedule)),
+		obs.F("naive", r.cfg.Naive))
 	if workers > len(pending) {
 		// Zero pending (fully resumed) means zero workers: wg.Wait
 		// returns immediately and the merge loop is a no-op.
@@ -350,7 +375,9 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 			defer wg.Done()
 			ws := newWorkerState(r, snaps)
 			for ci := range chunks {
+				chunkStart := time.Now()
 				masks, simCycles := r.runChunk(ws, golden, jobs, order, sh, ci)
+				r.metrics.observeChunk(time.Since(chunkStart))
 				results <- chunkResult{index: ci, masks: masks, simCycles: simCycles}
 			}
 		}()
@@ -379,9 +406,17 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 		done[cr.index] = cr.masks
 		lo, hi := sh.chunkRange(cr.index)
 		jobsDone += hi - lo
+		crReplay := int64(sh.chunkBatches(cr.index)) * int64(r.stim.Cycles())
 		simCycles += cr.simCycles
-		replayCycles += int64(sh.chunkBatches(cr.index)) * int64(r.stim.Cycles())
+		replayCycles += crReplay
 		sinceFlush++
+		r.metrics.mergeChunk(jobsDone, cr.simCycles, crReplay)
+		if r.log.Enabled(obs.LevelDebug) {
+			r.log.Debug("chunk merged",
+				obs.F("chunk", cr.index),
+				obs.F("jobs_done", jobsDone),
+				obs.F("sim_cycles", cr.simCycles))
+		}
 		r.reportProgress(sh, jobsDone, len(done), resumed, len(done)-resumed, start)
 		if r.cfg.CheckpointPath != "" && sinceFlush >= r.cfg.CheckpointEvery && saveErr == nil {
 			if saveErr = r.saveCheckpoint(jobs, sh, golden, done); saveErr != nil {
@@ -417,6 +452,13 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	res := r.merge(jobs, order, sh, done, resumed)
 	res.SimulatedCycles = simCycles
 	res.ReplayCycles = replayCycles
+	r.log.Info("campaign complete",
+		obs.F("jobs", sh.totalJobs),
+		obs.F("chunks", sh.numChunks),
+		obs.F("resumed", resumed),
+		obs.F("sim_cycles", simCycles),
+		obs.F("replay_cycles", replayCycles),
+		obs.F("elapsed", time.Since(start)))
 	return res, nil
 }
 
@@ -489,6 +531,7 @@ func (r *Runner) runChunk(ws *workerState, golden *sim.Trace, jobs []Job, order 
 			mask, cycles = r.runBatchIncremental(ws, golden, used)
 		} else {
 			mask, cycles = r.runBatchNaive(ws, golden, used)
+			r.metrics.observeNaiveBatch()
 		}
 		masks = append(masks, mask)
 		simCycles += int64(cycles)
@@ -561,6 +604,7 @@ func (r *Runner) runBatchIncremental(ws *workerState, golden *sim.Trace, used ui
 		},
 	})
 	ws.trace.CopyCycles(golden, stop, r.stim.Cycles())
+	r.metrics.observeBatch(start, stop, r.stim.Cycles(), used, failed, settled)
 	return r.cls.FailingLanes(golden, ws.trace, used), stop - start
 }
 
@@ -665,7 +709,8 @@ func (r *Runner) matchCheckpoint(ck *Checkpoint, jobs []Job, sh sharding, golden
 }
 
 func (r *Runner) saveCheckpoint(jobs []Job, sh sharding, golden *sim.Trace, done map[int][]uint64) error {
-	return SaveCheckpoint(r.cfg.CheckpointPath, &Checkpoint{
+	saveStart := time.Now()
+	err := SaveCheckpoint(r.cfg.CheckpointPath, &Checkpoint{
 		PlanHash:       PlanFingerprint(jobs),
 		GoldenHash:     golden.Fingerprint(),
 		ClassifierHash: r.classifierFingerprint(),
@@ -675,6 +720,18 @@ func (r *Runner) saveCheckpoint(jobs []Job, sh sharding, golden *sim.Trace, done
 		NumChunks:      sh.numChunks,
 		Chunks:         done,
 	})
+	elapsed := time.Since(saveStart)
+	r.metrics.observeCheckpoint(elapsed)
+	if err != nil {
+		r.log.Error("checkpoint save failed",
+			obs.F("path", r.cfg.CheckpointPath), obs.F("error", err))
+	} else if r.log.Enabled(obs.LevelDebug) {
+		r.log.Debug("checkpoint saved",
+			obs.F("path", r.cfg.CheckpointPath),
+			obs.F("chunks", len(done)),
+			obs.F("elapsed", elapsed))
+	}
+	return err
 }
 
 // sharding is the deterministic chunk geometry of a plan: totalJobs jobs in

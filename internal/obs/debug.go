@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugHandler returns the -metrics-addr debug surface: the registry's
+// /metrics plus the net/http/pprof handlers under /debug/pprof/. The
+// handlers are mounted explicitly so importing this package never touches
+// http.DefaultServeMux.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts the debug HTTP listener on addr (port 0 picks a free
+// port) serving DebugHandler. It returns the bound address and a stop
+// function; long-running commands expose their campaign metrics and pprof
+// through it mid-run.
+func ServeDebug(addr string, reg *Registry) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(reg), ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}

@@ -1,16 +1,30 @@
-// Package obs is a dependency-free observability core: Prometheus-style
-// counters, gauges and histograms behind a Registry that exposes them in
-// the Prometheus text format (version 0.0.4) at /metrics.
+// Package obs is the repository's dependency-free telemetry core, three
+// pillars behind one import:
 //
-// The prediction service and the campaign fabric register their metric
-// families here — request latency histograms, cache hit counters, queue
-// depth gauges, lease-churn counters — so a fleet of predictors and
-// coordinators can be scraped and load-balanced by stock monitoring
-// tooling without this repository taking a client_golang dependency.
+//   - Metrics: Prometheus-style counters, gauges and histograms behind a
+//     Registry that exposes them in the Prometheus text format (version
+//     0.0.4) at /metrics. The prediction service, the campaign fabric and
+//     the campaign engine register their families here — request latency
+//     histograms, cache hit counters, lease-churn counters, per-chunk wall
+//     time, simulated-vs-replay cycle counters — so a fleet can be scraped
+//     by stock monitoring tooling without a client_golang dependency.
+//   - Structured logging: a leveled Logger with JSON and text encoders and
+//     With-scoped fields (component, campaign, trace_id). A nil *Logger is
+//     a valid no-op, so long-running components take one optionally and
+//     log unguarded.
+//   - Tracing: lightweight trace/span identifiers (Trace, Span) carried in
+//     contexts, propagated as HTTP headers by internal/api, and journaled
+//     by a Tracer as JSONL span records — convertible to the Chrome
+//     trace-event format (WriteChromeTrace) for chrome://tracing and
+//     Perfetto — so one prediction or one leased chunk is followable
+//     across ffrserve, ffrcoord and ffrwork.
 //
 // The implementation favors hot-path cheapness: counters and gauges are a
-// single atomic word, histograms one atomic word per bucket, and label
-// lookup is a read-locked map hit. Metric families are created once at
-// construction (Counter, CounterVec, Gauge, Histogram) and used lock-free
-// afterwards.
+// single atomic word, histograms one atomic word per bucket, label lookup
+// is a read-locked map hit, and disabled log levels return before any
+// formatting. Metric families are created once at construction (Counter,
+// CounterVec, Gauge, Histogram) and used lock-free afterwards.
+//
+// ServeDebug is the shared -metrics-addr debug listener: /metrics plus
+// net/http/pprof, so a campaign can be profiled mid-run.
 package obs

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLabelEscaping pins the Prometheus text-format escaping contract for
+// label values: backslash, double quote and newline must be escaped; other
+// characters pass through.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("ffr_escape_total", "escaping", "path")
+	v.With(`quo"te`).Inc()
+	v.With("new\nline").Inc()
+	v.With(`back\slash`).Inc()
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	for _, want := range []string{
+		`ffr_escape_total{path="quo\"te"} 1`,
+		`ffr_escape_total{path="new\nline"} 1`,
+		`ffr_escape_total{path="back\\slash"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// The exposition must stay line-oriented: a raw newline inside a label
+	// value would corrupt every scrape.
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("empty exposition line:\n%s", text)
+		}
+	}
+}
+
+// TestHistogramInfBucket pins +Inf bucket accounting: out-of-range and
+// infinite observations land in +Inf only, and the cumulative counts stay
+// monotone.
+func TestHistogramInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ffr_inf_seconds", "inf handling", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(100)
+	h.Observe(math.Inf(1))
+	if h.Count() != 4 {
+		t.Fatalf("count %d", h.Count())
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	text := b.String()
+	for _, want := range []string{
+		`ffr_inf_seconds_bucket{le="1"} 1`,
+		`ffr_inf_seconds_bucket{le="2"} 2`,
+		`ffr_inf_seconds_bucket{le="+Inf"} 4`,
+		`ffr_inf_seconds_sum +Inf`,
+		`ffr_inf_seconds_count 4`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines while a reader renders the exposition; -race pins the atomic
+// paths, and the final totals pin lost-update freedom.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ffr_conc_seconds", "concurrent observe", []float64{0.25, 0.5, 0.75})
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var b strings.Builder
+				r.WriteText(&b)
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			for j := 0; j < perG; j++ {
+				h.Observe(float64(j%100) / 100)
+			}
+		}(i)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+	if h.Count() != goroutines*perG {
+		t.Fatalf("count %d, want %d", h.Count(), goroutines*perG)
+	}
+	var b strings.Builder
+	r.WriteText(&b)
+	if !strings.Contains(b.String(), `ffr_conc_seconds_bucket{le="+Inf"} 16000`) {
+		t.Fatalf("+Inf bucket disagrees with count:\n%s", b.String())
+	}
+}
+
+// TestDuplicateRegistrationPanics pins the panic (and its message) when a
+// metric name is re-registered as a different kind or label arity — the
+// guard that keeps two components from silently sharing one family.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	check := func(name string, f func(r *Registry)) {
+		t.Helper()
+		r := NewRegistry()
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+			msg, ok := rec.(string)
+			if !ok || !strings.Contains(msg, "re-registered as a different kind") {
+				t.Fatalf("%s: panic %v, want a re-registration message", name, rec)
+			}
+			if !strings.Contains(msg, `"ffr_dup"`) {
+				t.Fatalf("%s: panic %q does not name the metric", name, msg)
+			}
+		}()
+		f(r)
+	}
+	check("kind change", func(r *Registry) {
+		r.Counter("ffr_dup", "a counter")
+		r.Gauge("ffr_dup", "now a gauge")
+	})
+	check("label arity change", func(r *Registry) {
+		r.CounterVec("ffr_dup", "labeled", "a", "b")
+		r.CounterVec("ffr_dup", "labeled", "a")
+	})
+}

@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixedNow() time.Time {
+	return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo, FormatText)
+	l.now = fixedNow
+	l.Debug("dropped")
+	l.Info("kept")
+	l.Warn("warned")
+	out := b.String()
+	if strings.Contains(out, "dropped") {
+		t.Fatalf("debug record emitted at info level:\n%s", out)
+	}
+	if !strings.Contains(out, "INFO kept") || !strings.Contains(out, "WARN warned") {
+		t.Fatalf("missing records:\n%s", out)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelDebug) {
+		t.Fatal("Enabled disagrees with the configured level")
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Info("into the void", F("k", 1))
+	l.With(F("a", 2)).Error("still fine")
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims to be enabled")
+	}
+	if l.Component("x") != nil {
+		t.Fatal("nil logger derived a non-nil scope")
+	}
+}
+
+func TestLoggerJSON(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug, FormatJSON).With(F("component", "campaign"))
+	l.now = fixedNow
+	l.Info("chunk done", F("chunk", 3), F("seconds", 0.25), F("worker", "w1"))
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &rec); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, b.String())
+	}
+	for k, want := range map[string]any{
+		"level":     "info",
+		"msg":       "chunk done",
+		"component": "campaign",
+		"chunk":     float64(3),
+		"seconds":   0.25,
+		"worker":    "w1",
+	} {
+		if rec[k] != want {
+			t.Fatalf("field %q = %v, want %v", k, rec[k], want)
+		}
+	}
+	if _, err := time.Parse(time.RFC3339Nano, rec["ts"].(string)); err != nil {
+		t.Fatalf("ts %v: %v", rec["ts"], err)
+	}
+}
+
+func TestLoggerTextQuoting(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug, FormatText)
+	l.now = fixedNow
+	l.Info("msg", F("plain", "abc"), F("spaced", `a b"c`), F("dur", 1500*time.Millisecond))
+	out := b.String()
+	if !strings.Contains(out, "plain=abc") {
+		t.Fatalf("plain value quoted unnecessarily:\n%s", out)
+	}
+	if !strings.Contains(out, `spaced="a b\"c"`) {
+		t.Fatalf("unsafe value not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, "dur=1.5s") {
+		t.Fatalf("duration not rendered:\n%s", out)
+	}
+}
+
+func TestLoggerWithScopesDoNotLeak(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelDebug, FormatText)
+	l.now = fixedNow
+	scoped := l.With(F("campaign", "mac10ge/loopback"))
+	scoped.Info("scoped")
+	l.Info("unscoped")
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 records, got %d:\n%s", len(lines), b.String())
+	}
+	if !strings.Contains(lines[0], "campaign=mac10ge/loopback") {
+		t.Fatalf("scope field missing: %s", lines[0])
+	}
+	if strings.Contains(lines[1], "campaign=") {
+		t.Fatalf("scope leaked into parent: %s", lines[1])
+	}
+}
+
+func TestParseLevelAndFormat(t *testing.T) {
+	for s, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "WARN": LevelWarn, "error": LevelError,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Fatal("ParseLevel accepted an unknown level")
+	}
+	if f, err := ParseFormat("JSON"); err != nil || f != FormatJSON {
+		t.Fatalf("ParseFormat(JSON) = %q, %v", f, err)
+	}
+	if _, err := ParseFormat("xml"); err == nil {
+		t.Fatal("ParseFormat accepted an unknown format")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/ml"
 	"repro/internal/ml/metrics"
+	"repro/internal/obs"
 	"repro/internal/persist"
 )
 
@@ -67,6 +68,13 @@ type Config struct {
 	// OnRound, when non-nil, is invoked after every completed (or resumed)
 	// round.
 	OnRound func(Round)
+	// Metrics optionally receives the ffr_plan_* per-round gauges (round,
+	// measured FFs, injections spent, FFR estimate, CI width, delta); nil
+	// disables planner metrics.
+	Metrics *obs.Registry
+	// Logger optionally receives structured per-round records; nil
+	// disables logging.
+	Logger *obs.Logger
 }
 
 // DefaultMaxRounds caps adaptive loops that never meet their convergence
@@ -127,8 +135,10 @@ type Result struct {
 // Loop is the active-learning campaign driver; see the package comment for
 // the protocol. Build one with NewLoop, run it with Run.
 type Loop struct {
-	cfg  Config
-	pool []int
+	cfg     Config
+	pool    []int
+	metrics *planMetrics
+	log     *obs.Logger
 }
 
 // NewLoop validates the configuration and applies defaults.
@@ -185,7 +195,11 @@ func NewLoop(cfg Config) (*Loop, error) {
 	if cfg.Patience <= 0 {
 		cfg.Patience = DefaultPatience
 	}
-	return &Loop{cfg: cfg, pool: pool}, nil
+	l := &Loop{cfg: cfg, pool: pool, log: cfg.Logger.Component("plan")}
+	if cfg.Metrics != nil {
+		l.metrics = newPlanMetrics(cfg.Metrics)
+	}
+	return l, nil
 }
 
 // Run executes the loop to completion; Run is RunContext with a background
@@ -316,6 +330,16 @@ func (l *Loop) RunContext(ctx context.Context) (*Result, error) {
 			// checkpoint now; drop the spent file.
 			os.Remove(l.roundCheckpointPath(st.Round))
 		}
+		l.metrics.observeRound(rnd)
+		l.log.Info("round complete",
+			obs.F("round", rnd.Index),
+			obs.F("selected", len(rnd.Selected)),
+			obs.F("resumed", rnd.Resumed),
+			obs.F("measured_ffs", rnd.MeasuredFFs),
+			obs.F("injections", rnd.Injections),
+			obs.F("ffr", rnd.FFR),
+			obs.F("ci_width", rnd.CIHi-rnd.CILo),
+			obs.F("delta", rnd.Delta))
 		if cfg.OnRound != nil {
 			cfg.OnRound(rnd)
 		}
@@ -334,6 +358,12 @@ func (l *Loop) RunContext(ctx context.Context) (*Result, error) {
 		return nil, fmt.Errorf("plan: loop measured no flip-flops (budget %d, rounds %d)",
 			cfg.BudgetFFs, cfg.MaxRounds)
 	}
+	l.metrics.observeConverged(res.Converged)
+	l.log.Info("loop finished",
+		obs.F("rounds", len(res.Rounds)),
+		obs.F("converged", res.Converged),
+		obs.F("measured_ffs", st.MeasuredCount()),
+		obs.F("injections", totalInjections(st)))
 	return l.finalize(st, res)
 }
 

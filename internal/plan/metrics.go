@@ -1,0 +1,64 @@
+package plan
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// planMetrics is the active-learning loop's observability surface
+// (ffr_plan_*): per-round gauges tracking the estimate trajectory. A nil
+// *planMetrics is a valid no-op.
+type planMetrics struct {
+	round      *obs.Gauge
+	measured   *obs.Gauge
+	injections *obs.Gauge
+	ffr        *obs.Gauge
+	ciWidth    *obs.Gauge
+	delta      *obs.Gauge
+	converged  *obs.Gauge
+}
+
+func newPlanMetrics(reg *obs.Registry) *planMetrics {
+	return &planMetrics{
+		round: reg.Gauge("ffr_plan_round",
+			"completed planner rounds (including rounds replayed from a checkpoint)"),
+		measured: reg.Gauge("ffr_plan_measured_ffs",
+			"flip-flops measured so far"),
+		injections: reg.Gauge("ffr_plan_injections",
+			"SEU injection runs spent so far"),
+		ffr: reg.Gauge("ffr_plan_ffr_estimate",
+			"circuit FFR estimate after the latest round"),
+		ciWidth: reg.Gauge("ffr_plan_ci_width",
+			"width of the measured-FDR mean's 95% confidence interval"),
+		delta: reg.Gauge("ffr_plan_delta",
+			"round-over-round change of the FFR estimate (absolute)"),
+		converged: reg.Gauge("ffr_plan_converged",
+			"1 once the loop stopped on its convergence criteria, else 0"),
+	}
+}
+
+func (m *planMetrics) observeRound(r Round) {
+	if m == nil {
+		return
+	}
+	m.round.Set(float64(r.Index + 1))
+	m.measured.Set(float64(r.MeasuredFFs))
+	m.injections.Set(float64(r.Injections))
+	m.ffr.Set(r.FFR)
+	m.ciWidth.Set(r.CIHi - r.CILo)
+	if !math.IsInf(r.Delta, 1) {
+		m.delta.Set(r.Delta)
+	}
+}
+
+func (m *planMetrics) observeConverged(converged bool) {
+	if m == nil {
+		return
+	}
+	if converged {
+		m.converged.Set(1)
+	} else {
+		m.converged.Set(0)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -53,15 +54,33 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency
-// observation, labeled by route pattern (not raw URL, to bound
-// cardinality).
-func (m *metrics) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+// instrument wraps a handler with request counting, latency observation
+// and structured request logging, labeled by route pattern (not raw URL,
+// to bound cardinality). Successful requests log at debug so production
+// logs stay quiet at info; 4xx logs at warn and 5xx at error.
+func (m *metrics) instrument(log *obs.Logger, path string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
-		m.latency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		m.latency.Observe(elapsed.Seconds())
 		m.requests.With(path, strconv.Itoa(rec.status)).Inc()
+
+		level := obs.LevelDebug
+		switch {
+		case rec.status >= 500:
+			level = obs.LevelError
+		case rec.status >= 400:
+			level = obs.LevelWarn
+		}
+		if log.Enabled(level) {
+			log.Log(level, "request",
+				obs.F("method", r.Method),
+				obs.F("path", path),
+				obs.F("status", rec.status),
+				obs.F("seconds", elapsed.Seconds()),
+				obs.F("trace_id", w.Header().Get(api.HeaderTraceID)))
+		}
 	}
 }

@@ -72,6 +72,9 @@ type Config struct {
 	// Metrics optionally receives the serve metric families; nil creates a
 	// private registry (still exported at /metrics).
 	Metrics *obs.Registry
+	// Logger optionally receives structured request logs; nil disables
+	// logging.
+	Logger *obs.Logger
 }
 
 // Server is the prediction service: a model registry behind HTTP handlers
@@ -91,6 +94,7 @@ type Server struct {
 
 	obsReg  *obs.Registry
 	metrics *metrics
+	log     *obs.Logger
 }
 
 // New builds a server; load models with Add or LoadArtifact (or pass a
@@ -134,6 +138,7 @@ func New(cfg Config) *Server {
 		admit:   make(map[string]chan struct{}),
 		obsReg:  obsReg,
 		metrics: newMetrics(obsReg),
+		log:     cfg.Logger.Component("serve"),
 	}
 }
 
@@ -170,15 +175,23 @@ func (s *Server) Ready() error {
 }
 
 // Handler returns the service mux: the versioned prediction API, hot
-// reload, health and metrics.
+// reload, health and metrics. Every API route runs under the trace
+// middleware, so responses carry Ffr-Trace-Id and request logs are
+// correlatable with client-side spans.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/predict", s.metrics.instrument("/v1/predict", s.handlePredict))
-	mux.HandleFunc("GET /v1/models", s.metrics.instrument("/v1/models", s.handleModels))
-	mux.HandleFunc("POST /v1/models/reload", s.metrics.instrument("/v1/models/reload", s.handleReload))
-	mux.HandleFunc("GET /healthz", s.metrics.instrument("/healthz", s.handleHealthz))
+	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
+	mux.HandleFunc("GET /v1/models", s.instrument("/v1/models", s.handleModels))
+	mux.HandleFunc("POST /v1/models/reload", s.instrument("/v1/models/reload", s.handleReload))
+	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.obsReg.Handler())
-	return mux
+	return api.Traced(mux)
+}
+
+// instrument layers request metrics and structured request logging over a
+// handler.
+func (s *Server) instrument(path string, h http.HandlerFunc) http.HandlerFunc {
+	return s.metrics.instrument(s.log, path, h)
 }
 
 // admission returns the bounded per-model slot channel.

@@ -49,8 +49,9 @@ for name in $(awk '/^## ffr/{print $2}' "$doc"); do
     fi
 done
 
-# Environment knobs (defined in ffr.go EnvStudyConfig) must stay documented.
-for env in FFR_INJECTIONS FFR_SEED FFR_WORKERS FFR_NAIVE; do
+# Environment knobs (EnvStudyConfig in ffr.go, FFR_LOG in internal/cli)
+# must stay documented.
+for env in FFR_INJECTIONS FFR_SEED FFR_WORKERS FFR_NAIVE FFR_LOG; do
     if ! grep -q "$env" "$doc"; then
         echo "doc-check: environment variable $env is not documented in $doc"
         fail=1
