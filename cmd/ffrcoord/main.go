@@ -31,6 +31,7 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -56,6 +57,7 @@ func run() error {
 		campaignSeed = flag.Int64("campaign-seed", 0, "injection sampling seed (0 = scenario default)")
 		chunk        = flag.Int("chunk", 0, "shard chunk size in jobs (0 = runner default, rounded to 64-lane batches)")
 		schedule     = flag.String("schedule", "clustered", "batch-packing schedule (clustered, plan)")
+		hardenList   = flag.String("harden", "", "comma-separated flip-flop indices to TMR-harden before the campaign (e.g. from ffrharden)")
 		addr         = flag.String("addr", ":9090", "listen address (host:port; port 0 picks a free port)")
 		leaseTTL     = flag.Duration("lease-ttl", fabric.DefaultLeaseTTL, "heartbeat deadline per leased chunk")
 		maxLease     = flag.Int("max-lease", fabric.DefaultMaxLeaseChunks, "maximum chunks granted per lease request")
@@ -86,6 +88,10 @@ func run() error {
 	if *resume && *checkpoint == "" {
 		return cli.Requires("ffrcoord", "resume", "checkpoint", false)
 	}
+	hardenFFs, err := parseFFList(*hardenList)
+	if err != nil {
+		return cli.UsageErrorf("ffrcoord", "-harden: %v", err)
+	}
 	if *leaseTTL <= 0 {
 		return cli.UsageErrorf("ffrcoord", "-lease-ttl must be positive (got %s)", *leaseTTL)
 	}
@@ -113,6 +119,7 @@ func run() error {
 			CampaignSeed:    *campaignSeed,
 			ChunkJobs:       *chunk,
 			Schedule:        *schedule,
+			Harden:          hardenFFs,
 		},
 		LeaseTTL:        *leaseTTL,
 		MaxLeaseChunks:  *maxLease,
@@ -189,4 +196,24 @@ func printSummary(res *fault.Result) {
 	}
 	fmt.Printf("ffrcoord: FDR over %d FFs: mean %.4f, median %.4f, max %.4f\n",
 		len(fdr), sum/float64(len(fdr)), fdr[len(fdr)/2], fdr[len(fdr)-1])
+}
+
+// parseFFList parses a comma-separated list of flip-flop indices; empty
+// input means no hardening.
+func parseFFList(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad flip-flop index %q", part)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative flip-flop index %d", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

@@ -1,0 +1,187 @@
+// Command ffrharden is the selective-mitigation advisor CLI: it loads a
+// trained model artifact, scores every flip-flop of a corpus scenario,
+// clusters the criticality ranking, and emits the TMR hardening plan that
+// fits an area budget — then optionally verifies the plan by TMR-rewriting
+// the netlist and re-running the fault campaign, reporting measured vs.
+// predicted residual FFR.
+//
+// Usage:
+//
+//	ffrharden -load model.ffrm [-scenario family/workload] [-scale small]
+//	          [-seed 1] [-budget 0.5] [-clusters 4] [-cluster-seed 0]
+//	          [-csv plan.csv]
+//	          [-verify] [-n 0] [-campaign-seed 0] [-workers 0] [-chunk 0]
+//	          [-checkpoint plan.ckpt] [-resume] [-checkpoint-every 0]
+//	          [-log-level info] [-log-format text]
+//
+// Without -scenario the artifact's training-scenario tag is used. The
+// selected flip-flop list prints in ffrcoord -harden form, so a verified
+// plan can be re-measured at scale on the distributed fabric.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/cli"
+	"repro/internal/corpus"
+	"repro/internal/harden"
+	"repro/internal/persist"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ffrharden:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		load         = flag.String("load", "", "model artifact to advise with (required)")
+		scenario     = flag.String("scenario", "", "corpus scenario (\"family/workload\"; default: the artifact's training scenario)")
+		scale        = flag.String("scale", "small", "corpus scale (small, default)")
+		seed         = flag.Int64("seed", 1, "scenario materialization seed")
+		budget       = flag.Float64("budget", 0.5, "area budget as a fraction of full-TMR area")
+		clusters     = flag.Int("clusters", harden.DefaultClusters, "criticality bands for the k-means ranking")
+		clusterSeed  = flag.Int64("cluster-seed", 0, "clustering seed (plans are deterministic in it)")
+		csvPath      = flag.String("csv", "", "write the full ranking as CSV to this file")
+		verify       = flag.Bool("verify", false, "TMR-rewrite the netlist and re-measure residual FFR by campaign")
+		n            = flag.Int("n", 0, "verify injections per flip-flop (0 = scenario default)")
+		campaignSeed = flag.Int64("campaign-seed", 0, "verify injection sampling seed (0 = scenario default)")
+		workers      = flag.Int("workers", 0, "verify simulation workers (0 = GOMAXPROCS)")
+		chunk        = flag.Int("chunk", 0, "verify chunk size in jobs (0 = runner default)")
+		checkpoint   = flag.String("checkpoint", "", "checkpoint file for the verify campaigns (baseline uses a .baseline suffix)")
+		resume       = flag.Bool("resume", false, "resume the verify campaigns from -checkpoint if present")
+		ckEvery      = flag.Int("checkpoint-every", 0, "chunks between checkpoint flushes (0 = default)")
+		logFlags     = cli.RegisterLog()
+	)
+	flag.Parse()
+
+	if err := cli.Check(
+		cli.NoArgs("ffrharden"),
+		cli.NonNegFloat("ffrharden", "budget", *budget),
+		cli.MinInt("ffrharden", "clusters", *clusters, 1),
+		cli.MinInt("ffrharden", "n", *n, 0),
+		cli.MinInt("ffrharden", "workers", *workers, 0),
+		cli.MinInt("ffrharden", "chunk", *chunk, 0),
+		cli.MinInt("ffrharden", "checkpoint-every", *ckEvery, 0),
+	); err != nil {
+		return err
+	}
+	if *load == "" {
+		return cli.UsageErrorf("ffrharden", "-load is required")
+	}
+	if *resume && *checkpoint == "" {
+		return cli.Requires("ffrharden", "resume", "checkpoint", false)
+	}
+	logger, err := logFlags.Logger("ffrharden")
+	if err != nil {
+		return err
+	}
+
+	art, err := persist.Load(*load)
+	if err != nil {
+		return err
+	}
+	id := *scenario
+	if id == "" {
+		if art.Circuit == "" || art.Workload == "" {
+			return cli.UsageErrorf("ffrharden", "artifact %q carries no scenario tag; -scenario is required", art.Name)
+		}
+		id = art.Circuit + "/" + art.Workload
+	}
+	sc, err := corpus.Find(id)
+	if err != nil {
+		return err
+	}
+	scl, err := corpus.ParseScale(*scale)
+	if err != nil {
+		return err
+	}
+
+	m, err := sc.Materialize(scl, *seed)
+	if err != nil {
+		return err
+	}
+	plan, err := harden.Advise(art, m, *budget, harden.Config{Clusters: *clusters, Seed: *clusterSeed})
+	if err != nil {
+		return err
+	}
+	printPlan(plan, m.NumFFs())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		if err := harden.WriteCSV(f, plan); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("ffrharden: wrote ranking to %s\n", *csvPath)
+	}
+
+	if !*verify {
+		return nil
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	v, err := harden.Verify(ctx, plan, harden.VerifyConfig{
+		Scenario:        sc,
+		Scale:           scl,
+		Seed:            *seed,
+		InjectionsPerFF: *n,
+		CampaignSeed:    *campaignSeed,
+		Workers:         *workers,
+		ChunkJobs:       *chunk,
+		CheckpointPath:  *checkpoint,
+		CheckpointEvery: *ckEvery,
+		Resume:          *resume,
+		Logger:          logger,
+	})
+	if err != nil {
+		return err
+	}
+	printVerification(v)
+	return nil
+}
+
+// printPlan reports the advised plan and the selection in ffrcoord -harden
+// form.
+func printPlan(p *harden.Plan, numFFs int) {
+	fmt.Printf("ffrharden: %s on %s/%s: %d of %d FFs within budget %.2f (area %.1f of %.1f units, %d bands)\n",
+		p.Model, p.Circuit, p.Workload, len(p.Selected), numFFs, p.Budget,
+		p.UsedArea, p.TotalArea, p.Clusters)
+	fmt.Printf("ffrharden: predicted FFR %.4f -> %.4f residual\n", p.BaseFFR, p.ResidualFFR)
+	sel := p.SelectedFFs()
+	if len(sel) == 0 {
+		return
+	}
+	parts := make([]string, len(sel))
+	for i, ff := range sel {
+		parts[i] = fmt.Sprintf("%d", ff)
+	}
+	fmt.Printf("ffrharden: selection for ffrcoord: -harden %s\n", strings.Join(parts, ","))
+}
+
+// printVerification reports measured vs. predicted residual FFR. The
+// trailing improved / predicted_within_2x tokens are the machine-readable
+// verdicts the smoke target greps.
+func printVerification(v *harden.Verification) {
+	fmt.Printf("ffrharden: verify: %d FFs hardened (%d -> %d in design), fingerprint %x -> %x\n",
+		v.HardenedFFs, v.BaselineNumFFs, v.HardenedNumFFs, v.BaseFingerprint, v.HardenedFingerprint)
+	within2x := v.PredictedResidualFFR <= 2*v.MeasuredResidualFFR+1e-12 &&
+		v.MeasuredResidualFFR <= 2*v.PredictedResidualFFR+1e-12
+	fmt.Printf("ffrharden: verify: baseline_ffr=%.4f measured_residual=%.4f predicted_residual=%.4f improved=%t predicted_within_2x=%t\n",
+		v.BaselineFFR, v.MeasuredResidualFFR, v.PredictedResidualFFR,
+		v.Improved(), within2x)
+}

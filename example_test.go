@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -96,4 +97,39 @@ func Example_adaptiveCampaign() {
 	}
 	fmt.Printf("FFR %.4f from %d of %d flip-flops (converged=%v)\n",
 		res.FFR, len(res.Measured), study.NumFFs(), res.Converged)
+}
+
+// Example_harden is the README "Hardening advisor" snippet: load a trained
+// artifact, plan the TMR set that fits half the full-TMR area, then verify
+// the plan by rewriting the netlist and re-measuring residual FFR.
+func Example_harden() {
+	art, err := repro.LoadModel("knn.ffrm") // e.g. from ffrcorpus -sweep -out
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc, err := repro.FindCorpusScenario("alupipe/randomops")
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := sc.Materialize(repro.CorpusScaleSmall, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := repro.HardenAdvise(art, m, 0.5, repro.HardenConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("harden %d of %d FFs: predicted FFR %.4f -> %.4f\n",
+		len(plan.Selected), m.NumFFs(), plan.BaseFFR, plan.ResidualFFR)
+
+	v, err := repro.HardenVerify(context.Background(), plan, repro.HardenVerifyConfig{
+		Scenario: sc,
+		Scale:    repro.CorpusScaleSmall,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured residual %.4f vs baseline %.4f (improved=%v)\n",
+		v.MeasuredResidualFFR, v.BaselineFFR, v.Improved())
 }

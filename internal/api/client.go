@@ -103,6 +103,13 @@ func (c *Client) Health() (HealthResponse, error) {
 	return resp, err
 }
 
+// Harden posts one hardening-plan request.
+func (c *Client) Harden(req HardenRequest) (HardenResponse, error) {
+	var resp HardenResponse
+	err := c.Do(http.MethodPost, "/v1/harden", req, &resp)
+	return resp, err
+}
+
 // Reload triggers a hot reload of file-backed artifacts.
 func (c *Client) Reload(req ReloadRequest) (ReloadResponse, error) {
 	var resp ReloadResponse

@@ -30,6 +30,12 @@ type CampaignSpec struct {
 	// Schedule is the batch-packing schedule name; "" means the runner
 	// default (clustered).
 	Schedule string `json:"schedule,omitempty"`
+	// Harden lists flip-flop indices to TMR-rewrite before the campaign
+	// runs (see internal/harden); empty runs the unhardened design. The
+	// indices refer to the unhardened netlist's FF order and are part of
+	// the campaign identity — workers materialize the same rewrite and
+	// the fingerprints prove it.
+	Harden []int `json:"harden,omitempty"`
 }
 
 // JoinRequest is the body of POST /v1/fabric/join: a worker announcing

@@ -36,9 +36,25 @@ type Materialized struct {
 // golden simulation (collecting activity) → feature extraction for the
 // scenario. The result is deterministic in (scenario, scale, seed).
 func (s Scenario) Materialize(scale Scale, seed int64) (*Materialized, error) {
+	return s.MaterializeWith(scale, seed, nil)
+}
+
+// MaterializeWith is Materialize with a netlist rewrite hook applied
+// between generation and synthesis — the seam the hardening advisor uses
+// to TMR-rewrite a DUT (circuit.ApplyTMR) and re-measure it under the
+// unchanged workload. A nil rewrite is exactly Materialize; determinism
+// extends to the rewrite (the result is deterministic in scenario, scale,
+// seed and what the hook does). Workloads resolve ports by name, so a
+// rewrite must preserve the port surface but may change anything else.
+func (s Scenario) MaterializeWith(scale Scale, seed int64, rewrite func(*netlist.Netlist) error) (*Materialized, error) {
 	nl, err := s.Entry.Generate(scale, seed)
 	if err != nil {
 		return nil, fmt.Errorf("corpus: generating %s: %w", s.ID(), err)
+	}
+	if rewrite != nil {
+		if err := rewrite(nl); err != nil {
+			return nil, fmt.Errorf("corpus: rewriting %s: %w", s.ID(), err)
+		}
 	}
 	if err := circuit.Synthesize(nl); err != nil {
 		return nil, fmt.Errorf("corpus: synthesizing %s: %w", s.ID(), err)

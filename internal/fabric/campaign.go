@@ -2,11 +2,14 @@ package fabric
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 
 	"repro/internal/api"
+	"repro/internal/circuit"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/netlist"
 	"repro/internal/obs"
 )
 
@@ -66,6 +69,24 @@ func ResolveSpec(spec api.CampaignSpec) (api.CampaignSpec, error) {
 	if spec.Schedule == "" {
 		spec.Schedule = string(fault.ScheduleClustered)
 	}
+	if len(spec.Harden) > 0 {
+		sorted := append([]int(nil), spec.Harden...)
+		sort.Ints(sorted)
+		dedup := sorted[:0]
+		for i, ff := range sorted {
+			if ff < 0 {
+				return spec, fmt.Errorf("fabric: negative harden index %d", ff)
+			}
+			if i > 0 && ff == sorted[i-1] {
+				continue
+			}
+			dedup = append(dedup, ff)
+		}
+		// Range validation against the actual FF count happens at
+		// materialization time; here the spec is canonicalized so equal
+		// selections serialize identically.
+		spec.Harden = dedup
+	}
 	return spec, nil
 }
 
@@ -94,7 +115,14 @@ func BuildCampaignObs(spec api.CampaignSpec, workers int, reg *obs.Registry, log
 	if err != nil {
 		return nil, err
 	}
-	m, err := sc.Materialize(scale, spec.Seed)
+	var rewrite func(*netlist.Netlist) error
+	if len(spec.Harden) > 0 {
+		harden := spec.Harden
+		rewrite = func(nl *netlist.Netlist) error {
+			return circuit.ApplyTMR(nl, harden)
+		}
+	}
+	m, err := sc.MaterializeWith(scale, spec.Seed, rewrite)
 	if err != nil {
 		return nil, err
 	}

@@ -9,9 +9,16 @@ import (
 // KMeans is a deterministic Lloyd's-algorithm k-means clusterer with
 // k-means++ seeding. All randomness derives from the seed passed to Fit, so
 // the same (data, k, seed) always yields identical clusters — the property
-// the cluster-coverage acquisition strategy needs for bit-identical
-// checkpoint resume. Ties (equidistant centers, empty clusters) break toward
-// the lowest index.
+// the cluster-coverage acquisition strategy and the hardening advisor need
+// for bit-identical checkpoint resume. Ties (equidistant centers, empty
+// clusters) break toward the lowest index.
+//
+// Edge cases are part of the contract: K is capped at the number of rows;
+// a cluster left empty by a Lloyd step is re-seated on the point farthest
+// from its assigned center, each simultaneous empty cluster claiming a
+// distinct point; when the data holds fewer distinct points than K, the
+// surplus centers converge onto duplicates of existing ones. These are
+// pinned by regression tests.
 type KMeans struct {
 	// K is the number of clusters; Fit caps it at the number of rows.
 	K int
@@ -82,25 +89,50 @@ func (km *KMeans) Fit(X [][]float64, seed int64) error {
 				sums[c][j] += v
 			}
 		}
+		empties := false
 		for c := 0; c < k; c++ {
 			if counts[c] == 0 {
-				// Empty cluster: re-seat it on the point farthest from its
-				// current assignment's center (deterministic: first maximum).
-				far, farDist := 0, -1.0
-				for i, row := range X {
-					if d := sqDist(row, km.Centers[assign[i]]); d > farDist {
-						far, farDist = i, d
-					}
-				}
-				copy(km.Centers[c], X[far])
+				empties = true
 				continue
 			}
 			for j := range km.Centers[c] {
 				km.Centers[c][j] = sums[c][j] / float64(counts[c])
 			}
 		}
+		if empties {
+			reseatEmptyClusters(km.Centers, X, assign, counts)
+		}
 	}
 	return nil
+}
+
+// reseatEmptyClusters re-seats every empty cluster on the point farthest
+// from its currently assigned center (deterministic: first maximum). Each
+// re-seated point is claimed — assign is updated and later empty clusters
+// skip it — so simultaneous empty clusters land on distinct points instead
+// of all copying the same one.
+func reseatEmptyClusters(centers, X [][]float64, assign, counts []int) {
+	var taken []int
+	for c := range counts {
+		if counts[c] != 0 {
+			continue
+		}
+		far, farDist := 0, -1.0
+	scan:
+		for i, row := range X {
+			for _, t := range taken {
+				if t == i {
+					continue scan
+				}
+			}
+			if d := sqDist(row, centers[assign[i]]); d > farDist {
+				far, farDist = i, d
+			}
+		}
+		copy(centers[c], X[far])
+		assign[far] = c
+		taken = append(taken, far)
+	}
 }
 
 // Assign returns the index of the fitted center nearest to x (lowest index

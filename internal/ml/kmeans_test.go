@@ -1,6 +1,7 @@
 package ml
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -86,6 +87,81 @@ func TestKMeansDegenerateData(t *testing.T) {
 		if l < 0 || l >= len(km.Centers) {
 			t.Errorf("label %d out of range", l)
 		}
+	}
+}
+
+// TestKMeansPinnedRegression pins the exact fitted centers for one
+// (data, K, seed) triple: the deterministic-seeding contract says these may
+// only change with an intentional algorithm change, never across reruns,
+// architectures or map-iteration orders.
+func TestKMeansPinnedRegression(t *testing.T) {
+	X := [][]float64{
+		{0}, {0.1}, {0.2}, {4.9}, {5}, {5.1}, {9.8}, {10}, {10.2},
+	}
+	km := NewKMeans(3)
+	if err := km.Fit(X, 2019); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{0.1}, {10}, {5}}
+	if len(km.Centers) != len(want) {
+		t.Fatalf("got %d centers, want %d", len(km.Centers), len(want))
+	}
+	for c := range want {
+		if math.Abs(km.Centers[c][0]-want[c][0]) > 1e-9 {
+			t.Errorf("center %d = %v, want %v", c, km.Centers[c], want[c])
+		}
+	}
+}
+
+// TestKMeansEmptyClusterConvergence exercises the empty-cluster path: with
+// more clusters than distinct values, surplus clusters go empty every Lloyd
+// step and must be re-seated without breaking termination or label validity.
+func TestKMeansEmptyClusterConvergence(t *testing.T) {
+	var X [][]float64
+	for i := 0; i < 5; i++ {
+		X = append(X, []float64{0}, []float64{50}, []float64{100})
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		km := NewKMeans(5)
+		if err := km.Fit(X, seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(km.Centers) != 5 {
+			t.Fatalf("seed %d: %d centers", seed, len(km.Centers))
+		}
+		for _, c := range km.Centers {
+			if c[0] != 0 && c[0] != 50 && c[0] != 100 {
+				t.Errorf("seed %d: center %v is not a data value", seed, c)
+			}
+		}
+		for i, l := range km.Labels(X) {
+			if l < 0 || l >= 5 {
+				t.Errorf("seed %d: label %d of row %d out of range", seed, l, i)
+			}
+			if km.Centers[l][0] != X[i][0] {
+				t.Errorf("seed %d: row %d (%v) labeled to center %v", seed, i, X[i], km.Centers[l])
+			}
+		}
+	}
+}
+
+// TestReseatEmptyClustersDistinctPoints pins the fix for simultaneous empty
+// clusters: each must claim its own farthest point. Before the fix both
+// empty clusters copied the same point, leaving duplicate centers.
+func TestReseatEmptyClustersDistinctPoints(t *testing.T) {
+	centers := [][]float64{{0}, {999}, {999}}
+	X := [][]float64{{0}, {10}, {20}}
+	assign := []int{0, 0, 0}
+	counts := []int{3, 0, 0}
+	reseatEmptyClusters(centers, X, assign, counts)
+	if centers[1][0] != 20 {
+		t.Errorf("first empty cluster re-seated on %v, want the farthest point {20}", centers[1])
+	}
+	if centers[2][0] != 10 {
+		t.Errorf("second empty cluster re-seated on %v, want the next farthest {10}", centers[2])
+	}
+	if assign[2] != 1 || assign[1] != 2 {
+		t.Errorf("assign not updated for re-seated points: %v", assign)
 	}
 }
 

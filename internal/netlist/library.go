@@ -74,6 +74,52 @@ type CellType struct {
 // IsSequential reports whether the cell holds state.
 func (ct *CellType) IsSequential() bool { return ct.Func == FuncDFF }
 
+// AreaUnits returns the cell's area in gate-equivalent units, modelled on
+// the NanGate FreePDK45 footprint ratios: a 2-input NAND at minimum drive
+// is 1.0 and everything else scales from there. Hardening cost estimates
+// (see internal/harden) budget in these units, so the model only needs to
+// be *relatively* faithful — a flip-flop really is about five NAND2s, an
+// X4 drive really is under twice its X1 footprint.
+func (ct *CellType) AreaUnits() float64 {
+	var base float64
+	switch ct.Func {
+	case FuncConst0, FuncConst1:
+		base = 0.5
+	case FuncBuf:
+		base = 1.0
+	case FuncInv:
+		base = 0.5
+	case FuncNand, FuncNor:
+		base = 1.0 + 0.5*float64(ct.Inputs-2)
+	case FuncAnd, FuncOr:
+		base = 1.5 + 0.5*float64(ct.Inputs-2)
+	case FuncXor, FuncXnor:
+		base = 2.5
+	case FuncMux2:
+		base = 2.5
+	case FuncAOI21, FuncOAI21:
+		base = 1.5
+	case FuncDFF:
+		base = 5.0
+	default:
+		base = 1.0
+	}
+	return base * driveAreaFactor(ct.Drive)
+}
+
+// driveAreaFactor scales a base footprint by drive strength: stronger
+// drives grow sublinearly (only the output stage widens).
+func driveAreaFactor(drive int) float64 {
+	switch drive {
+	case 2:
+		return 1.3
+	case 4:
+		return 1.8
+	default:
+		return 1.0
+	}
+}
+
 // Library is an immutable set of cell types indexed by name.
 type Library struct {
 	byName map[string]*CellType

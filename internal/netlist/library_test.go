@@ -75,6 +75,41 @@ func TestIsSequential(t *testing.T) {
 	}
 }
 
+// TestAreaUnits checks the ordering properties the hardening budget math
+// relies on: every cell has positive area, stronger drives cost more but
+// sublinearly, wider gates cost more, and a flip-flop dwarfs a NAND2.
+func TestAreaUnits(t *testing.T) {
+	lib := StdLib()
+	for _, name := range lib.Names() {
+		ct, _ := lib.Lookup(name)
+		if ct.AreaUnits() <= 0 {
+			t.Errorf("%s has non-positive area %v", name, ct.AreaUnits())
+		}
+	}
+	area := func(name string) float64 {
+		ct, err := lib.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ct.AreaUnits()
+	}
+	if !(area("DFF_X1") < area("DFF_X2") && area("DFF_X2") < area("DFF_X4")) {
+		t.Error("drive strength must increase area")
+	}
+	if area("DFF_X4") >= 2*area("DFF_X1") {
+		t.Error("drive scaling must be sublinear")
+	}
+	if !(area("NAND2_X1") < area("NAND3_X1") && area("NAND3_X1") < area("NAND4_X1")) {
+		t.Error("input count must increase area")
+	}
+	if area("NAND2_X1") != 1.0 {
+		t.Errorf("NAND2_X1 is the unit cell, got %v", area("NAND2_X1"))
+	}
+	if area("DFF_X1") < 4*area("NAND2_X1") {
+		t.Error("a flip-flop must cost several gate equivalents")
+	}
+}
+
 func TestFuncString(t *testing.T) {
 	if FuncNand.String() != "NAND" || FuncMux2.String() != "MUX2" {
 		t.Fatal("Func.String wrong")

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/corpus"
+	"repro/internal/harden"
+	"repro/internal/persist"
+)
+
+// handleHarden serves POST /v1/harden: a selective-TMR hardening plan from
+// a served model. Explicit mode scores caller-supplied feature rows;
+// scenario mode materializes a corpus scenario (the request's, or the one
+// the artifact is tagged with) and scores its flip-flops. Plans are pure
+// computation over the model — no campaign runs here; verification is the
+// ffrharden CLI's job.
+func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req api.HardenRequest
+	if err := api.ReadJSON(r, w, 64<<20, &req); err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Model == "" {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "missing model name")
+		return
+	}
+	if req.Budget < 0 {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "negative budget %v", req.Budget)
+		return
+	}
+	if len(req.Vectors) > 0 && req.Scenario != "" {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest,
+			"provide vectors or a scenario, not both")
+		return
+	}
+	a, ok := s.reg.Get(req.Model)
+	if !ok {
+		api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "unknown model %q", req.Model)
+		return
+	}
+	cfg := harden.Config{Clusters: req.Clusters, Seed: req.Seed}
+
+	var plan *harden.Plan
+	var err error
+	if len(req.Vectors) > 0 {
+		plan, err = explicitPlan(a, req, cfg)
+	} else {
+		plan, err = scenarioPlan(a, req, cfg)
+	}
+	if err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+		return
+	}
+
+	s.metrics.hardenRequests.Inc()
+	s.metrics.hardenSelected.Set(float64(len(plan.Selected)))
+	s.metrics.hardenResidual.Set(plan.ResidualFFR)
+	s.metrics.hardenSeconds.Observe(time.Since(start).Seconds())
+	api.WriteJSON(w, http.StatusOK, hardenResponse(plan))
+}
+
+// explicitPlan plans over caller-supplied feature rows. Costs default to
+// uniform when absent, making the budget a pure FF-count fraction.
+func explicitPlan(a *persist.Artifact, req api.HardenRequest, cfg harden.Config) (*harden.Plan, error) {
+	scores, err := harden.Score(a, req.Vectors)
+	if err != nil {
+		return nil, err
+	}
+	costs := req.Costs
+	if len(costs) == 0 {
+		costs = make([]float64, len(scores))
+		for i := range costs {
+			costs[i] = 1
+		}
+	}
+	var names []string
+	if len(req.Names) > 0 {
+		names = req.Names
+	}
+	cands, err := harden.Rank(scores, costs, names, cfg)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := harden.NewPlan(cands, req.Budget)
+	if err != nil {
+		return nil, err
+	}
+	plan.Model = a.Name
+	plan.Clusters = cfg.Clusters
+	if plan.Clusters <= 0 {
+		plan.Clusters = harden.DefaultClusters
+	}
+	return plan, nil
+}
+
+// scenarioPlan materializes the request's scenario — or the artifact's
+// training scenario when the request names none — and advises over it.
+func scenarioPlan(a *persist.Artifact, req api.HardenRequest, cfg harden.Config) (*harden.Plan, error) {
+	id := req.Scenario
+	if id == "" {
+		if a.Circuit == "" || a.Workload == "" {
+			return nil, fmt.Errorf("model %q carries no scenario tag; pass vectors or a scenario", a.Name)
+		}
+		id = a.Circuit + "/" + a.Workload
+	}
+	sc, err := corpus.Find(id)
+	if err != nil {
+		return nil, err
+	}
+	scale := corpus.ScaleSmall
+	if req.Scale != "" {
+		if scale, err = corpus.ParseScale(req.Scale); err != nil {
+			return nil, err
+		}
+	}
+	m, err := sc.Materialize(scale, req.ScenarioSeed)
+	if err != nil {
+		return nil, err
+	}
+	return harden.Advise(a, m, req.Budget, cfg)
+}
+
+// hardenResponse flattens a plan onto the wire shape.
+func hardenResponse(p *harden.Plan) api.HardenResponse {
+	resp := api.HardenResponse{
+		Model:       p.Model,
+		Circuit:     p.Circuit,
+		Workload:    p.Workload,
+		Clusters:    p.Clusters,
+		Budget:      p.Budget,
+		TotalArea:   p.TotalArea,
+		UsedArea:    p.UsedArea,
+		BaseFFR:     p.BaseFFR,
+		ResidualFFR: p.ResidualFFR,
+		Selected:    wireCandidates(p.Selected),
+		SelectedFFs: p.SelectedFFs(),
+		Rest:        wireCandidates(p.Rest),
+	}
+	resp.Curve = make([]api.HardenBudgetPoint, len(p.Curve))
+	for i, pt := range p.Curve {
+		resp.Curve[i] = api.HardenBudgetPoint{
+			Budget: pt.Budget, Area: pt.Area, FFs: pt.FFs, ResidualFFR: pt.ResidualFFR,
+		}
+	}
+	return resp
+}
+
+func wireCandidates(cands []harden.Candidate) []api.HardenCandidate {
+	out := make([]api.HardenCandidate, len(cands))
+	for i, c := range cands {
+		out[i] = api.HardenCandidate{
+			FF: c.FF, Name: c.Name, Score: c.Score, Cluster: c.Cluster, Area: c.Area,
+		}
+	}
+	return out
+}

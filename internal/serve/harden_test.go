@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+)
+
+func postHarden(t testing.TB, h http.Handler, body string) (*httptest.ResponseRecorder, api.HardenResponse) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/harden", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var resp api.HardenResponse
+	if rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatalf("bad response body %q: %v", rec.Body.String(), err)
+		}
+	}
+	return rec, resp
+}
+
+func TestHardenExplicitVectors(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	h := s.Handler()
+	// Four FFs with distinct feature rows; uniform costs default, so a 50%
+	// budget hardens the two most critical.
+	body := `{"model":"k-NN","budget":0.5,"clusters":2,
+		"vectors":[[0.1,0.2,9],[0.9,3.9,0.1],[0.2,0.1,8],[0.8,3.5,0.4]],
+		"names":["a","b","c","d"]}`
+	rec, resp := postHarden(t, h, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if resp.Model != "k-NN" || resp.Clusters != 2 {
+		t.Fatalf("response header %+v", resp)
+	}
+	if len(resp.Selected)+len(resp.Rest) != 4 {
+		t.Fatalf("plan covers %d of 4 FFs", len(resp.Selected)+len(resp.Rest))
+	}
+	if len(resp.Selected) != 2 {
+		t.Fatalf("50%% budget with uniform costs selected %d of 4", len(resp.Selected))
+	}
+	if len(resp.SelectedFFs) != len(resp.Selected) {
+		t.Fatalf("selected_ffs %v disagrees with selected %v", resp.SelectedFFs, resp.Selected)
+	}
+	for i := 1; i < len(resp.SelectedFFs); i++ {
+		if resp.SelectedFFs[i] <= resp.SelectedFFs[i-1] {
+			t.Fatalf("selected_ffs %v not ascending", resp.SelectedFFs)
+		}
+	}
+	if len(resp.Curve) != 5 {
+		t.Fatalf("curve has %d points, want 5", len(resp.Curve))
+	}
+	if resp.ResidualFFR > resp.BaseFFR {
+		t.Fatalf("residual %v above base %v", resp.ResidualFFR, resp.BaseFFR)
+	}
+
+	// Same request again must produce the identical plan (determinism).
+	rec2, resp2 := postHarden(t, h, body)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("status %d", rec2.Code)
+	}
+	if resp2.ResidualFFR != resp.ResidualFFR || len(resp2.Selected) != len(resp.Selected) {
+		t.Fatal("identical harden requests produced different plans")
+	}
+}
+
+func TestHardenValidation(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	h := s.Handler()
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"missing model", `{"budget":0.5,"vectors":[[0,0,0]]}`, http.StatusBadRequest},
+		{"unknown model", `{"model":"nope","budget":0.5,"vectors":[[0,0,0]]}`, http.StatusNotFound},
+		{"negative budget", `{"model":"k-NN","budget":-1,"vectors":[[0,0,0]]}`, http.StatusBadRequest},
+		{"both modes", `{"model":"k-NN","budget":0.5,"vectors":[[0,0,0]],"scenario":"alupipe/randomops"}`, http.StatusBadRequest},
+		{"bad width", `{"model":"k-NN","budget":0.5,"vectors":[[1,2]]}`, http.StatusBadRequest},
+		{"untagged model no scenario", `{"model":"k-NN","budget":0.5}`, http.StatusBadRequest},
+		{"unknown scenario", `{"model":"k-NN","budget":0.5,"scenario":"nope/nope"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rec, _ := postHarden(t, h, tc.body)
+			if rec.Code != tc.code {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.code, rec.Body.String())
+			}
+			decodeEnvelope(t, rec)
+		})
+	}
+}
+
+func TestHardenMetricsExported(t *testing.T) {
+	s, _ := testServer(t, Config{})
+	h := s.Handler()
+	rec, _ := postHarden(t, h, `{"model":"k-NN","budget":1,"vectors":[[0.1,0.2,9],[0.9,3.9,0.1]]}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	mrec := httptest.NewRecorder()
+	h.ServeHTTP(mrec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	text := mrec.Body.String()
+	for _, fam := range []string{
+		"ffr_harden_requests_total 1",
+		"ffr_harden_selected_ffs 2",
+		"ffr_harden_residual_ffr",
+		"ffr_harden_request_seconds",
+	} {
+		if !strings.Contains(text, fam) {
+			t.Fatalf("metrics exposition missing %q", fam)
+		}
+	}
+}

@@ -20,6 +20,13 @@ type metrics struct {
 	rejected    *obs.Counter
 	inflight    *obs.GaugeVec // model
 	reloads     *obs.Counter
+
+	// Hardening-advisor families. Plain (unlabeled) families so the
+	// exposition carries them from the first scrape, traffic or not.
+	hardenRequests *obs.Counter
+	hardenSelected *obs.Gauge
+	hardenResidual *obs.Gauge
+	hardenSeconds  *obs.Histogram
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -40,6 +47,14 @@ func newMetrics(reg *obs.Registry) *metrics {
 			"admitted requests currently executing (admission queue depth)", "model"),
 		reloads: reg.Counter("ffr_serve_model_reloads_total",
 			"artifacts hot-swapped via /v1/models/reload"),
+		hardenRequests: reg.Counter("ffr_harden_requests_total",
+			"hardening plans computed via /v1/harden"),
+		hardenSelected: reg.Gauge("ffr_harden_selected_ffs",
+			"flip-flops selected by the most recent hardening plan"),
+		hardenResidual: reg.Gauge("ffr_harden_residual_ffr",
+			"predicted residual FFR of the most recent hardening plan"),
+		hardenSeconds: reg.Histogram("ffr_harden_request_seconds",
+			"hardening plan computation latency in seconds", obs.DefBuckets),
 	}
 }
 

@@ -183,6 +183,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.instrument("/v1/predict", s.handlePredict))
 	mux.HandleFunc("GET /v1/models", s.instrument("/v1/models", s.handleModels))
 	mux.HandleFunc("POST /v1/models/reload", s.instrument("/v1/models/reload", s.handleReload))
+	mux.HandleFunc("POST /v1/harden", s.instrument("/v1/harden", s.handleHarden))
 	mux.HandleFunc("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.obsReg.Handler())
 	return api.Traced(mux)

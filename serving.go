@@ -2,7 +2,9 @@ package repro
 
 import (
 	"repro/internal/api"
+	"repro/internal/circuit"
 	"repro/internal/fabric"
+	"repro/internal/harden"
 	"repro/internal/serve"
 )
 
@@ -66,6 +68,26 @@ type (
 	// shards, runner and the plan/golden fingerprints workers verify
 	// against at join time.
 	DistributedCampaign = fabric.Campaign
+
+	// HardenPlan is a selective-TMR hardening decision: the ordered
+	// flip-flop set that fits an area budget plus the predicted residual
+	// FFR at every budget point (the ffrharden engine).
+	HardenPlan = harden.Plan
+	// HardenConfig parameterizes plan construction (bands, seed).
+	HardenConfig = harden.Config
+	// HardenCandidate is one flip-flop of the criticality ranking.
+	HardenCandidate = harden.Candidate
+	// HardenBudgetPoint is one point of the budget-vs-residual curve.
+	HardenBudgetPoint = harden.BudgetPoint
+	// HardenVerifyConfig parameterizes the verification campaign.
+	HardenVerifyConfig = harden.VerifyConfig
+	// HardenVerification reports measured vs. predicted residual FFR
+	// after TMR-rewriting and re-running the campaign.
+	HardenVerification = harden.Verification
+	// HardenRequest is the body of POST /v1/harden.
+	HardenRequest = api.HardenRequest
+	// HardenResponse is the success body of POST /v1/harden.
+	HardenResponse = api.HardenResponse
 )
 
 // Structured API error codes (the "code" field of the error envelope).
@@ -96,6 +118,24 @@ var (
 	BuildDistributedCampaign = fabric.BuildCampaign
 	// ResolveDistributedCampaignSpec fills a spec's scenario defaults.
 	ResolveDistributedCampaignSpec = fabric.ResolveSpec
+
+	// HardenAdvise scores a materialized scenario with a model artifact
+	// and plans the TMR set that fits the area budget.
+	HardenAdvise = harden.Advise
+	// HardenVerify TMR-rewrites the plan's scenario and re-measures
+	// residual FFR (and the unhardened baseline) by fault campaign.
+	HardenVerify = harden.Verify
+	// HardenNewPlan fills a budget with a prefix of a candidate ranking.
+	HardenNewPlan = harden.NewPlan
+	// HardenWriteCSV renders a plan's full ranking as CSV.
+	HardenWriteCSV = harden.WriteCSV
+	// HardenApplyTMR rewrites selected flip-flops to TMR (two replicas
+	// plus a majority voter) in place; fault-free behavior is preserved
+	// bit-identically.
+	HardenApplyTMR = circuit.ApplyTMR
+	// HardenTMRCost is the area cost of TMR-hardening one flip-flop type,
+	// in gate-equivalent units.
+	HardenTMRCost = circuit.TMRCost
 )
 
 // ErrNoModelsLoaded reports a prediction server with an empty registry.
