@@ -12,7 +12,7 @@
 //	ffrcorpus -validate [-scale small|default] [-seed 1]
 //	ffrcorpus -sweep    [-scale small|default] [-seed 1] [-n N]
 //	          [-model "k-NN"] [-out DIR] [-scenario family[/workload],...]
-//	          [-shards N] [-workers N] [-naive]
+//	          [-shards N] [-workers N] [-naive] [-kernel auto|interp|kernel]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -n 0 (the default) each scenario runs its registered default
@@ -31,6 +31,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/profiling"
 )
@@ -56,6 +57,7 @@ func run() error {
 		shards     = flag.Int("shards", 0, "split each campaign into about this many shard chunks")
 		workers    = flag.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS)")
 		naive      = flag.Bool("naive", false, "disable the incremental campaign engine (full replay per batch)")
+		kernelF    = flag.String("kernel", "", "simulation backend: auto, interp or kernel (default auto = compiled kernel; results are bit-identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 		logFlags   = cli.RegisterLog()
@@ -67,6 +69,8 @@ func run() error {
 		cli.MinInt("ffrcorpus", "n", *n, 0),
 		cli.MinInt("ffrcorpus", "shards", *shards, 0),
 		cli.MinInt("ffrcorpus", "workers", *workers, 0),
+		cli.OneOf("ffrcorpus", "kernel", *kernelF,
+			"", "auto", string(fault.BackendInterp), string(fault.BackendKernel)),
 	); err != nil {
 		return err
 	}
@@ -99,6 +103,8 @@ func run() error {
 	}
 	defer stopProfiling()
 
+	backend, _ := fault.ParseBackend(*kernelF)
+
 	switch {
 	case *list:
 		return runList()
@@ -112,7 +118,7 @@ func run() error {
 		return runSweep(scenarios, sweepConfig{
 			scale: scale, seed: *seed, injections: *n,
 			spec: spec, outDir: *out, shards: *shards, workers: *workers,
-			naive: *naive, logger: logger,
+			naive: *naive, logger: logger, backend: backend,
 		})
 	}
 }
@@ -199,6 +205,7 @@ type sweepConfig struct {
 	shards     int
 	workers    int
 	naive      bool
+	backend    fault.Backend
 	logger     *obs.Logger
 }
 
@@ -220,6 +227,7 @@ func runSweep(scenarios []repro.CorpusScenario, cfg sweepConfig) error {
 			Workers:         cfg.workers,
 			Shards:          cfg.shards,
 			NaiveCampaign:   cfg.naive,
+			Backend:         cfg.backend,
 			Logger:          cfg.logger,
 		})
 		if err != nil {

@@ -13,6 +13,7 @@
 //	ffrinject [-n 170] [-seed 2019] [-workers 0] [-csv fdr.csv]
 //	          [-checkpoint state.ffr] [-resume] [-shards 0] [-progress]
 //	          [-naive] [-snapshot-every 0] [-schedule clustered|plan]
+//	          [-kernel auto|interp|kernel]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	          [-log-level info] [-log-format text] [-metrics-addr :0]
 package main
@@ -56,6 +57,7 @@ func run() error {
 		naive      = flag.Bool("naive", false, "disable the incremental engine (full replay per batch) — the before/after baseline")
 		snapEvery  = flag.Int("snapshot-every", 0, "golden snapshot cadence in cycles for the incremental engine (0 = default)")
 		schedule   = flag.String("schedule", "", "batch-packing schedule: clustered or plan (default: clustered, adopting a resumed checkpoint's schedule)")
+		kernelF    = flag.String("kernel", "", "simulation backend: auto, interp or kernel (default auto = compiled kernel; results are bit-identical)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 		mAddr      = flag.String("metrics-addr", "", "serve campaign /metrics and /debug/pprof/ on this address during the run (off when empty)")
@@ -72,6 +74,8 @@ func run() error {
 		cli.Requires("ffrinject", "resume", "checkpoint", !*resume || *checkpoint != ""),
 		cli.OneOf("ffrinject", "schedule", *schedule,
 			"", string(fault.ScheduleClustered), string(fault.SchedulePlan)),
+		cli.OneOf("ffrinject", "kernel", *kernelF,
+			"", "auto", string(fault.BackendInterp), string(fault.BackendKernel)),
 	); err != nil {
 		return err
 	}
@@ -101,6 +105,7 @@ func run() error {
 	cfg.NaiveCampaign = *naive
 	cfg.SnapshotEvery = *snapEvery
 	cfg.Schedule = fault.Schedule(*schedule)
+	cfg.Backend, _ = fault.ParseBackend(*kernelF)
 	cfg.Metrics = reg
 	cfg.Logger = logger
 	if *progress {

@@ -14,6 +14,7 @@
 //	        [-strategy committee] [-model "k-NN"] [-n 0] [-budget 0.5]
 //	        [-rounds 0] [-init 0] [-batch 0] [-delta 0] [-ci 0] [-patience 0]
 //	        [-checkpoint loop.ffrp] [-resume] [-workers 0] [-eval] [-csv out.csv]
+//	        [-kernel auto|interp|kernel]
 //	        [-log-level info] [-log-format text] [-metrics-addr :0]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -40,6 +41,7 @@ import (
 
 	"repro"
 	"repro/internal/cli"
+	"repro/internal/fault"
 	"repro/internal/ml/metrics"
 	"repro/internal/obs"
 )
@@ -71,6 +73,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "campaign worker goroutines (0 = GOMAXPROCS)")
 		eval       = flag.Bool("eval", false, "also run the exhaustive campaign and score the adaptive estimate against it")
 		csvOut     = flag.String("csv", "", "write the per-round trajectory to this CSV file")
+		kernelF    = flag.String("kernel", "", "simulation backend: auto, interp or kernel (default auto = compiled kernel; results are bit-identical)")
 		mAddr      = flag.String("metrics-addr", "", "serve planner /metrics and /debug/pprof/ on this address during the run (off when empty)")
 		logFlags   = cli.RegisterLog()
 		prof       = cli.RegisterProfiling()
@@ -89,6 +92,8 @@ func run() error {
 		cli.NonNegFloat("ffrplan", "ci", *ciWidth),
 		cli.Requires("ffrplan", "resume", "checkpoint", !*resume || *checkpoint != ""),
 		cli.OneOf("ffrplan", "strategy", *strategy, repro.AdaptiveStrategyNames()...),
+		cli.OneOf("ffrplan", "kernel", *kernelF,
+			"", "auto", string(fault.BackendInterp), string(fault.BackendKernel)),
 	); err != nil {
 		return err
 	}
@@ -123,10 +128,12 @@ func run() error {
 		return err
 	}
 
+	backend, _ := fault.ParseBackend(*kernelF)
 	study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
 		Scale:           scale,
 		InjectionsPerFF: *n,
 		Workers:         *workers,
+		Backend:         backend,
 		Metrics:         reg,
 		Logger:          logger,
 	})

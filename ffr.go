@@ -199,6 +199,15 @@ const (
 	CampaignSchedulePlan      = fault.SchedulePlan
 )
 
+// Campaign simulation backends (see fault.Backend): auto resolves to the
+// compiled wide-batch kernel; interp forces the 64-lane per-op
+// interpreter. Results are bit-identical across backends.
+const (
+	CampaignBackendAuto   = fault.BackendAuto
+	CampaignBackendInterp = fault.BackendInterp
+	CampaignBackendKernel = fault.BackendKernel
+)
+
 // EnvStudyConfig returns DefaultStudyConfig adjusted by environment
 // variables, which the benchmarks honour so constrained machines can
 // shrink the campaign without code changes:
@@ -208,6 +217,9 @@ const (
 //	FFR_WORKERS     campaign worker count (default GOMAXPROCS)
 //	FFR_NAIVE       1 forces the non-incremental full-replay campaign
 //	                path — the before/after baseline for benchmarks
+//	FFR_BACKEND     campaign simulation backend: auto (default, the
+//	                compiled wide-batch kernel), kernel, or interp (the
+//	                64-lane interpreter); results are bit-identical
 func EnvStudyConfig() (StudyConfig, error) {
 	cfg := DefaultStudyConfig()
 	if v := os.Getenv("FFR_INJECTIONS"); v != "" {
@@ -237,6 +249,13 @@ func EnvStudyConfig() (StudyConfig, error) {
 			return cfg, fmt.Errorf("repro: bad FFR_NAIVE %q", v)
 		}
 		cfg.NaiveCampaign = on
+	}
+	if v, ok := os.LookupEnv("FFR_BACKEND"); ok {
+		b, err := fault.ParseBackend(v)
+		if err != nil {
+			return cfg, fmt.Errorf("repro: bad FFR_BACKEND %q (want auto, interp or kernel)", v)
+		}
+		cfg.Backend = b
 	}
 	return cfg, nil
 }

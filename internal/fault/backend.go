@@ -1,0 +1,60 @@
+package fault
+
+import "fmt"
+
+// Backend selects the simulation engine a campaign's faulty runs execute
+// on. Results are bit-identical across backends — the choice trades
+// nothing but throughput — so checkpoints do not record it and a campaign
+// may resume under a different backend than it started on (the
+// equivalence suite pins both properties).
+type Backend string
+
+const (
+	// BackendAuto (the zero value) selects the fastest available backend,
+	// currently the compiled kernel.
+	BackendAuto Backend = ""
+	// BackendInterp forces the per-op interpreter (sim.Engine) with narrow
+	// 64-lane batches — the reference implementation.
+	BackendInterp Backend = "interp"
+	// BackendKernel runs faulty batches on compiled fused-op bytecode
+	// (sim.BuildKernel) over wide batches of 64·sim.DefaultKernelWords
+	// lanes per combinational pass.
+	BackendKernel Backend = "kernel"
+)
+
+// Backends lists the accepted RunnerConfig.Backend spellings, for CLI
+// flag validation.
+var Backends = []string{string(BackendAuto), string(BackendInterp), string(BackendKernel)}
+
+// ValidBackend reports whether b is an accepted Backend value; CLI and
+// environment plumbing validate user spellings with it.
+func ValidBackend(b Backend) bool { return b.valid() }
+
+// ParseBackend maps a user spelling to a Backend: "auto" and "" select
+// BackendAuto, "interp" and "kernel" their backends; anything else errors.
+func ParseBackend(s string) (Backend, error) {
+	if s == "auto" {
+		s = ""
+	}
+	b := Backend(s)
+	if !b.valid() {
+		return "", fmt.Errorf("fault: unknown backend %q (want auto, interp or kernel)", s)
+	}
+	return b, nil
+}
+
+func (b Backend) valid() bool {
+	switch b {
+	case BackendAuto, BackendInterp, BackendKernel:
+		return true
+	}
+	return false
+}
+
+// normalize resolves BackendAuto to the concrete default.
+func (b Backend) normalize() Backend {
+	if b == BackendAuto {
+		return BackendKernel
+	}
+	return b
+}

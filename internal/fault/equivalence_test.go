@@ -6,29 +6,36 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/circuit"
 	"repro/internal/corpus"
 	"repro/internal/fault"
+	"repro/internal/netlist"
 	"repro/internal/sim"
 )
 
 // The campaign-equivalence suite: the incremental engine (golden-snapshot
-// fast-forward + streaming early exit + cycle-clustered scheduling) must
-// produce bit-identical failure masks, FDR vectors and checkpoint/resume
-// behavior versus the naive full-replay path, across the MAC, every
-// registered corpus scenario (which includes the random netlist family) and
-// the edge cycles where off-by-one bugs would hide: flips at cycle 0, the
-// last active cycle, the last stimulus cycle and snapshot boundaries.
+// fast-forward + streaming early exit + cycle-clustered scheduling) and the
+// compiled-kernel backend (gate fusion + dead-fanout pruning + wide batches)
+// must produce bit-identical failure masks, FDR vectors and
+// checkpoint/resume behavior versus the naive full-replay path, across the
+// MAC, every registered corpus scenario (which includes the random netlist
+// family), a TMR-hardened netlist and the edge cycles where off-by-one bugs
+// would hide: flips at cycle 0, the last active cycle, the last stimulus
+// cycle and snapshot boundaries.
 
-// runConfigs are the path × schedule combinations every plan is run under;
-// all of them must agree with the first (the naive plan-order reference).
+// runConfigs are the backend × schedule combinations every plan is run
+// under; all of them must agree with the first (the naive plan-order
+// reference).
 var runConfigs = []struct {
 	name string
 	cfg  fault.RunnerConfig
 }{
 	{"naive/plan", fault.RunnerConfig{Naive: true, Schedule: fault.SchedulePlan}},
 	{"naive/clustered", fault.RunnerConfig{Naive: true, Schedule: fault.ScheduleClustered}},
-	{"incremental/plan", fault.RunnerConfig{Schedule: fault.SchedulePlan}},
-	{"incremental/clustered", fault.RunnerConfig{Schedule: fault.ScheduleClustered}},
+	{"interp/plan", fault.RunnerConfig{Schedule: fault.SchedulePlan, Backend: fault.BackendInterp}},
+	{"interp/clustered", fault.RunnerConfig{Schedule: fault.ScheduleClustered, Backend: fault.BackendInterp}},
+	{"kernel/plan", fault.RunnerConfig{Schedule: fault.SchedulePlan, Backend: fault.BackendKernel}},
+	{"kernel/clustered", fault.RunnerConfig{Schedule: fault.ScheduleClustered, Backend: fault.BackendKernel}},
 }
 
 func assertEquivalent(t *testing.T, p *sim.Program, stim *sim.Stimulus, monitors []int,
@@ -102,6 +109,26 @@ func TestEquivalenceCorpus(t *testing.T) {
 			assertEquivalent(t, m.Program, m.Bench.Stim, m.Bench.Monitors, m.Bench.Classifier, jobs)
 		})
 	}
+}
+
+// TestEquivalenceTMRHardened runs the suite on a TMR-hardened
+// materialization of a corpus scenario: the rewrite triples flip-flops and
+// inserts majority voters, so the kernel compiler sees the voter's AOI/OAI
+// structure and the pruner a changed fanout cone — the hardened netlist
+// must classify identically on every backend × schedule combination.
+func TestEquivalenceTMRHardened(t *testing.T) {
+	sc, err := corpus.Find("mac10ge/loopback")
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	mh, err := sc.MaterializeWith(corpus.ScaleSmall, 1, func(nl *netlist.Netlist) error {
+		return circuit.ApplyTMR(nl, []int{0, 1, 2, 3})
+	})
+	if err != nil {
+		t.Fatalf("materialize hardened: %v", err)
+	}
+	jobs := fault.NewPlan(mh.NumFFs(), 2, mh.Bench.ActiveCycles, 9)
+	assertEquivalent(t, mh.Program, mh.Bench.Stim, mh.Bench.Monitors, mh.Bench.Classifier, jobs)
 }
 
 // TestEquivalenceEdgeCycles targets the boundary cases: flips at cycle 0,
@@ -217,6 +244,83 @@ func TestEquivalenceCheckpointResumeIncremental(t *testing.T) {
 	if got.ReplayCycles != int64(want.Batches-got.ResumedChunks)*int64(bench.Stim.Cycles()) {
 		t.Fatalf("replay cycles %d do not match %d computed batches",
 			got.ReplayCycles, want.Batches-got.ResumedChunks)
+	}
+}
+
+// TestEquivalenceCheckpointCrossBackend: checkpoints record plan geometry
+// and schedule but deliberately not the backend — results are bit-identical
+// across backends, so a checkpoint written under one backend must resume
+// under the other and still match the uninterrupted naive reference bit for
+// bit (a heterogeneous fleet can share one campaign).
+func TestEquivalenceCheckpointCrossBackend(t *testing.T) {
+	p, bench := smallMAC(t)
+	jobs := fault.NewPlan(p.NumFFs(), 2, bench.ActiveCycles, 21)
+	newCls := func() fault.Classifier { return fault.NewMACClassifier(bench, true) }
+
+	want, err := fault.RunJobs(p, bench.Stim, bench.Monitors, newCls(), jobs,
+		fault.RunnerConfig{Naive: true, Schedule: fault.SchedulePlan, ChunkJobs: sim.Lanes})
+	if err != nil {
+		t.Fatalf("reference: %v", err)
+	}
+
+	dirs := []struct {
+		name          string
+		first, second fault.Backend
+	}{
+		{"interp-to-kernel", fault.BackendInterp, fault.BackendKernel},
+		{"kernel-to-interp", fault.BackendKernel, fault.BackendInterp},
+	}
+	for _, dir := range dirs {
+		dir := dir
+		t.Run(dir.name, func(t *testing.T) {
+			ckpt := filepath.Join(t.TempDir(), "campaign.ffr")
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ri, err := fault.NewRunner(p, bench.Stim, bench.Monitors, newCls(), fault.RunnerConfig{
+				ChunkJobs:       sim.Lanes,
+				Workers:         2,
+				Backend:         dir.first,
+				CheckpointPath:  ckpt,
+				CheckpointEvery: 1,
+				OnProgress: func(pr fault.Progress) {
+					if pr.ChunksDone >= 2 {
+						cancel()
+					}
+				},
+			})
+			if err != nil {
+				t.Fatalf("NewRunner: %v", err)
+			}
+			if _, err := ri.RunContext(ctx, jobs); !errors.Is(err, fault.ErrInterrupted) {
+				t.Fatalf("interrupted run returned %v", err)
+			}
+			ck, err := fault.LoadCheckpoint(ckpt)
+			if err != nil {
+				t.Fatalf("checkpoint: %v", err)
+			}
+			if len(ck.Chunks) == 0 || len(ck.Chunks) >= want.Chunks {
+				t.Fatalf("interrupt did not land mid-run (%d of %d chunks)", len(ck.Chunks), want.Chunks)
+			}
+
+			rr, err := fault.NewRunner(p, bench.Stim, bench.Monitors, newCls(), fault.RunnerConfig{
+				ChunkJobs:      sim.Lanes,
+				Workers:        2,
+				Backend:        dir.second,
+				CheckpointPath: ckpt,
+				Resume:         true,
+			})
+			if err != nil {
+				t.Fatalf("NewRunner: %v", err)
+			}
+			got, err := rr.Run(jobs)
+			if err != nil {
+				t.Fatalf("cross-backend resume: %v", err)
+			}
+			if got.ResumedChunks != len(ck.Chunks) {
+				t.Fatalf("resumed %d chunks, checkpoint held %d", got.ResumedChunks, len(ck.Chunks))
+			}
+			sameResult(t, want, got)
+		})
 	}
 }
 

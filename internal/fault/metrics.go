@@ -36,14 +36,18 @@ type campaignMetrics struct {
 	ckSeconds       *obs.Histogram
 	jobsDone        *obs.Gauge
 	jobsTotal       *obs.Gauge
+	lanesPerBatch   *obs.Gauge
 }
 
-func newCampaignMetrics(reg *obs.Registry) *campaignMetrics {
+// newCampaignMetrics precomputes the backend-labeled children for the
+// runner's resolved backend, so the hot path observes plain metrics.
+func newCampaignMetrics(reg *obs.Registry, backend string) *campaignMetrics {
 	return &campaignMetrics{
 		chunksCompleted: reg.Counter("ffr_campaign_chunks_completed_total",
 			"shard chunks simulated and merged (excludes chunks restored from a checkpoint)"),
-		chunkSeconds: reg.Histogram("ffr_campaign_chunk_seconds",
-			"per-chunk simulation wall time in seconds", obs.DefBuckets),
+		chunkSeconds: reg.HistogramVec("ffr_campaign_chunk_seconds",
+			"per-chunk simulation wall time in seconds by simulation backend",
+			obs.DefBuckets, "backend").With(backend),
 		batches: reg.Counter("ffr_campaign_batches_total",
 			"64-lane batches simulated"),
 		simCycles: reg.Counter("ffr_campaign_simulated_cycles_total",
@@ -62,15 +66,18 @@ func newCampaignMetrics(reg *obs.Registry) *campaignMetrics {
 			"injection jobs completed (including jobs restored from a checkpoint)"),
 		jobsTotal: reg.Gauge("ffr_campaign_jobs_total",
 			"injection jobs in the campaign plan"),
+		lanesPerBatch: reg.Gauge("ffr_campaign_lanes_per_batch",
+			"independent fault-simulation lanes per engine batch (64 on the interpreter, 64 per kernel batch word)"),
 	}
 }
 
-func (m *campaignMetrics) startCampaign(jobsDone, jobsTotal int) {
+func (m *campaignMetrics) startCampaign(jobsDone, jobsTotal, lanes int) {
 	if m == nil {
 		return
 	}
 	m.jobsDone.Set(float64(jobsDone))
 	m.jobsTotal.Set(float64(jobsTotal))
+	m.lanesPerBatch.Set(float64(lanes))
 }
 
 func (m *campaignMetrics) observeChunk(elapsed time.Duration) {

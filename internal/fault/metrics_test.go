@@ -1,6 +1,9 @@
 package fault_test
 
 import (
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -72,6 +75,70 @@ func TestCampaignMetrics(t *testing.T) {
 	}
 	if got := get("ffr_campaign_replay_cycles_total"); got != float64(res.ReplayCycles) {
 		t.Fatalf("replay cycles %v, result says %d", got, res.ReplayCycles)
+	}
+}
+
+// TestCampaignMetricsBackendLabel pins the kernel-path telemetry: the
+// chunk wall-time histogram carries the resolved backend as a label, the
+// lanes-per-batch gauge reports each backend's batch width (64 interpreter
+// lanes, 64·DefaultKernelWords kernel lanes), and the combined exposition
+// passes scripts/metrics-lint.sh — the same gate CI runs against live
+// /metrics endpoints.
+func TestCampaignMetricsBackendLabel(t *testing.T) {
+	cases := []struct {
+		backend fault.Backend
+		label   string
+		lanes   int
+	}{
+		{fault.BackendInterp, "interp", sim.Lanes},
+		{fault.BackendKernel, "kernel", sim.Lanes * sim.DefaultKernelWords},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.label, func(t *testing.T) {
+			reg := obs.NewRegistry()
+			r, jobs := newRunner(t, fault.RunnerConfig{
+				ChunkJobs: sim.Lanes,
+				Workers:   2,
+				Backend:   c.backend,
+				Metrics:   reg,
+			})
+			if _, err := r.Run(jobs); err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			reg.WriteText(&b)
+			text := b.String()
+			labeled := `ffr_campaign_chunk_seconds_count{backend="` + c.label + `"}`
+			if !strings.Contains(text, labeled) {
+				t.Fatalf("exposition missing %s:\n%s", labeled, text)
+			}
+			gauge := "ffr_campaign_lanes_per_batch " + strconv.Itoa(c.lanes)
+			if !strings.Contains(text, gauge) {
+				t.Fatalf("exposition missing %q:\n%s", gauge, text)
+			}
+			lintExposition(t, text)
+		})
+	}
+}
+
+// lintExposition runs scripts/metrics-lint.sh over a rendered exposition,
+// so the repo's Prometheus-text gate covers the campaign families without
+// standing up an HTTP listener.
+func lintExposition(t *testing.T, text string) {
+	t.Helper()
+	script := filepath.Join("..", "..", "scripts", "metrics-lint.sh")
+	if _, err := os.Stat(script); err != nil {
+		t.Fatalf("metrics-lint script: %v", err)
+	}
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skipf("sh unavailable: %v", err)
+	}
+	cmd := exec.Command("sh", script)
+	cmd.Stdin = strings.NewReader(text)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("metrics-lint failed: %v\n%s\nexposition:\n%s", err, out, text)
 	}
 }
 

@@ -108,6 +108,14 @@ type RunnerConfig struct {
 	// schedule — so plan-order checkpoints from before schedules existed
 	// stay resumable without any configuration.
 	Schedule Schedule
+	// Backend selects the engine faulty batches run on: the compiled
+	// fused-op kernel over wide batches (BackendKernel, the BackendAuto
+	// default) or the per-op interpreter over 64-lane batches
+	// (BackendInterp). Results are bit-identical either way, so
+	// checkpoints don't record the backend and resume across it. The
+	// golden run always uses the interpreter. Naive forces BackendInterp:
+	// the kernel path is incremental by construction.
+	Backend Backend
 	// Naive forces the non-incremental reference path: every batch
 	// replays the stimulus from cycle 0 and is classified post hoc over
 	// the full trace. Results are bit-identical to the incremental path;
@@ -146,9 +154,15 @@ type Runner struct {
 	// the zero value adopts a resumed checkpoint's schedule instead of
 	// rejecting it, keeping pre-schedule (plan-order) checkpoints usable.
 	scheduleSet bool
+	// backend is the resolved concrete backend (never BackendAuto).
+	backend Backend
 
 	metrics *campaignMetrics
 	log     *obs.Logger
+
+	kernOnce sync.Once
+	kern     *sim.Kernel
+	kernErr  error
 
 	goldenOnce sync.Once
 	golden     *sim.Trace
@@ -184,6 +198,9 @@ func NewRunner(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifie
 	if !cfg.Schedule.valid() {
 		return nil, fmt.Errorf("fault: unknown schedule %q", cfg.Schedule)
 	}
+	if !cfg.Backend.valid() {
+		return nil, fmt.Errorf("fault: unknown backend %q", cfg.Backend)
+	}
 	if cfg.Snapshots != nil {
 		if err := cfg.Snapshots.Matches(p, stim); err != nil {
 			return nil, fmt.Errorf("fault: supplied snapshots: %w", err)
@@ -196,16 +213,21 @@ func NewRunner(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifie
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = DefaultCheckpointEvery
 	}
+	backend := cfg.Backend.normalize()
+	if cfg.Naive {
+		backend = BackendInterp
+	}
 	r := &Runner{
 		p: p, stim: stim, monitors: monitors, cls: cls, cfg: cfg,
 		schedule:    cfg.Schedule.normalize(),
 		scheduleSet: cfg.Schedule != "",
+		backend:     backend,
 		golden:      cfg.Golden,
 		snaps:       cfg.Snapshots,
 		log:         cfg.Logger.Component("campaign"),
 	}
 	if cfg.Metrics != nil {
-		r.metrics = newCampaignMetrics(cfg.Metrics)
+		r.metrics = newCampaignMetrics(cfg.Metrics, string(backend))
 	}
 	return r, nil
 }
@@ -304,6 +326,12 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	if !r.cfg.Naive {
 		snaps = r.snapshots()
 	}
+	var kern *sim.Kernel
+	if r.backend == BackendKernel {
+		if kern, err = r.kernel(); err != nil {
+			return nil, err
+		}
+	}
 
 	// Restore completed chunks from the checkpoint, if resuming. This may
 	// adopt the checkpoint's schedule (see matchCheckpoint), so the
@@ -347,13 +375,19 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	r.metrics.startCampaign(jobsDone, sh.totalJobs)
+	lanes := sim.Lanes
+	if kern != nil {
+		lanes = sim.Lanes * sim.DefaultKernelWords
+	}
+	r.metrics.startCampaign(jobsDone, sh.totalJobs, lanes)
 	r.log.Info("campaign start",
 		obs.F("jobs", sh.totalJobs),
 		obs.F("chunks", sh.numChunks),
 		obs.F("resumed", resumed),
 		obs.F("workers", workers),
 		obs.F("schedule", string(r.schedule)),
+		obs.F("backend", string(r.backend)),
+		obs.F("lanes_per_batch", lanes),
 		obs.F("naive", r.cfg.Naive))
 	if workers > len(pending) {
 		// Zero pending (fully resumed) means zero workers: wg.Wait
@@ -373,10 +407,22 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := newWorkerState(r, snaps)
+			var ws *workerState
+			var wws *wideWorkerState
+			if kern != nil {
+				wws = newWideWorkerState(r, kern)
+			} else {
+				ws = newWorkerState(r, snaps)
+			}
 			for ci := range chunks {
 				chunkStart := time.Now()
-				masks, simCycles := r.runChunk(ws, golden, jobs, order, sh, ci)
+				var masks []uint64
+				var simCycles int64
+				if wws != nil {
+					masks, simCycles = r.runChunkWide(wws, golden, jobs, order, sh, ci)
+				} else {
+					masks, simCycles = r.runChunk(ws, golden, jobs, order, sh, ci)
+				}
 				r.metrics.observeChunk(time.Since(chunkStart))
 				results <- chunkResult{index: ci, masks: masks, simCycles: simCycles}
 			}

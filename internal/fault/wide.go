@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// wide.go is the kernel backend's batch path: chunks are simulated as wide
+// batches of W consecutive 64-lane groups (W = sim.DefaultKernelWords) on
+// compiled fused-op bytecode instead of one group at a time on the
+// interpreter. Group g of a wide batch covers exactly the jobs narrow
+// batch wb+g would, in the same scheduled order, and emits its failure
+// mask at the same position of the chunk's mask slice — so chunk masks,
+// checkpoints and merged results are bit-identical to the interpreter path
+// and wide batches never cross chunk boundaries.
+//
+// Early exit runs per group over the shared window: the wide batch stops
+// once EVERY group's lanes are decided (confirmed failed or settled back
+// to golden). Groups that decide early keep simulating until the last
+// straggler, which is sound because settled lanes evolve identically to
+// golden (their recorded rows equal the golden fill the narrow path uses)
+// and stream-confirmed failures are final regardless of the trace suffix —
+// the per-batch classification below is post hoc over the reconstructed
+// trace, exactly like the narrow path.
+
+// wideFlip is one scheduled SEU of a wide batch: flip ff in the lanes of
+// mask within batch word `word` at the given cycle.
+type wideFlip struct {
+	cycle int
+	ff    int
+	word  int
+	mask  uint64
+}
+
+// sortWideFlips orders the flip schedule by cycle; same rationale as
+// sortFlips (small, mostly sorted under the clustered schedule).
+func sortWideFlips(flips []wideFlip) {
+	for i := 1; i < len(flips); i++ {
+		f := flips[i]
+		j := i - 1
+		for j >= 0 && flips[j].cycle > f.cycle {
+			flips[j+1] = flips[j]
+			j--
+		}
+		flips[j+1] = f
+	}
+}
+
+// kernelCache memoizes compiled kernels process-wide, keyed by program
+// identity and the kept-port signature. Studies build an ephemeral Runner
+// per partial campaign over the same program; without the cache every one
+// of those would re-run the compiler pipeline. Kernels are immutable after
+// BuildKernel (all mutable state lives in KernelEngine), so sharing across
+// runners and goroutines is safe. Entries live until process exit, bounded
+// by the number of distinct (program, monitor-set) pairs.
+var kernelCache sync.Map // kernelKey -> *kernelEntry
+
+type kernelKey struct {
+	p     *sim.Program
+	ports string
+}
+
+type kernelEntry struct {
+	once sync.Once
+	k    *sim.Kernel
+	err  error
+}
+
+// kernel compiles the program once per (program, observed ports), keeping
+// exactly the output ports the campaign observes: the monitored ports and
+// every loopback source (the stimulus reads those back each cycle).
+// Everything else is dead fanout to the campaign and is pruned.
+func (r *Runner) kernel() (*sim.Kernel, error) {
+	r.kernOnce.Do(func() {
+		keep := make(map[int]bool, len(r.monitors))
+		for _, m := range r.monitors {
+			keep[m] = true
+		}
+		for _, lb := range r.stim.Loopbacks() {
+			keep[lb.Out] = true
+		}
+		ports := make([]int, 0, len(keep))
+		for p := range keep {
+			ports = append(ports, p)
+		}
+		sort.Ints(ports)
+		key := kernelKey{p: r.p, ports: fmt.Sprint(ports)}
+		ent, _ := kernelCache.LoadOrStore(key, &kernelEntry{})
+		e := ent.(*kernelEntry)
+		e.once.Do(func() {
+			e.k, e.err = sim.BuildKernel(r.p, sim.KernelConfig{KeepOutputs: ports})
+		})
+		r.kern, r.kernErr = e.k, e.err
+	})
+	return r.kern, r.kernErr
+}
+
+// wideWorkerState is the reusable per-worker state of the kernel path: the
+// wide engine, one faulty-trace buffer and stream per batch word, and the
+// per-word lane bookkeeping, all recycled across wide batches.
+type wideWorkerState struct {
+	e       *sim.KernelEngine
+	traces  []*sim.Trace
+	flips   []wideFlip
+	streams []Stream
+	used    []uint64
+	pending []uint64
+	failed  []uint64
+	settled []uint64
+}
+
+func newWideWorkerState(r *Runner, kern *sim.Kernel) *wideWorkerState {
+	W := sim.DefaultKernelWords
+	ws := &wideWorkerState{
+		e:       sim.NewKernelEngine(kern, W),
+		traces:  make([]*sim.Trace, W),
+		flips:   make([]wideFlip, 0, W*sim.Lanes),
+		streams: make([]Stream, W),
+		used:    make([]uint64, W),
+		pending: make([]uint64, W),
+		failed:  make([]uint64, W),
+		settled: make([]uint64, W),
+	}
+	for i := range ws.traces {
+		ws.traces[i] = sim.NewTrace(r.monitors, r.stim.Cycles())
+	}
+	return ws
+}
+
+// runChunkWide simulates chunk ci as wide batches and returns the same
+// per-64-lane-batch failure masks runChunk would, in the same order.
+func (r *Runner) runChunkWide(ws *wideWorkerState, golden *sim.Trace, jobs []Job, order []int, sh sharding, ci int) ([]uint64, int64) {
+	lo, hi := sh.chunkRange(ci)
+	nb := sh.chunkBatches(ci)
+	masks := make([]uint64, 0, nb)
+	var simCycles int64
+	W := ws.e.Words()
+	for wb := 0; wb < nb; wb += W {
+		groups := W
+		if wb+groups > nb {
+			groups = nb - wb
+		}
+		var cycles int
+		masks, cycles = r.runBatchWide(ws, golden, jobs, order, lo, hi, wb, groups, masks)
+		simCycles += int64(cycles)
+	}
+	return masks, simCycles
+}
+
+// runBatchWide simulates one wide batch of `groups` 64-lane groups
+// (narrow-batch indices wb..wb+groups-1 of the chunk at job range
+// [lo,hi)), appends one failure mask per group to masks and returns the
+// window length simulated. The window is counted once per wide batch —
+// each additional word rides the same combinational passes — so the
+// simulated-cycle totals reflect the widening win.
+func (r *Runner) runBatchWide(ws *wideWorkerState, golden *sim.Trace, jobs []Job, order []int, lo, hi, wb, groups int, masks []uint64) ([]uint64, int) {
+	snaps := r.snaps
+	ws.flips = ws.flips[:0]
+	used := ws.used[:groups]
+	pending := ws.pending[:groups]
+	failed := ws.failed[:groups]
+	settled := ws.settled[:groups]
+	for g := 0; g < groups; g++ {
+		used[g], failed[g], settled[g] = 0, 0, 0
+		blo := lo + (wb+g)*sim.Lanes
+		bhi := blo + sim.Lanes
+		if bhi > hi {
+			bhi = hi
+		}
+		for lane, pos := 0, blo; pos < bhi; lane, pos = lane+1, pos+1 {
+			job := jobs[jobIndex(order, pos)]
+			ws.flips = append(ws.flips, wideFlip{cycle: job.Cycle, ff: job.FF, word: g, mask: 1 << uint(lane)})
+			used[g] |= 1 << uint(lane)
+		}
+		pending[g] = used[g]
+	}
+	sortWideFlips(ws.flips)
+	minCycle := ws.flips[0].cycle
+	start := snaps.SnapCycle(snaps.IndexAtOrBefore(minCycle))
+
+	streams := ws.streams[:groups]
+	sc, isStream := r.cls.(StreamClassifier)
+	for g := range streams {
+		if isStream {
+			streams[g] = sc.StartStream(golden, used[g], start)
+		} else {
+			streams[g] = nil
+		}
+	}
+	undecided := func() bool {
+		for g := 0; g < groups; g++ {
+			if used[g]&^(settled[g]|failed[g]) != 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	ptr := 0
+	stop := sim.RunWindowWide(ws.e, r.stim, snaps, minCycle, sim.WideWindowConfig{
+		Monitors: r.monitors,
+		Traces:   ws.traces[:groups],
+		PreEval: func(c int) {
+			for ptr < len(ws.flips) && ws.flips[ptr].cycle == c {
+				f := &ws.flips[ptr]
+				ws.e.FlipFF(f.ff, f.word, f.mask)
+				pending[f.word] &^= f.mask
+				ptr++
+			}
+		},
+		OnCycle: func(c int) bool {
+			if !isStream {
+				return false
+			}
+			gr := golden.Row(c)
+			for g := 0; g < groups; g++ {
+				failed[g] = streams[g].Observe(c, gr, ws.traces[g].Row(c))
+			}
+			return !undecided()
+		},
+		OnSnapshot: func(c int, diverged []uint64) bool {
+			for g := 0; g < groups; g++ {
+				settled[g] = used[g] &^ diverged[g] &^ pending[g]
+			}
+			return !undecided()
+		},
+	})
+	for g := 0; g < groups; g++ {
+		tr := ws.traces[g]
+		tr.CopyCycles(golden, 0, start)
+		tr.CopyCycles(golden, stop, r.stim.Cycles())
+		r.metrics.observeBatch(start, stop, r.stim.Cycles(), used[g], failed[g], settled[g])
+		masks = append(masks, r.cls.FailingLanes(golden, tr, used[g]))
+	}
+	return masks, stop - start
+}

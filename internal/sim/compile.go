@@ -51,8 +51,11 @@ func Compile(nl *netlist.Netlist) (*Program, error) {
 		if c.Type.IsSequential() {
 			continue
 		}
-		if len(c.Inputs) > 4 {
-			return nil, fmt.Errorf("sim: cell %q has %d inputs, max 4", c.Name, len(c.Inputs))
+		if len(c.Inputs) > opWidth(c.Type.Func) {
+			if err := p.decomposeWide(c); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		o := op{out: int32(c.Output), fn: c.Type.Func, nin: int8(len(c.Inputs))}
 		for i, in := range c.Inputs {
@@ -78,6 +81,74 @@ func Compile(nl *netlist.Netlist) (*Program, error) {
 		p.outputNets[i] = int32(id)
 	}
 	return p, nil
+}
+
+// opWidth returns the widest input count the packed engine evaluates
+// natively for a function. Associative functions beyond it are decomposed
+// by decomposeWide; anything else wider is a malformed cell type.
+func opWidth(f netlist.Func) int {
+	switch f {
+	case netlist.FuncAnd, netlist.FuncOr, netlist.FuncNand, netlist.FuncNor:
+		return 4
+	case netlist.FuncXor, netlist.FuncXnor:
+		return 2
+	case netlist.FuncMux2, netlist.FuncAOI21, netlist.FuncOAI21:
+		return 3
+	case netlist.FuncBuf, netlist.FuncInv:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// decomposeWide lowers a gate wider than the engine's native width into a
+// balanced tree of native ops on synthetic temporary nets: inputs are
+// reduced in groups of the base function's width until at most one native
+// op's worth remains, and the final op carries the original function so
+// inverted forms (NAND/NOR/XNOR) keep their inversion at the root. The
+// temporaries live past len(nl.Nets); engines size their net arrays from
+// Program.nets, so they need no netlist counterpart.
+func (p *Program) decomposeWide(c *netlist.Cell) error {
+	var base netlist.Func
+	switch c.Type.Func {
+	case netlist.FuncAnd, netlist.FuncNand:
+		base = netlist.FuncAnd
+	case netlist.FuncOr, netlist.FuncNor:
+		base = netlist.FuncOr
+	case netlist.FuncXor, netlist.FuncXnor:
+		base = netlist.FuncXor
+	default:
+		return fmt.Errorf("sim: cell %q: cannot decompose %d-input %v", c.Name, len(c.Inputs), c.Type.Func)
+	}
+	width := opWidth(base)
+	nets := make([]int32, len(c.Inputs))
+	for i, in := range c.Inputs {
+		nets[i] = int32(in)
+	}
+	for len(nets) > width {
+		next := nets[:0]
+		for i := 0; i < len(nets); i += width {
+			j := i + width
+			if j > len(nets) {
+				j = len(nets)
+			}
+			if j-i == 1 {
+				next = append(next, nets[i])
+				continue
+			}
+			tmp := int32(p.nets)
+			p.nets++
+			o := op{out: tmp, fn: base, nin: int8(j - i)}
+			copy(o.in[:], nets[i:j])
+			p.ops = append(p.ops, o)
+			next = append(next, tmp)
+		}
+		nets = next
+	}
+	o := op{out: int32(c.Output), fn: c.Type.Func, nin: int8(len(nets))}
+	copy(o.in[:], nets)
+	p.ops = append(p.ops, o)
+	return nil
 }
 
 // Netlist returns the compiled design.

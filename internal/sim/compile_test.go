@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// wideGateNetlist builds a single-cell netlist around a custom cell type of
+// the given function and width: width primary inputs, one gate, one output.
+func wideGateNetlist(t *testing.T, fn netlist.Func, width int) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.NewNetlist(fmt.Sprintf("wide_%v_%d", fn, width))
+	ct := &netlist.CellType{
+		Name:   fmt.Sprintf("%s%d_X1", fn, width),
+		Func:   fn,
+		Inputs: width,
+		Drive:  1,
+	}
+	ins := make([]netlist.NetID, width)
+	for i := range ins {
+		id, err := nl.AddNet(fmt.Sprintf("in[%d]", i), -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ins[i] = id
+		nl.Inputs = append(nl.Inputs, id)
+	}
+	out, err := nl.AddNet("out", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl.Cells = append(nl.Cells, netlist.Cell{Name: "u0", Type: ct, Inputs: ins, Output: out})
+	nl.Outputs = append(nl.Outputs, out)
+	nl.OutputNames = append(nl.OutputNames, "out")
+	return nl
+}
+
+// TestCompileDecomposesWideGates pins the balanced-tree decomposition of
+// gates wider than the engine's native op width against the n-ary scalar
+// reference semantics, exhaustively where feasible.
+func TestCompileDecomposesWideGates(t *testing.T) {
+	funcs := []netlist.Func{
+		netlist.FuncAnd, netlist.FuncOr, netlist.FuncNand,
+		netlist.FuncNor, netlist.FuncXor, netlist.FuncXnor,
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, fn := range funcs {
+		for _, width := range []int{3, 5, 6, 7, 9, 13, 21} {
+			if width <= opWidth(fn) {
+				continue
+			}
+			nl := wideGateNetlist(t, fn, width)
+			p, err := Compile(nl)
+			if err != nil {
+				t.Fatalf("%v width %d: %v", fn, width, err)
+			}
+			if p.nets <= len(nl.Nets) {
+				t.Fatalf("%v width %d: no temporary nets allocated", fn, width)
+			}
+			e := NewEngine(p)
+			se := NewScalarEngine(p)
+			vectors := 1 << width
+			exhaustive := width <= 10
+			if !exhaustive {
+				vectors = 500
+			}
+			in := make([]bool, width)
+			for v := 0; v < vectors; v++ {
+				bits := uint64(v)
+				if !exhaustive {
+					bits = rng.Uint64()
+				}
+				for i := 0; i < width; i++ {
+					in[i] = bits>>uint(i)&1 == 1
+					e.SetInputBool(i, in[i])
+					se.SetInput(i, in[i])
+				}
+				e.Eval()
+				se.Eval()
+				want := netlist.EvalScalar(fn, in)
+				if got := e.Output(0)&1 == 1; got != want {
+					t.Fatalf("%v width %d inputs %b: packed got %v, want %v", fn, width, bits, got, want)
+				}
+				if got := se.Output(0); got != want {
+					t.Fatalf("%v width %d inputs %b: scalar got %v, want %v", fn, width, bits, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompileRejectsUndecomposableWideGates keeps the clear error for cell
+// types that are wide by mistake rather than by associativity.
+func TestCompileRejectsUndecomposableWideGates(t *testing.T) {
+	nl := wideGateNetlist(t, netlist.FuncMux2, 5)
+	if _, err := Compile(nl); err == nil {
+		t.Fatal("expected compile error for a 5-input mux")
+	}
+}
+
+// TestCompileWideGateTreeDepth checks the reduction is a tree, not a chain:
+// a 64-input AND must levelize in ~log4 depth worth of ops, i.e. far fewer
+// than the 63 two-input ops a linear chain would need — 21 ops for groups
+// of four.
+func TestCompileWideGateTreeDepth(t *testing.T) {
+	nl := wideGateNetlist(t, netlist.FuncAnd, 64)
+	p, err := Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.ops) != 21 {
+		t.Fatalf("64-input AND compiled to %d ops, want 21 (4-ary tree)", len(p.ops))
+	}
+}

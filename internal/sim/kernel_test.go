@@ -1,0 +1,263 @@
+package sim_test
+
+// Property test: the three execution backends — ScalarEngine (n-ary
+// reference semantics), the packed Engine interpreter and the compiled
+// KernelEngine — must agree bit-for-bit on randomized netlists under
+// random stimulus and random flip-flop upsets, across multiple cycles and
+// batch widths. The generator deliberately includes the cell types the
+// corpus generators underuse: TIEL/TIEH (constant folding paths), BUF
+// (copy propagation), NAND/NOR (inverted forms) and AOI21/OAI21 (the
+// fusion superops).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+	"repro/internal/sim"
+)
+
+// randKernelNetlist generates a random valid netlist exercising every
+// combinational cell type the standard library offers, including constant
+// ties and buffers.
+func randKernelNetlist(seed int64) (*netlist.Netlist, error) {
+	rng := rand.New(rand.NewSource(seed))
+	b := netlist.NewBuilder(fmt.Sprintf("kprop_%d", seed))
+
+	nIn := 3 + rng.Intn(6)
+	nFF := 2 + rng.Intn(6)
+	nGates := 30 + rng.Intn(120)
+	nOut := 2 + rng.Intn(4)
+
+	pool := make([]netlist.NetID, 0, nIn+nFF+nGates+2)
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("in[%d]", i)))
+	}
+	pool = append(pool, b.Const0(), b.Const1())
+	ffSet := make([]func(netlist.NetID), nFF)
+	for i := 0; i < nFF; i++ {
+		var q netlist.NetID
+		q, ffSet[i] = b.DFFDecl(fmt.Sprintf("ff[%d]", i), rng.Intn(2) == 1)
+		pool = append(pool, q)
+	}
+	pick := func() netlist.NetID { return pool[rng.Intn(len(pool))] }
+	for g := 0; g < nGates; g++ {
+		var out netlist.NetID
+		switch rng.Intn(15) {
+		case 0:
+			out = b.Not(pick())
+		case 1:
+			out = b.Buf(pick())
+		case 2:
+			out = b.And(pick(), pick())
+		case 3:
+			out = b.And(pick(), pick(), pick(), pick())
+		case 4:
+			out = b.Or(pick(), pick())
+		case 5:
+			out = b.Or(pick(), pick(), pick())
+		case 6:
+			out = b.Nand(pick(), pick())
+		case 7:
+			out = b.Nor(pick(), pick())
+		case 8:
+			out = b.Xor(pick(), pick())
+		case 9:
+			out = b.Xnor(pick(), pick())
+		case 10:
+			out = b.Mux(pick(), pick(), pick())
+		case 11:
+			out = b.AOI21(pick(), pick(), pick())
+		case 12:
+			out = b.OAI21(pick(), pick(), pick())
+		case 13:
+			// Chains the fuse pass targets: INV over AND/OR, AND of OR.
+			out = b.Not(b.And(pick(), pick()))
+		default:
+			out = b.Or(b.And(pick(), pick()), pick())
+		}
+		pool = append(pool, out)
+	}
+	for i := range ffSet {
+		ffSet[i](pick())
+	}
+	for i := 0; i < nOut; i++ {
+		b.Output(fmt.Sprintf("out[%d]", i), pick())
+	}
+	return b.Finish()
+}
+
+// TestKernelMatchesInterpreters drives one KernelEngine of W words against
+// W independent packed Engines (word w ≡ narrow batch w) and a
+// ScalarEngine shadowing lane 0 of word 0, with per-word random flip
+// schedules, asserting every output word and flip-flop word agrees on
+// every cycle.
+func TestKernelMatchesInterpreters(t *testing.T) {
+	var totFused, totFolded, totPruned int
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed * 7919))
+		nl, err := randKernelNetlist(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p, err := sim.Compile(nl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		k, err := sim.BuildKernel(p, sim.KernelConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := k.Stats()
+		if st.KernelOps > st.ProgramOps {
+			t.Fatalf("seed %d: kernel grew: %+v", seed, st)
+		}
+		totFused += st.Fused
+		totFolded += st.Folded
+		totPruned += st.Pruned
+
+		W := 1 + rng.Intn(4)
+		ke := sim.NewKernelEngine(k, W)
+		if ke.Lanes() != W*sim.Lanes {
+			t.Fatalf("seed %d: lanes %d, want %d", seed, ke.Lanes(), W*sim.Lanes)
+		}
+		narrow := make([]*sim.Engine, W)
+		for w := range narrow {
+			narrow[w] = sim.NewEngine(p)
+		}
+		sc := sim.NewScalarEngine(p)
+
+		nIn, nOut, nFF := p.NumInputs(), p.NumOutputs(), p.NumFFs()
+		for cycle := 0; cycle < 24; cycle++ {
+			for i := 0; i < nIn; i++ {
+				v := rng.Intn(2) == 1
+				ke.SetInputBool(i, v)
+				for _, e := range narrow {
+					e.SetInputBool(i, v)
+				}
+				sc.SetInput(i, v)
+			}
+			if rng.Intn(3) != 0 { // SEU injection on a random word
+				ff, w := rng.Intn(nFF), rng.Intn(W)
+				mask := rng.Uint64() | 1
+				ke.FlipFF(ff, w, mask)
+				narrow[w].FlipFF(ff, mask)
+				if w == 0 {
+					sc.FlipFF(ff)
+				}
+			}
+			ke.Eval()
+			sc.Eval()
+			for w, e := range narrow {
+				e.Eval()
+				for i := 0; i < nOut; i++ {
+					if got, want := ke.OutputWord(i, w), e.Output(i); got != want {
+						t.Fatalf("seed %d cycle %d out %d word %d: kernel %016x, interp %016x",
+							seed, cycle, i, w, got, want)
+					}
+				}
+			}
+			for i := 0; i < nOut; i++ {
+				if got, want := sc.Output(i), narrow[0].Output(i)&1 == 1; got != want {
+					t.Fatalf("seed %d cycle %d out %d: scalar %v, interp lane0 %v", seed, cycle, i, got, want)
+				}
+			}
+			ke.Commit()
+			sc.Commit()
+			for w, e := range narrow {
+				e.Commit()
+				for f := 0; f < nFF; f++ {
+					if got, want := ke.FFWord(f, w), e.FFState(f); got != want {
+						t.Fatalf("seed %d cycle %d ff %d word %d: kernel %016x, interp %016x",
+							seed, cycle, f, w, got, want)
+					}
+				}
+			}
+		}
+	}
+	// The generator feeds every optimization pass; across 25 seeds each
+	// must have found work, or the compiler is silently a no-op.
+	if totFused == 0 || totFolded == 0 || totPruned == 0 {
+		t.Fatalf("optimizer idle across all seeds: fused=%d folded=%d pruned=%d",
+			totFused, totFolded, totPruned)
+	}
+}
+
+// TestKernelPrunedOutputs checks dead-fanout pruning against a restricted
+// observed set: kept ports and all flip-flop state must stay bit-identical
+// to the interpreter while reading a pruned port panics.
+func TestKernelPrunedOutputs(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed * 104729))
+		nl, err := randKernelNetlist(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p, err := sim.Compile(nl)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		k, err := sim.BuildKernel(p, sim.KernelConfig{KeepOutputs: []int{0}})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		ke := sim.NewKernelEngine(k, 2)
+		e := sim.NewEngine(p)
+		nIn, nFF := p.NumInputs(), p.NumFFs()
+		for cycle := 0; cycle < 16; cycle++ {
+			for i := 0; i < nIn; i++ {
+				v := rng.Intn(2) == 1
+				ke.SetInputBool(i, v)
+				e.SetInputBool(i, v)
+			}
+			if cycle == 3 {
+				mask := rng.Uint64()
+				ke.FlipFF(0, 0, mask)
+				e.FlipFF(0, mask)
+			}
+			ke.Eval()
+			e.Eval()
+			if got, want := ke.OutputWord(0, 0), e.Output(0); got != want {
+				t.Fatalf("seed %d cycle %d: kept output diverged: %016x vs %016x", seed, cycle, got, want)
+			}
+			ke.Commit()
+			e.Commit()
+			for f := 0; f < nFF; f++ {
+				if got, want := ke.FFWord(f, 0), e.FFState(f); got != want {
+					t.Fatalf("seed %d cycle %d ff %d: %016x vs %016x", seed, cycle, f, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelOutputWordPanicsOnPruned pins the contract that reading an
+// output outside KeepOutputs is a programming error, not silent garbage.
+func TestKernelOutputWordPanicsOnPruned(t *testing.T) {
+	b := netlist.NewBuilder("pruned")
+	a := b.Input("a")
+	c := b.Input("c")
+	b.Output("keep", b.And(a, c))
+	b.Output("drop", b.Xor(a, c))
+	nl, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := sim.Compile(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := sim.BuildKernel(p, sim.KernelConfig{KeepOutputs: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewKernelEngine(k, 1)
+	e.Eval()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reading a pruned output port did not panic")
+		}
+	}()
+	_ = e.OutputWord(1, 0)
+}

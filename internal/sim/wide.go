@@ -1,0 +1,144 @@
+package sim
+
+// wide.go threads the kernel backend's wide batches (64·W lanes) through
+// the snapshot/window machinery: golden fast-forward, per-word divergence
+// tracking and the incremental simulation window, each the W-word
+// counterpart of its 64-lane sibling in snapshot.go. Word w of a wide
+// batch evolves exactly like one narrow batch, so every soundness argument
+// of the incremental path (prefix identity, settlement stickiness, final
+// failure verdicts) applies per word unchanged.
+
+// Loopbacks returns the stimulus's loopback rules (shared storage; treat
+// as read-only). The fault runner uses it to keep loopback source ports in
+// the kernel's observed output set.
+func (s *Stimulus) Loopbacks() []Loopback { return s.loopback }
+
+// RestoreKernel resets the engine and loads snapshot idx into every lane
+// of every batch word, broadcasting the golden flip-flop bits and filling
+// lb (numLb·W words, loopback-major) with the golden loopback words.
+func (s *Snapshots) RestoreKernel(e *KernelEngine, idx int, lb []uint64) {
+	e.Reset()
+	W := e.w
+	ffBase := idx * s.ffWords
+	for i := 0; i < s.numFFs; i++ {
+		var word uint64
+		if s.ff[ffBase+i/64]>>uint(i%64)&1 == 1 {
+			word = ^uint64(0)
+		}
+		base := int(e.k.ffQ[i]) * W
+		for w := 0; w < W; w++ {
+			e.regs[base+w] = word
+		}
+	}
+	lbBase := idx * s.numLb
+	for j := 0; j < s.numLb; j++ {
+		for w := 0; w < W; w++ {
+			lb[j*W+w] = s.lb[lbBase+j]
+		}
+	}
+}
+
+// divergedKernel fills out (one mask per batch word) with the lanes whose
+// inter-cycle state differs from golden snapshot idx — the per-word
+// counterpart of divergedLanes.
+func (s *Snapshots) divergedKernel(e *KernelEngine, lb []uint64, idx int, out []uint64) {
+	W := e.w
+	for w := 0; w < W; w++ {
+		out[w] = 0
+	}
+	ffBase := idx * s.ffWords
+	for i := 0; i < s.numFFs; i++ {
+		var want uint64
+		if s.ff[ffBase+i/64]>>uint(i%64)&1 == 1 {
+			want = ^uint64(0)
+		}
+		base := int(e.k.ffQ[i]) * W
+		for w := 0; w < W; w++ {
+			out[w] |= e.regs[base+w] ^ want
+		}
+	}
+	lbBase := idx * s.numLb
+	for j := 0; j < s.numLb; j++ {
+		for w := 0; w < W; w++ {
+			out[w] |= lb[j*W+w] ^ s.lb[lbBase+j]
+		}
+	}
+}
+
+// WideWindowConfig controls an incremental wide-batch run (RunWindowWide).
+// It mirrors WindowConfig with per-word recording: batch word w records
+// into Traces[w], and OnSnapshot receives one diverged mask per word.
+type WideWindowConfig struct {
+	// Monitors lists output ports to record; must match the traces'
+	// monitor sets and be within the kernel's kept output set.
+	Monitors []int
+	// Traces receives the recorded monitor words, one trace per batch
+	// word; a nil entry skips that word (empty tail group of a plan).
+	Traces []*Trace
+	// PreEval is the per-cycle injection hook.
+	PreEval func(cycle int)
+	// OnCycle is invoked after cycle c's monitor words are recorded;
+	// returning true stops the run before cycle c+1.
+	OnCycle func(cycle int) bool
+	// OnSnapshot is invoked at the top of every snapshot-aligned cycle
+	// after the restore point with the per-word diverged-lane masks;
+	// returning true stops the run before that cycle is simulated.
+	OnSnapshot func(cycle int, diverged []uint64) bool
+}
+
+// RunWindowWide is the kernel-backend counterpart of RunWindow: it
+// restores the golden snapshot at or before start into all 64·W lanes,
+// then simulates forward until the stimulus ends or a hook stops it. It
+// returns the first cycle NOT recorded into the traces; the caller fills
+// rows [0, snapshot) and [returned, cycles) from the golden trace, exactly
+// as on the narrow path.
+func RunWindowWide(e *KernelEngine, stim *Stimulus, snaps *Snapshots, start int, cfg WideWindowConfig) int {
+	W := e.w
+	idx := snaps.IndexAtOrBefore(start)
+	lb := make([]uint64, snaps.numLb*W)
+	diverged := make([]uint64, W)
+	snaps.RestoreKernel(e, idx, lb)
+	first := snaps.SnapCycle(idx)
+
+	nm := len(cfg.Monitors)
+	for c := first; c < stim.cycles; c++ {
+		if cfg.OnSnapshot != nil && c != first && c%snaps.every == 0 {
+			snaps.divergedKernel(e, lb, c/snaps.every, diverged)
+			if cfg.OnSnapshot(c, diverged) {
+				return c
+			}
+		}
+		for k, port := range stim.ports {
+			e.SetInputBool(port, stim.vectors[k][c])
+		}
+		for i, l := range stim.loopback {
+			for w := 0; w < W; w++ {
+				e.SetInputWord(l.In, w, lb[i*W+w])
+			}
+		}
+		if cfg.PreEval != nil {
+			cfg.PreEval(c)
+		}
+		e.Eval()
+		for i, l := range stim.loopback {
+			for w := 0; w < W; w++ {
+				lb[i*W+w] = e.OutputWord(l.Out, w)
+			}
+		}
+		base := c * nm
+		for w, trace := range cfg.Traces {
+			if trace == nil {
+				continue
+			}
+			for m, port := range cfg.Monitors {
+				trace.words[base+m] = e.OutputWord(port, w)
+			}
+		}
+		if cfg.OnCycle != nil && cfg.OnCycle(c) {
+			e.Commit()
+			return c + 1
+		}
+		e.Commit()
+	}
+	return stim.cycles
+}
