@@ -28,7 +28,13 @@ HARDEN_INJECTIONS ?= 16
 KERNEL_BENCH_FILE ?= BENCH_9.json
 KERNEL_INJECTIONS ?= 8
 
-.PHONY: all build examples test race lint doc-check metrics-lint bench bench-baseline kernel-baseline serve-smoke corpus-smoke fabric-smoke load-smoke harden-smoke harden-baseline
+# Fault-model cost record file (see faultmodel-baseline) and its injection
+# budget: 4/FF keeps every model's campaign in seconds while still filling
+# multi-run batches per chunk.
+FAULTMODEL_BENCH_FILE ?= BENCH_10.json
+FAULTMODEL_INJECTIONS ?= 4
+
+.PHONY: all build examples test race lint doc-check metrics-lint bench bench-baseline kernel-baseline serve-smoke corpus-smoke fabric-smoke load-smoke harden-smoke harden-baseline faultmodel-smoke faultmodel-baseline
 
 all: lint build examples test doc-check
 
@@ -154,6 +160,26 @@ kernel-baseline:
 	awk -v s=$$speed 'BEGIN { exit !(s >= 1.0) }' || \
 		{ echo "kernel-baseline: kernel backend slower than interpreter (speedup_x=$$speed)"; exit 1; }; \
 	echo "recorded kernel baseline to $(KERNEL_BENCH_FILE) (speedup_x=$$speed)"
+
+# Fault-model distinctness gate: the pinned fixed-seed run asserting that
+# MBU/stuck-at campaigns do NOT reproduce the SEU failure profile and that
+# a SET campaign is sized by combinational target (a threading bug that
+# silently fell back to SEU would pass every equivalence check — only this
+# cross-model comparison catches it).
+faultmodel-smoke:
+	$(GO) test -run 'TestFaultModelDistinctProfiles' -v ./internal/fault
+
+# Record the per-fault-model campaign cost (SEU reference vs MBU wide
+# flips, stuck-at multi-cycle forces and windowed injection, all on the
+# same runner path and scenario) to $(FAULTMODEL_BENCH_FILE) as
+# `go test -json` events; CI uploads it next to BENCH_7.json.
+faultmodel-baseline:
+	FFR_INJECTIONS=$(FAULTMODEL_INJECTIONS) $(GO) test -json \
+		-bench='^BenchmarkFaultModels$$' -benchtime=1x -run='^$$' . \
+		> $(FAULTMODEL_BENCH_FILE)
+	@grep -F '"Output":"BenchmarkFaultModels' $(FAULTMODEL_BENCH_FILE) >/dev/null || \
+		{ echo "no fault-model benchmarks recorded in $(FAULTMODEL_BENCH_FILE)"; exit 1; }
+	@echo "recorded fault-model benchmarks to $(FAULTMODEL_BENCH_FILE)"
 
 # End-to-end service smoke: train a tiny k-NN artifact, serve it, and
 # assert /healthz and one /v1/predict both return 200.

@@ -9,6 +9,7 @@
 //
 //	ffrcoord -scenario mac10ge/loopback [-scale small] [-seed 1]
 //	         [-n 0] [-campaign-seed 0] [-chunk 0] [-schedule clustered]
+//	         [-fault-model seu|mbu:N|stuck0:D|stuck1:D|set]
 //	         [-addr :9090] [-lease-ttl 15s] [-max-lease 2]
 //	         [-checkpoint camp.ckpt] [-resume] [-checkpoint-every 0]
 //	         [-log-level info] [-log-format text] [-trace spans.jsonl]
@@ -58,6 +59,7 @@ func run() error {
 		chunk        = flag.Int("chunk", 0, "shard chunk size in jobs (0 = runner default, rounded to 64-lane batches)")
 		schedule     = flag.String("schedule", "clustered", "batch-packing schedule (clustered, plan)")
 		hardenList   = flag.String("harden", "", "comma-separated flip-flop indices to TMR-harden before the campaign (e.g. from ffrharden)")
+		faultModel   = flag.String("fault-model", "", "fault model: seu (default), mbu:N, stuck0:D, stuck1:D, set, each with optional @start-end window; part of the campaign identity, shipped to workers in the spec; falls back to FFR_FAULT_MODEL")
 		addr         = flag.String("addr", ":9090", "listen address (host:port; port 0 picks a free port)")
 		leaseTTL     = flag.Duration("lease-ttl", fabric.DefaultLeaseTTL, "heartbeat deadline per leased chunk")
 		maxLease     = flag.Int("max-lease", fabric.DefaultMaxLeaseChunks, "maximum chunks granted per lease request")
@@ -92,6 +94,14 @@ func run() error {
 	if err != nil {
 		return cli.UsageErrorf("ffrcoord", "-harden: %v", err)
 	}
+	fm := *faultModel
+	if fm == "" {
+		fm = os.Getenv("FFR_FAULT_MODEL")
+	}
+	fmodel, err := fault.ParseModel(fm)
+	if err != nil {
+		return cli.UsageErrorf("ffrcoord", "bad -fault-model: %v", err)
+	}
 	if *leaseTTL <= 0 {
 		return cli.UsageErrorf("ffrcoord", "-lease-ttl must be positive (got %s)", *leaseTTL)
 	}
@@ -119,6 +129,7 @@ func run() error {
 			CampaignSeed:    *campaignSeed,
 			ChunkJobs:       *chunk,
 			Schedule:        *schedule,
+			FaultModel:      fmodel.String(),
 			Harden:          hardenFFs,
 		},
 		LeaseTTL:        *leaseTTL,

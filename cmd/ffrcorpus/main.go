@@ -13,6 +13,7 @@
 //	ffrcorpus -sweep    [-scale small|default] [-seed 1] [-n N]
 //	          [-model "k-NN"] [-out DIR] [-scenario family[/workload],...]
 //	          [-shards N] [-workers N] [-naive] [-kernel auto|interp|kernel]
+//	          [-fault-model seu|mbu:N|stuck0:D|stuck1:D]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // With -n 0 (the default) each scenario runs its registered default
@@ -58,6 +59,7 @@ func run() error {
 		workers    = flag.Int("workers", 0, "campaign worker count (0 = GOMAXPROCS)")
 		naive      = flag.Bool("naive", false, "disable the incremental campaign engine (full replay per batch)")
 		kernelF    = flag.String("kernel", "", "simulation backend: auto, interp or kernel (default auto = compiled kernel; results are bit-identical)")
+		faultModel = flag.String("fault-model", "", "fault model for -sweep campaigns: seu (default), mbu:N, stuck0:D, stuck1:D, each with optional @start-end window; falls back to FFR_FAULT_MODEL")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 		logFlags   = cli.RegisterLog()
@@ -82,6 +84,14 @@ func run() error {
 	}
 	if modes != 1 {
 		return cli.UsageErrorf("ffrcorpus", "exactly one of -list, -validate, -sweep is required")
+	}
+	fm := *faultModel
+	if fm == "" {
+		fm = os.Getenv("FFR_FAULT_MODEL")
+	}
+	fmodel, err := fault.ParseModel(fm)
+	if err != nil {
+		return cli.UsageErrorf("ffrcorpus", "bad -fault-model: %v", err)
 	}
 	logger, err := logFlags.Logger("ffrcorpus")
 	if err != nil {
@@ -118,7 +128,7 @@ func run() error {
 		return runSweep(scenarios, sweepConfig{
 			scale: scale, seed: *seed, injections: *n,
 			spec: spec, outDir: *out, shards: *shards, workers: *workers,
-			naive: *naive, logger: logger, backend: backend,
+			naive: *naive, logger: logger, backend: backend, model: fmodel,
 		})
 	}
 }
@@ -206,6 +216,7 @@ type sweepConfig struct {
 	workers    int
 	naive      bool
 	backend    fault.Backend
+	model      fault.Model
 	logger     *obs.Logger
 }
 
@@ -217,13 +228,15 @@ func runSweep(scenarios []repro.CorpusScenario, cfg sweepConfig) error {
 			return err
 		}
 	}
-	fmt.Printf("sweeping %d scenarios at scale %s (model %s)\n\n", len(scenarios), cfg.scale, cfg.spec.Name)
+	fmt.Printf("sweeping %d scenarios at scale %s (model %s, fault model %s)\n\n",
+		len(scenarios), cfg.scale, cfg.spec.Name, cfg.model)
 	for _, sc := range scenarios {
 		start := time.Now()
 		study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
 			Scale:           cfg.scale,
 			Seed:            cfg.seed,
 			InjectionsPerFF: cfg.injections,
+			Model:           cfg.model,
 			Workers:         cfg.workers,
 			Shards:          cfg.shards,
 			NaiveCampaign:   cfg.naive,

@@ -10,6 +10,7 @@
 //	            campaign|search|ablation|budget|predict|cross|all
 //	       [-n 170] [-csvdir DIR] [-load model.ffrm]
 //	       [-scenarios id,id,...] [-scale small|default]
+//	       [-fault-models seu,mbu:2,stuck0:2]
 //
 // The predict experiment is the train-once/predict-forever fast path: it
 // loads a saved model artifact (ffrtrain -save) and predicts the FDR of
@@ -20,9 +21,10 @@
 // it materializes each -scenarios entry (default: one representative
 // workload per DUT family), runs their ground-truth campaigns, trains the
 // paper's k-NN on each and predicts every other, and emits the
-// train-on-A/predict-on-B transfer matrices (R² and Kendall τ). -scale and
-// -n control the per-scenario cost; the defaults keep the experiment under
-// a minute.
+// train-on-A/predict-on-B transfer matrices (R² and Kendall τ) — one matrix
+// per -fault-models entry, so transfer under MBU and stuck-at faults can be
+// compared against the SEU reference. -scale and -n control the per-scenario
+// cost; the defaults keep the experiment under a minute.
 package main
 
 import (
@@ -60,7 +62,9 @@ func run() error {
 		load      = flag.String("load", "", "model artifact for -exp predict")
 		scenarios = flag.String("scenarios", "mac10ge/loopback,alupipe/randomops,rrarb/uniform,uartser/paced",
 			"comma-separated corpus scenarios for -exp cross")
-		scaleStr = flag.String("scale", "small", "corpus scale for -exp cross: small or default")
+		scaleStr    = flag.String("scale", "small", "corpus scale for -exp cross: small or default")
+		faultModels = flag.String("fault-models", "seu,mbu:2,stuck0:2",
+			"comma-separated fault models for -exp cross; one transfer matrix is emitted per model")
 		logFlags = cli.RegisterLog()
 	)
 	flag.Parse()
@@ -80,7 +84,7 @@ func run() error {
 	if *exp != "cross" {
 		var misused []string
 		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "scenarios" || f.Name == "scale" {
+			if f.Name == "scenarios" || f.Name == "scale" || f.Name == "fault-models" {
 				misused = append(misused, "-"+f.Name)
 			}
 		})
@@ -99,7 +103,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return crossExperiment(*scenarios, scale, *n, *seed, *csvDir, logger)
+		return crossExperiment(*scenarios, *faultModels, scale, *n, *seed, *csvDir, logger)
 	}
 
 	cfg := repro.DefaultStudyConfig()
@@ -424,10 +428,11 @@ func (r runner) pca() error {
 	return nil
 }
 
-// crossExperiment runs the cross-circuit generalization study: ground truth
-// per scenario, the paper's k-NN trained on each, transfer scores on every
-// ordered pair.
-func crossExperiment(scenarioList string, scale repro.CorpusScale, n int, seed int64, csvDir string, logger *obs.Logger) error {
+// crossExperiment runs the cross-circuit generalization study, once per
+// requested fault model: ground truth per scenario, the paper's k-NN trained
+// on each, transfer scores on every ordered pair. Does FDR predictability
+// transfer across circuits equally well for SEU, MBU and stuck-at faults?
+func crossExperiment(scenarioList, modelList string, scale repro.CorpusScale, n int, seed int64, csvDir string, logger *obs.Logger) error {
 	// Resolve and validate the whole list before the first (expensive)
 	// campaign so bad input fails in milliseconds, not minutes.
 	var selected []repro.CorpusScenario
@@ -446,35 +451,65 @@ func crossExperiment(scenarioList string, scale repro.CorpusScale, n int, seed i
 	if len(selected) < 2 {
 		return fmt.Errorf("-exp cross needs at least 2 scenarios, got %d", len(selected))
 	}
-
-	var studies []*repro.Study
-	for _, sc := range selected {
-		start := time.Now()
-		study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
-			Scale:           scale,
-			InjectionsPerFF: n,
-			Logger:          logger,
-		})
+	var models []repro.FaultModel
+	seenModel := map[string]bool{}
+	for _, s := range strings.Split(modelList, ",") {
+		m, err := repro.ParseFaultModel(strings.TrimSpace(s))
 		if err != nil {
 			return err
 		}
-		if _, err := study.RunGroundTruth(); err != nil {
-			return fmt.Errorf("%s: %w", sc.ID(), err)
+		if seenModel[m.String()] {
+			return fmt.Errorf("fault model %q selected twice", m)
 		}
-		fmt.Printf("# %-22s ground truth: %4d FFs x %d injections in %v\n",
-			sc.ID(), study.NumFFs(), study.Config.InjectionsPerFF,
-			time.Since(start).Round(time.Millisecond))
-		studies = append(studies, study)
+		seenModel[m.String()] = true
+		models = append(models, m)
 	}
-	fmt.Println()
 
-	spec := repro.PaperModels()[1] // k-NN, the paper's best model
-	tm, err := repro.CrossCircuit(studies, spec, seed)
-	if err != nil {
-		return err
-	}
-	if err := repro.RenderTransferMatrix(os.Stdout, tm); err != nil {
-		return err
+	var csvRows [][]string
+	for _, model := range models {
+		// Per-fault-model campaigns: the same scenarios re-measured under
+		// this model's ground truth, then the full transfer matrix.
+		var studies []*repro.Study
+		for _, sc := range selected {
+			start := time.Now()
+			study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
+				Scale:           scale,
+				InjectionsPerFF: n,
+				Model:           model,
+				Logger:          logger,
+			})
+			if err != nil {
+				return err
+			}
+			if _, err := study.RunGroundTruth(); err != nil {
+				return fmt.Errorf("%s (%s): %w", sc.ID(), model, err)
+			}
+			fmt.Printf("# %-22s %-10s ground truth: %4d FFs x %d injections in %v\n",
+				sc.ID(), model, study.NumFFs(), study.Config.InjectionsPerFF,
+				time.Since(start).Round(time.Millisecond))
+			studies = append(studies, study)
+		}
+		fmt.Println()
+
+		spec := repro.PaperModels()[1] // k-NN, the paper's best model
+		tm, err := repro.CrossCircuit(studies, spec, seed)
+		if err != nil {
+			return err
+		}
+		if err := repro.RenderTransferMatrix(os.Stdout, tm); err != nil {
+			return err
+		}
+		fmt.Println()
+		for i := range tm.Cells {
+			for _, c := range tm.Cells[i] {
+				csvRows = append(csvRows, []string{
+					tm.FaultModel, c.TrainID, c.TestID, strconv.FormatBool(c.Diagonal),
+					strconv.FormatFloat(c.R2, 'g', -1, 64),
+					strconv.FormatFloat(c.Tau, 'g', -1, 64),
+					strconv.FormatFloat(c.MAE, 'g', -1, 64),
+				})
+			}
+		}
 	}
 	if csvDir == "" {
 		return nil
@@ -486,26 +521,19 @@ func crossExperiment(scenarioList string, scale repro.CorpusScale, n int, seed i
 	}
 	defer f.Close()
 	cw := csv.NewWriter(f)
-	if err := cw.Write([]string{"train", "test", "diagonal", "r2", "kendall_tau", "mae"}); err != nil {
+	if err := cw.Write([]string{"fault_model", "train", "test", "diagonal", "r2", "kendall_tau", "mae"}); err != nil {
 		return err
 	}
-	for i := range tm.Cells {
-		for _, c := range tm.Cells[i] {
-			if err := cw.Write([]string{
-				c.TrainID, c.TestID, strconv.FormatBool(c.Diagonal),
-				strconv.FormatFloat(c.R2, 'g', -1, 64),
-				strconv.FormatFloat(c.Tau, 'g', -1, 64),
-				strconv.FormatFloat(c.MAE, 'g', -1, 64),
-			}); err != nil {
-				return err
-			}
+	for _, row := range csvRows {
+		if err := cw.Write(row); err != nil {
+			return err
 		}
 	}
 	cw.Flush()
 	if err := cw.Error(); err != nil {
 		return err
 	}
-	fmt.Printf("\nwrote %s\n", path)
+	fmt.Printf("wrote %s\n", path)
 	return nil
 }
 

@@ -13,7 +13,7 @@
 //	ffrinject [-n 170] [-seed 2019] [-workers 0] [-csv fdr.csv]
 //	          [-checkpoint state.ffr] [-resume] [-shards 0] [-progress]
 //	          [-naive] [-snapshot-every 0] [-schedule clustered|plan]
-//	          [-kernel auto|interp|kernel]
+//	          [-kernel auto|interp|kernel] [-fault-model seu|mbu:N|stuck0:D|stuck1:D]
 //	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	          [-log-level info] [-log-format text] [-metrics-addr :0]
 package main
@@ -58,6 +58,7 @@ func run() error {
 		snapEvery  = flag.Int("snapshot-every", 0, "golden snapshot cadence in cycles for the incremental engine (0 = default)")
 		schedule   = flag.String("schedule", "", "batch-packing schedule: clustered or plan (default: clustered, adopting a resumed checkpoint's schedule)")
 		kernelF    = flag.String("kernel", "", "simulation backend: auto, interp or kernel (default auto = compiled kernel; results are bit-identical)")
+		faultModel = flag.String("fault-model", "", "fault model: seu (default), mbu:N, stuck0:D, stuck1:D, each with optional @start-end window (e.g. mbu:3, stuck0:8@0.25-0.75); falls back to FFR_FAULT_MODEL")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 		mAddr      = flag.String("metrics-addr", "", "serve campaign /metrics and /debug/pprof/ on this address during the run (off when empty)")
@@ -78,6 +79,14 @@ func run() error {
 			"", "auto", string(fault.BackendInterp), string(fault.BackendKernel)),
 	); err != nil {
 		return err
+	}
+	fm := *faultModel
+	if fm == "" {
+		fm = os.Getenv("FFR_FAULT_MODEL")
+	}
+	model, err := fault.ParseModel(fm)
+	if err != nil {
+		return cli.UsageErrorf("ffrinject", "bad -fault-model: %v", err)
 	}
 	logger, err := logFlags.Logger("ffrinject")
 	if err != nil {
@@ -106,6 +115,7 @@ func run() error {
 	cfg.SnapshotEvery = *snapEvery
 	cfg.Schedule = fault.Schedule(*schedule)
 	cfg.Backend, _ = fault.ParseBackend(*kernelF)
+	cfg.Model = model
 	cfg.Metrics = reg
 	cfg.Logger = logger
 	if *progress {
@@ -120,8 +130,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("device: %d flip-flops, testbench: %d cycles (%d active)\n",
-		study.NumFFs(), study.Bench.Stim.Cycles(), study.Bench.ActiveCycles)
+	fmt.Printf("device: %d flip-flops, testbench: %d cycles (%d active), fault model: %s\n",
+		study.NumFFs(), study.Bench.Stim.Cycles(), study.Bench.ActiveCycles, model)
 
 	// Ctrl-C / SIGTERM interrupts the campaign gracefully: in-flight
 	// chunks finish, the checkpoint is flushed, and the run can be picked

@@ -14,7 +14,7 @@
 //	        [-strategy committee] [-model "k-NN"] [-n 0] [-budget 0.5]
 //	        [-rounds 0] [-init 0] [-batch 0] [-delta 0] [-ci 0] [-patience 0]
 //	        [-checkpoint loop.ffrp] [-resume] [-workers 0] [-eval] [-csv out.csv]
-//	        [-kernel auto|interp|kernel]
+//	        [-kernel auto|interp|kernel] [-fault-model seu|mbu:N|stuck0:D|stuck1:D]
 //	        [-log-level info] [-log-format text] [-metrics-addr :0]
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
@@ -74,6 +74,7 @@ func run() error {
 		eval       = flag.Bool("eval", false, "also run the exhaustive campaign and score the adaptive estimate against it")
 		csvOut     = flag.String("csv", "", "write the per-round trajectory to this CSV file")
 		kernelF    = flag.String("kernel", "", "simulation backend: auto, interp or kernel (default auto = compiled kernel; results are bit-identical)")
+		faultModel = flag.String("fault-model", "", "fault model: seu (default), mbu:N, stuck0:D, stuck1:D, each with optional @start-end window; falls back to FFR_FAULT_MODEL")
 		mAddr      = flag.String("metrics-addr", "", "serve planner /metrics and /debug/pprof/ on this address during the run (off when empty)")
 		logFlags   = cli.RegisterLog()
 		prof       = cli.RegisterProfiling()
@@ -99,6 +100,14 @@ func run() error {
 	}
 	if *budget <= 0 || *budget > 1 {
 		return cli.UsageErrorf("ffrplan", "-budget must be in (0,1] (got %g)", *budget)
+	}
+	fm := *faultModel
+	if fm == "" {
+		fm = os.Getenv("FFR_FAULT_MODEL")
+	}
+	fmodel, err := fault.ParseModel(fm)
+	if err != nil {
+		return cli.UsageErrorf("ffrplan", "bad -fault-model: %v", err)
 	}
 	logger, err := logFlags.Logger("ffrplan")
 	if err != nil {
@@ -132,6 +141,7 @@ func run() error {
 	study, err := repro.NewCorpusStudy(sc, repro.CorpusStudyConfig{
 		Scale:           scale,
 		InjectionsPerFF: *n,
+		Model:           fmodel,
 		Workers:         *workers,
 		Backend:         backend,
 		Metrics:         reg,
@@ -140,8 +150,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("scenario %s at scale %s: %d flip-flops, %d injections per measured FF\n",
-		study.ScenarioID(), scale, study.NumFFs(), study.Config.InjectionsPerFF)
+	fmt.Printf("scenario %s at scale %s: %d flip-flops, %d injections per measured FF, fault model %s\n",
+		study.ScenarioID(), scale, study.NumFFs(), study.Config.InjectionsPerFF, fmodel)
 
 	// Floor keeps the spent fraction at or below the request; tiny budgets
 	// still measure at least one flip-flop (0 would mean "planner default").

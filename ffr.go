@@ -49,6 +49,10 @@ type (
 	CampaignResult = fault.Result
 	// CampaignCheckpoint is the on-disk state of a partial campaign.
 	CampaignCheckpoint = fault.Checkpoint
+	// FaultModel selects what a campaign injects (SEU, MBU, stuck-at,
+	// SET) and when (injection window); the zero value is the paper's
+	// single-bit SEU over the full active phase.
+	FaultModel = fault.Model
 	// Regressor is the supervised regression contract every model
 	// implements; Predict is safe for concurrent use after Fit.
 	Regressor = ml.Regressor
@@ -142,6 +146,11 @@ var (
 	NewCampaignRunner = fault.NewRunner
 	// LoadCampaignCheckpoint reads and validates a campaign checkpoint.
 	LoadCampaignCheckpoint = fault.LoadCheckpoint
+	// ParseFaultModel parses a canonical fault-model string
+	// ("seu", "mbu:3", "stuck0:8@0.25-0.75", "set", ...).
+	ParseFaultModel = fault.ParseModel
+	// FaultModelKinds lists every fault-model kind name.
+	FaultModelKinds = fault.ModelKinds
 	// ModelNames lists every resolvable model name.
 	ModelNames = core.ModelNames
 	// FeatureNames is the canonical feature schema (the order every
@@ -220,6 +229,9 @@ const (
 //	FFR_BACKEND     campaign simulation backend: auto (default, the
 //	                compiled wide-batch kernel), kernel, or interp (the
 //	                64-lane interpreter); results are bit-identical
+//	FFR_FAULT_MODEL campaign fault model ("seu", "mbu:3", "stuck0:8",
+//	                "stuck1:4@0.25-0.75"; default seu); studies require
+//	                an FF-targeted model, so "set" is rejected here
 func EnvStudyConfig() (StudyConfig, error) {
 	cfg := DefaultStudyConfig()
 	if v := os.Getenv("FFR_INJECTIONS"); v != "" {
@@ -256,6 +268,16 @@ func EnvStudyConfig() (StudyConfig, error) {
 			return cfg, fmt.Errorf("repro: bad FFR_BACKEND %q (want auto, interp or kernel)", v)
 		}
 		cfg.Backend = b
+	}
+	if v := os.Getenv("FFR_FAULT_MODEL"); v != "" {
+		m, err := fault.ParseModel(v)
+		if err != nil {
+			return cfg, fmt.Errorf("repro: bad FFR_FAULT_MODEL %q: %v", v, err)
+		}
+		if !m.TargetsFFs() {
+			return cfg, fmt.Errorf("repro: FFR_FAULT_MODEL %q targets combinational nodes; studies need an FF-targeted model", v)
+		}
+		cfg.Model = m
 	}
 	return cfg, nil
 }

@@ -35,12 +35,33 @@ func TestEnvStudyConfigOverrides(t *testing.T) {
 	}
 }
 
+func TestEnvStudyConfigFaultModel(t *testing.T) {
+	t.Setenv("FFR_FAULT_MODEL", "mbu:3@0.25-0.75")
+	cfg, err := repro.EnvStudyConfig()
+	if err != nil {
+		t.Fatalf("EnvStudyConfig: %v", err)
+	}
+	if got := cfg.Model.String(); got != "mbu:3@0.25-0.75" {
+		t.Fatalf("FFR_FAULT_MODEL parsed as %q", got)
+	}
+	t.Setenv("FFR_FAULT_MODEL", "")
+	cfg, err = repro.EnvStudyConfig()
+	if err != nil {
+		t.Fatalf("EnvStudyConfig: %v", err)
+	}
+	if got := cfg.Model.String(); got != "seu" {
+		t.Fatalf("default fault model is %q, want %q", got, "seu")
+	}
+}
+
 func TestEnvStudyConfigRejectsGarbage(t *testing.T) {
 	cases := [][2]string{
 		{"FFR_INJECTIONS", "zero"},
 		{"FFR_INJECTIONS", "0"},
 		{"FFR_SEED", "x"},
 		{"FFR_WORKERS", "-1"},
+		{"FFR_FAULT_MODEL", "mbu:9"},
+		{"FFR_FAULT_MODEL", "set"}, // studies are FF-targeted; SET is for fault.RunJobs
 	}
 	for _, c := range cases {
 		t.Run(c[0]+"="+c[1], func(t *testing.T) {

@@ -30,6 +30,12 @@ type CampaignSpec struct {
 	// Schedule is the batch-packing schedule name; "" means the runner
 	// default (clustered).
 	Schedule string `json:"schedule,omitempty"`
+	// FaultModel is the canonical fault-model string ("seu", "mbu:3",
+	// "stuck0:8@0.25-0.75", "set", ...); "" means SEU. The model is part
+	// of the campaign identity: it shapes the injection plan, the target
+	// space and the per-lane fault effects, and every node must agree on
+	// it for the fingerprints to match.
+	FaultModel string `json:"fault_model,omitempty"`
 	// Harden lists flip-flop indices to TMR-rewrite before the campaign
 	// runs (see internal/harden); empty runs the unhardened design. The
 	// indices refer to the unhardened netlist's FF order and are part of

@@ -134,6 +134,7 @@ func (t *studyTarget) RunRound(ctx context.Context, ffs []int, checkpointPath st
 	s := t.study
 	jobs := s.planFor(ffs)
 	runner, err := fault.NewRunner(s.Program, s.stim, s.monitors, s.classifier, fault.RunnerConfig{
+		Model:           s.Config.Model,
 		ChunkJobs:       s.Config.ChunkJobs,
 		Workers:         s.Config.Workers,
 		Golden:          s.golden,
@@ -159,7 +160,7 @@ func (t *studyTarget) RunRound(ctx context.Context, ffs []int, checkpointPath st
 // flip-flop's measured counts are bit-identical no matter which round (or
 // which campaign) measures it.
 func (s *Study) planFor(ffs []int) []fault.Job {
-	full := fault.NewPlan(s.NumFFs(), s.Config.InjectionsPerFF, s.activeCycles, s.Config.CampaignSeed)
+	full := fault.NewModelPlan(s.Config.Model, s.NumFFs(), s.Config.InjectionsPerFF, s.activeCycles, s.Config.CampaignSeed)
 	want := make(map[int]bool, len(ffs))
 	for _, ff := range ffs {
 		want[ff] = true

@@ -22,6 +22,9 @@ type CorpusStudyConfig struct {
 	// CampaignSeed overrides the scenario's default campaign seed when
 	// non-zero.
 	CampaignSeed int64
+	// Model selects the campaign fault model; the zero value is SEU. As in
+	// StudyConfig, the model must be FF-targeted (SET is rejected).
+	Model fault.Model
 	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
 	Workers int
 
@@ -56,6 +59,9 @@ type CorpusStudyConfig struct {
 // ground truth, Table I protocols, learning curves, cross-circuit transfer —
 // then works on the scenario exactly as on the paper's MAC.
 func NewCorpusStudy(sc corpus.Scenario, cfg CorpusStudyConfig) (*Study, error) {
+	if err := validateStudyModel(cfg.Model); err != nil {
+		return nil, err
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -74,6 +80,7 @@ func NewCorpusStudy(sc corpus.Scenario, cfg CorpusStudyConfig) (*Study, error) {
 	chunkJobs := chunkJobsFor(m.NumFFs()*injections, cfg.Shards, cfg.ChunkJobs)
 	runner, err := fault.NewRunner(m.Program, m.Bench.Stim, m.Bench.Monitors,
 		m.Bench.Classifier, fault.RunnerConfig{
+			Model:           cfg.Model,
 			ChunkJobs:       chunkJobs,
 			Workers:         cfg.Workers,
 			Golden:          m.Golden,
@@ -95,6 +102,7 @@ func NewCorpusStudy(sc corpus.Scenario, cfg CorpusStudyConfig) (*Study, error) {
 		Config: StudyConfig{
 			InjectionsPerFF: injections,
 			CampaignSeed:    campaignSeed,
+			Model:           cfg.Model,
 			Workers:         cfg.Workers,
 			ChunkJobs:       cfg.ChunkJobs,
 			Shards:          cfg.Shards,

@@ -38,8 +38,12 @@ type TransferCell struct {
 // transfers from IDs[i] to IDs[j].
 type TransferMatrix struct {
 	Model string
-	IDs   []string
-	Cells [][]TransferCell
+	// FaultModel is the canonical fault-model string the studies' ground
+	// truths were measured under (fault.Model.String); set by CrossCircuit
+	// from the studies' shared configuration.
+	FaultModel string
+	IDs        []string
+	Cells      [][]TransferCell
 }
 
 // CrossCircuit trains spec on each study's full measured dataset and
@@ -53,9 +57,10 @@ func CrossCircuit(studies []*Study, spec ModelSpec, seed int64) (*TransferMatrix
 	}
 	n := len(studies)
 	tm := &TransferMatrix{
-		Model: spec.Name,
-		IDs:   make([]string, n),
-		Cells: make([][]TransferCell, n),
+		Model:      spec.Name,
+		FaultModel: studies[0].Config.Model.String(),
+		IDs:        make([]string, n),
+		Cells:      make([][]TransferCell, n),
 	}
 	seen := map[string]bool{}
 	for i, s := range studies {
@@ -65,6 +70,10 @@ func CrossCircuit(studies []*Study, spec ModelSpec, seed int64) (*TransferMatrix
 		}
 		seen[id] = true
 		tm.IDs[i] = id
+		if fm := s.Config.Model.String(); fm != tm.FaultModel {
+			return nil, fmt.Errorf("core: cross-circuit transfer: %s measured under fault model %q, %s under %q",
+				tm.IDs[0], tm.FaultModel, id, fm)
+		}
 	}
 
 	// Train once per source study, score everywhere.
@@ -127,7 +136,11 @@ func (tm *TransferMatrix) Cell(trainID, testID string) (TransferCell, error) {
 // within-circuit baselines).
 func RenderTransferMatrix(w io.Writer, tm *TransferMatrix) error {
 	render := func(title string, value func(TransferCell) float64) error {
-		if _, err := fmt.Fprintf(w, "%s (%s), train row → test column:\n", title, tm.Model); err != nil {
+		label := tm.Model
+		if tm.FaultModel != "" {
+			label += ", fault model " + tm.FaultModel
+		}
+		if _, err := fmt.Fprintf(w, "%s (%s), train row → test column:\n", title, label); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%-20s", ""); err != nil {

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"repro/internal/fault"
+	"repro/internal/features"
+)
+
+// FaultDescriptorFor encodes a fault model as its feature descriptor. The
+// mapping lives here rather than in either leaf package: features stays
+// free of fault-model types and fault stays free of feature schemas, with
+// core owning the correspondence (as it does for every other cross-layer
+// assembly).
+func FaultDescriptorFor(m fault.Model) features.FaultDescriptor {
+	canonical, err := fault.ParseModel(m.String())
+	if err == nil {
+		// Round-tripping through the canonical string fills normalized
+		// defaults (kind, cluster size, duration, window) so equal models
+		// produce equal descriptors regardless of zero-value spelling.
+		m = canonical
+	}
+	var d features.FaultDescriptor
+	switch m.Kind {
+	case fault.KindMBU:
+		d.MBU = 1
+		d.ClusterSize = float64(m.Size)
+	case fault.KindStuck0:
+		d.Stuck0 = 1
+		d.Duration = float64(m.Duration)
+	case fault.KindStuck1:
+		d.Stuck1 = 1
+		d.Duration = float64(m.Duration)
+	case fault.KindSET:
+		d.SET = 1
+	default:
+		d.SEU = 1
+	}
+	d.WindowStart = m.WindowStart
+	d.WindowSpan = m.WindowEnd - m.WindowStart
+	return d
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/fault"
+)
+
+func TestFaultDescriptorFor(t *testing.T) {
+	seu := FaultDescriptorFor(fault.Model{})
+	if seu.SEU != 1 || seu.MBU != 0 || seu.WindowStart != 0 || seu.WindowSpan != 1 {
+		t.Fatalf("zero model descriptor = %+v", seu)
+	}
+	m, err := fault.ParseModel("mbu:3@0.25-0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbu := FaultDescriptorFor(m)
+	if mbu.MBU != 1 || mbu.ClusterSize != 3 || mbu.WindowStart != 0.25 || mbu.WindowSpan != 0.5 {
+		t.Fatalf("MBU descriptor = %+v", mbu)
+	}
+	m, err = fault.ParseModel("stuck1:8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := FaultDescriptorFor(m)
+	if st.Stuck1 != 1 || st.Duration != 8 || st.WindowSpan != 1 {
+		t.Fatalf("stuck-at descriptor = %+v", st)
+	}
+	set := FaultDescriptorFor(fault.Model{Kind: fault.KindSET})
+	if set.SET != 1 || set.ClusterSize != 0 || set.Duration != 0 {
+		t.Fatalf("SET descriptor = %+v", set)
+	}
+	// Exactly one one-hot bit per model.
+	for _, d := range []interface{ Slice() []float64 }{seu, mbu, st, set} {
+		row := d.Slice()
+		hot := row[0] + row[1] + row[2] + row[3] + row[4]
+		if hot != 1 {
+			t.Fatalf("kind one-hot sums to %g in %v", hot, row)
+		}
+	}
+}
+
+// TestStudyRejectsSET: per-flip-flop FDR features are meaningless for
+// combinational targets, so study construction must refuse the SET model on
+// both the MAC and corpus fronts.
+func TestStudyRejectsSET(t *testing.T) {
+	set := fault.Model{Kind: fault.KindSET}
+	cfg := DefaultStudyConfig()
+	cfg.Model = set
+	if _, err := NewStudy(cfg); err == nil {
+		t.Fatal("NewStudy accepted the SET model")
+	}
+	sc, err := corpus.Find("mac10ge/loopback")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCorpusStudy(sc, CorpusStudyConfig{Model: set}); err == nil {
+		t.Fatal("NewCorpusStudy accepted the SET model")
+	}
+	bad := fault.Model{Kind: "neutrino"}
+	cfg = DefaultStudyConfig()
+	cfg.Model = bad
+	if _, err := NewStudy(cfg); err == nil {
+		t.Fatal("NewStudy accepted an unknown model kind")
+	}
+}
+
+// TestCorpusStudyModelChangesGroundTruth: the model threads all the way
+// through a corpus study's ground truth — an MBU campaign must not
+// reproduce the SEU failure profile.
+func TestCorpusStudyModelChangesGroundTruth(t *testing.T) {
+	sc, err := corpus.Find("alupipe/randomops")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(spec string) []int {
+		t.Helper()
+		m, err := fault.ParseModel(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		study, err := NewCorpusStudy(sc, CorpusStudyConfig{InjectionsPerFF: 3, Model: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := study.RunGroundTruth()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Failures
+	}
+	seu := run("seu")
+	mbu := run("mbu:4")
+	same := len(seu) == len(mbu)
+	if same {
+		for i := range seu {
+			if seu[i] != mbu[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("MBU ground truth equals SEU ground truth — model not threaded")
+	}
+}

@@ -23,6 +23,13 @@ type StudyConfig struct {
 	InjectionsPerFF int
 	// CampaignSeed drives injection-time sampling.
 	CampaignSeed int64
+	// Model selects the campaign fault model (see fault.Model); the zero
+	// value is the paper's SEU reference model. Studies require an
+	// FF-targeted model — SEU, MBU, stuck-at, optionally windowed — because
+	// the estimation flow regresses per-flip-flop features onto per-target
+	// FDR; SET targets combinational cells and is rejected (run SET
+	// campaigns directly via fault.RunJobs).
+	Model fault.Model
 	// Workers bounds campaign parallelism (0 = GOMAXPROCS).
 	Workers int
 	// CheckStats includes the statistics readout in the failure
@@ -129,6 +136,9 @@ type Study struct {
 // extracts all per-flip-flop features. It does not run the fault campaign;
 // call RunGroundTruth for the reference FDR data.
 func NewStudy(cfg StudyConfig) (*Study, error) {
+	if err := validateStudyModel(cfg.Model); err != nil {
+		return nil, err
+	}
 	nl, err := circuit.NewMAC10GE(cfg.MAC)
 	if err != nil {
 		return nil, fmt.Errorf("core: building circuit: %w", err)
@@ -176,6 +186,7 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 	// snapshots across all shards and calls instead of re-simulating them
 	// per campaign.
 	runner, err := fault.NewRunner(p, bench.Stim, bench.Monitors, classifier, fault.RunnerConfig{
+		Model:           cfg.Model,
 		ChunkJobs:       chunkJobs,
 		Workers:         cfg.Workers,
 		Golden:          golden,
@@ -211,6 +222,19 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 		monitors:     bench.Monitors,
 		activeCycles: bench.ActiveCycles,
 	}, nil
+}
+
+// validateStudyModel enforces the studies' FF-targeted model requirement.
+func validateStudyModel(m fault.Model) error {
+	if err := m.Validate(); err != nil {
+		return fmt.Errorf("core: study fault model: %w", err)
+	}
+	if !m.TargetsFFs() {
+		return fmt.Errorf("core: study fault model %q targets combinational cells; "+
+			"studies need an FF-targeted model (per-FF features cannot describe comb targets) — "+
+			"run SET campaigns directly via fault.RunJobs", m)
+	}
+	return nil
 }
 
 // chunkJobsFor derives the runner chunk size: a requested shard count
@@ -258,6 +282,7 @@ func (s *Study) RunGroundTruthContext(ctx context.Context) (*fault.Result, error
 		return s.Campaign, nil
 	}
 	cfg := fault.CampaignConfig{
+		Model:           s.Config.Model,
 		InjectionsPerFF: s.Config.InjectionsPerFF,
 		ActiveCycles:    s.activeCycles,
 		Seed:            s.Config.CampaignSeed,
@@ -266,7 +291,7 @@ func (s *Study) RunGroundTruthContext(ctx context.Context) (*fault.Result, error
 	if err := cfg.Validate(s.stim.Cycles()); err != nil {
 		return nil, fmt.Errorf("core: ground-truth campaign: %w", err)
 	}
-	jobs := fault.NewPlan(s.NumFFs(), cfg.InjectionsPerFF, cfg.ActiveCycles, cfg.Seed)
+	jobs := fault.NewModelPlan(cfg.Model, s.NumFFs(), cfg.InjectionsPerFF, cfg.ActiveCycles, cfg.Seed)
 	res, err := s.runner.RunContext(ctx, jobs)
 	if err != nil {
 		return nil, fmt.Errorf("core: ground-truth campaign: %w", err)
@@ -283,6 +308,7 @@ func (s *Study) RunGroundTruthContext(ctx context.Context) (*fault.Result, error
 func (s *Study) RunPartialCampaign(ffs []int) (*fault.Result, error) {
 	res, err := fault.RunJobs(s.Program, s.stim, s.monitors, s.classifier, s.planFor(ffs),
 		fault.RunnerConfig{
+			Model:     s.Config.Model,
 			Workers:   s.Config.Workers,
 			Golden:    s.golden,
 			Snapshots: s.snapshots,

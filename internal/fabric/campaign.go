@@ -69,6 +69,11 @@ func ResolveSpec(spec api.CampaignSpec) (api.CampaignSpec, error) {
 	if spec.Schedule == "" {
 		spec.Schedule = string(fault.ScheduleClustered)
 	}
+	model, err := fault.ParseModel(spec.FaultModel)
+	if err != nil {
+		return spec, fmt.Errorf("fabric: %v", err)
+	}
+	spec.FaultModel = model.String()
 	if len(spec.Harden) > 0 {
 		sorted := append([]int(nil), spec.Harden...)
 		sort.Ints(sorted)
@@ -129,9 +134,15 @@ func BuildCampaignObs(spec api.CampaignSpec, workers int, backend fault.Backend,
 	if err != nil {
 		return nil, err
 	}
-	jobs := fault.NewPlan(m.NumFFs(), spec.InjectionsPerFF, m.Bench.ActiveCycles, spec.CampaignSeed)
+	model, err := fault.ParseModel(spec.FaultModel)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %v", err)
+	}
+	jobs := fault.NewModelPlan(model, model.NumTargets(m.Program), spec.InjectionsPerFF,
+		m.Bench.ActiveCycles, spec.CampaignSeed)
 	runner, err := fault.NewRunner(m.Program, m.Bench.Stim, m.Bench.Monitors, m.Bench.Classifier,
 		fault.RunnerConfig{
+			Model:     model,
 			ChunkJobs: spec.ChunkJobs,
 			Workers:   workers,
 			Golden:    m.Golden,

@@ -1,0 +1,131 @@
+package fabric_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/fault"
+)
+
+// TestResolveSpecCanonicalizesFaultModel: the wire spec carries the fault
+// model as its canonical string so equal campaigns serialize identically;
+// any parseable spelling resolves, the empty spelling means SEU, and
+// malformed models are refused before materialization.
+func TestResolveSpecCanonicalizesFaultModel(t *testing.T) {
+	spec := testSpec()
+	resolved, err := fabric.ResolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.FaultModel != "seu" {
+		t.Fatalf("empty fault model resolved to %q, want %q", resolved.FaultModel, "seu")
+	}
+
+	spec.FaultModel = " MBU:3 "
+	resolved, err = fabric.ResolveSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved.FaultModel != "mbu:3" {
+		t.Fatalf("fault model canonicalized to %q, want %q", resolved.FaultModel, "mbu:3")
+	}
+
+	for _, bad := range []string{"mbu:9", "gamma", "seu@2-3"} {
+		spec.FaultModel = bad
+		if _, err := fabric.ResolveSpec(spec); err == nil {
+			t.Errorf("ResolveSpec accepted fault model %q", bad)
+		}
+	}
+}
+
+// TestDistributedModelCampaignMatchesSingleNode: a 2-worker distributed MBU
+// campaign merges to a checkpoint fingerprint-identical to the single-node
+// run — the model rides the wire spec, so workers materialize the same
+// clusters and plans without any side channel.
+func TestDistributedModelCampaignMatchesSingleNode(t *testing.T) {
+	spec := testSpec()
+	spec.FaultModel = "mbu:2"
+
+	camp, err := fabric.BuildCampaign(spec, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := fault.ParseModel(spec.FaultModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckPath := filepath.Join(t.TempDir(), "single.ckpt")
+	if _, err := fault.RunJobs(camp.M.Program, camp.M.Bench.Stim, camp.M.Bench.Monitors,
+		camp.M.Bench.Classifier, camp.Jobs, fault.RunnerConfig{
+			Model:          model,
+			ChunkJobs:      camp.Spec.ChunkJobs,
+			Workers:        2,
+			Golden:         camp.M.Golden,
+			Snapshots:      camp.M.Snapshots,
+			Schedule:       fault.Schedule(camp.Spec.Schedule),
+			CheckpointPath: ckPath,
+		}); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := fault.LoadCheckpoint(ckPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ck.Fingerprint()
+	if ck.Model != "mbu:2" {
+		t.Fatalf("single-node checkpoint records model %q, want %q", ck.Model, "mbu:2")
+	}
+
+	coord, err := fabric.NewCoordinator(fabric.CoordinatorConfig{
+		Spec:     spec,
+		LeaseTTL: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	var wg sync.WaitGroup
+	workerErrs := make([]error, 2)
+	for i, name := range []string{"w1", "w2"} {
+		w, err := fabric.NewWorker(fabric.WorkerConfig{
+			Name:        name,
+			Coordinator: srv.URL,
+			Workers:     1,
+			Heartbeat:   100 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			workerErrs[i] = w.Run(context.Background())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range workerErrs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := coord.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := coord.CheckpointFingerprint()
+	if !ok {
+		t.Fatal("campaign finished without a fingerprint")
+	}
+	if got != want {
+		t.Fatalf("distributed MBU fingerprint %x != single-node %x", got, want)
+	}
+}

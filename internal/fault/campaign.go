@@ -7,7 +7,13 @@ import (
 	"repro/internal/sim"
 )
 
-// Job is a single injection: flip flip-flop FF at the given cycle.
+// Job is one scheduled injection of a campaign: inject a fault at target FF
+// at the given cycle. What "inject" means — and what index space FF draws
+// from — is defined by the campaign's fault Model: under the FF-targeted
+// models (SEU, MBU, stuck-at) FF indexes flip-flops and the fault is a flip,
+// a cluster flip or a forced hold; under SET it indexes combinational cells
+// and the fault is a one-evaluation output pulse. The name FF is kept for
+// compatibility with serialized plans from SEU-only versions.
 type Job struct {
 	FF    int
 	Cycle int
@@ -70,11 +76,14 @@ type Stream interface {
 
 // CampaignConfig parameterizes RunCampaign.
 type CampaignConfig struct {
-	// InjectionsPerFF is the number of SEU runs per flip-flop (the paper
-	// uses 170).
+	// Model selects the fault model; the zero value is the SEU reference
+	// model (one flip-flop flip, full active window).
+	Model Model
+	// InjectionsPerFF is the number of injection runs per target (the
+	// paper uses 170 per flip-flop).
 	InjectionsPerFF int
 	// ActiveCycles bounds injection times: cycles are drawn uniformly
-	// from [0, ActiveCycles).
+	// from [0, ActiveCycles), restricted further by a windowed Model.
 	ActiveCycles int
 	// Seed drives injection-time sampling.
 	Seed int64
@@ -96,12 +105,15 @@ func (c CampaignConfig) Validate(stimCycles int) error {
 	return nil
 }
 
-// Result is the outcome of a campaign.
+// Result is the outcome of a campaign. The per-target arrays are indexed by
+// the campaign model's target space: flip-flop index for SEU, MBU and
+// stuck-at (an MBU is counted against its anchor flip-flop), combinational
+// target index for SET.
 type Result struct {
-	// FDR is the per-flip-flop Functional De-Rating factor:
+	// FDR is the per-target Functional De-Rating factor:
 	// failures / injections.
 	FDR []float64
-	// Failures and Injections are the per-flip-flop raw counts.
+	// Failures and Injections are the per-target raw counts.
 	Failures   []int
 	Injections []int
 	// TotalRuns is the number of injection runs simulated.
@@ -138,16 +150,18 @@ func NewPlan(numFFs, injectionsPerFF, activeCycles int, seed int64) []Job {
 }
 
 // RunCampaign executes the full flat statistical campaign: a golden run,
-// then every job of the plan in 64-lane batches, classified by cls.
+// then every job of the plan in 64-lane batches, classified by cls. The
+// zero-valued cfg.Model runs the paper's SEU campaign, whose plan and
+// results are bit-identical to the pre-model NewPlan path.
 func RunCampaign(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifier, cfg CampaignConfig) (*Result, error) {
 	if err := cfg.Validate(stim.Cycles()); err != nil {
 		return nil, err
 	}
-	r, err := NewRunner(p, stim, monitors, cls, RunnerConfig{Workers: cfg.Workers})
+	r, err := NewRunner(p, stim, monitors, cls, RunnerConfig{Workers: cfg.Workers, Model: cfg.Model})
 	if err != nil {
 		return nil, err
 	}
-	jobs := NewPlan(p.NumFFs(), cfg.InjectionsPerFF, cfg.ActiveCycles, cfg.Seed)
+	jobs := NewModelPlan(cfg.Model, cfg.Model.NumTargets(p), cfg.InjectionsPerFF, cfg.ActiveCycles, cfg.Seed)
 	return r.Run(jobs)
 }
 

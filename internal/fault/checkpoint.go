@@ -61,6 +61,11 @@ type Checkpoint struct {
 	// which were packed in plan order. Resuming under a different schedule
 	// is rejected: the same mask bit maps to a different job.
 	Schedule string
+	// Model is the canonical fault-model string the masks were recorded
+	// under (see Model.String). "" marks files from before fault models
+	// existed, which were all SEU campaigns. Resuming under a different
+	// model is rejected: the same job injects a different fault.
+	Model string
 	// TotalJobs is the plan length.
 	TotalJobs int
 	// ChunkJobs is the shard chunk size in jobs (a multiple of sim.Lanes).
@@ -79,6 +84,7 @@ type checkpointHeader struct {
 	GoldenHash     string `json:"golden_hash"`
 	ClassifierHash string `json:"classifier_hash"`
 	Schedule       string `json:"schedule,omitempty"`
+	FaultModel     string `json:"fault_model,omitempty"`
 	TotalJobs      int    `json:"total_jobs"`
 	ChunkJobs      int    `json:"chunk_jobs"`
 	NumChunks      int    `json:"num_chunks"`
@@ -106,6 +112,9 @@ func (c *Checkpoint) Fingerprint() uint64 {
 	sched := normalizeCheckpointSchedule(c.Schedule)
 	write(uint64(len(sched)))
 	h.Write([]byte(sched))
+	model := normalizeCheckpointModel(c.Model)
+	write(uint64(len(model)))
+	h.Write([]byte(model))
 	write(uint64(c.TotalJobs))
 	write(uint64(c.ChunkJobs))
 	write(uint64(c.NumChunks))
@@ -119,6 +128,17 @@ func (c *Checkpoint) Fingerprint() uint64 {
 		}
 	}
 	return h.Sum64()
+}
+
+// normalizeCheckpointModel resolves a checkpoint's recorded fault model:
+// "" marks files from before fault models existed, which were all SEU
+// campaigns, so they normalize to — and fingerprint identically with — the
+// canonical SEU string.
+func normalizeCheckpointModel(s string) string {
+	if s == "" {
+		return Model{}.String()
+	}
+	return s
 }
 
 // PlanFingerprint returns a stable 64-bit digest of an injection plan. Two
@@ -164,6 +184,7 @@ func SaveCheckpoint(path string, c *Checkpoint) (err error) {
 		GoldenHash:     strconv.FormatUint(c.GoldenHash, 16),
 		ClassifierHash: strconv.FormatUint(c.ClassifierHash, 16),
 		Schedule:       c.Schedule,
+		FaultModel:     c.Model,
 		TotalJobs:      c.TotalJobs,
 		ChunkJobs:      c.ChunkJobs,
 		NumChunks:      c.NumChunks,
@@ -240,6 +261,7 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		GoldenHash:     goldenHash,
 		ClassifierHash: classifierHash,
 		Schedule:       hdr.Schedule,
+		Model:          hdr.FaultModel,
 		TotalJobs:      hdr.TotalJobs,
 		ChunkJobs:      hdr.ChunkJobs,
 		NumChunks:      hdr.NumChunks,

@@ -60,11 +60,18 @@ func (r *Runner) ChunkJobs() int {
 	return sh.chunkJobs
 }
 
-// validateJobs bounds-checks a plan against the program and stimulus.
+// validateJobs bounds-checks a plan against the program, stimulus and fault
+// model (which defines the target index space — flip-flops, or combinational
+// cells for SET).
 func (r *Runner) validateJobs(jobs []Job) error {
+	numTargets := r.model.NumTargets(r.p)
+	noun := "FF"
+	if !r.model.TargetsFFs() {
+		noun = "comb target"
+	}
 	for _, j := range jobs {
-		if j.FF < 0 || j.FF >= r.p.NumFFs() {
-			return fmt.Errorf("fault: job targets FF %d of %d", j.FF, r.p.NumFFs())
+		if j.FF < 0 || j.FF >= numTargets {
+			return fmt.Errorf("fault: job targets %s %d of %d", noun, j.FF, numTargets)
 		}
 		if j.Cycle < 0 || j.Cycle >= r.stim.Cycles() {
 			return fmt.Errorf("fault: job at cycle %d of %d", j.Cycle, r.stim.Cycles())
@@ -113,6 +120,13 @@ func (r *Runner) RunChunks(ctx context.Context, jobs []Job, chunkIdx []int) (map
 	if err != nil {
 		return nil, err
 	}
+	// Model-dependent precomputation, shared read-only by all workers. The
+	// SET effect table derives from the golden run alone, so every fabric
+	// worker computes identical effects for its leased chunks.
+	setFX := r.setEffects(jobs)
+	if r.model.Kind == KindMBU {
+		r.ffClusters()
+	}
 
 	workers := r.cfg.Workers
 	if workers <= 0 {
@@ -133,7 +147,7 @@ func (r *Runner) RunChunks(ctx context.Context, jobs []Job, chunkIdx []int) (map
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			ws := newWorkerState(r, snaps)
+			ws := newWorkerState(r, snaps, setFX)
 			for ci := range chunks {
 				masks, _ := r.runChunk(ws, golden, jobs, order, sh, ci)
 				results <- chunkResult{index: ci, masks: masks}
@@ -217,6 +231,7 @@ func (r *Runner) CampaignCheckpoint(jobs []Job, done map[int][]uint64) (*Checkpo
 		GoldenHash:     golden.Fingerprint(),
 		ClassifierHash: r.classifierFingerprint(),
 		Schedule:       string(r.schedule),
+		Model:          r.model.String(),
 		TotalJobs:      sh.totalJobs,
 		ChunkJobs:      sh.chunkJobs,
 		NumChunks:      sh.numChunks,

@@ -1,16 +1,30 @@
 // Package fault implements the paper's flat statistical fault-injection
-// campaign (Section IV-A): SEUs are injected by inverting the value stored
-// in flip-flops at random times during the active simulation phase, runs are
-// classified at the applicative level against a golden reference, and the
-// per-flip-flop Functional De-Rating factor is the fraction of failing runs.
+// campaign (Section IV-A) and generalizes it over pluggable fault models:
+// faults are injected at random times during the active simulation phase,
+// runs are classified at the applicative level against a golden reference,
+// and the per-target Functional De-Rating factor is the fraction of failing
+// runs.
+//
+// The Model type selects what one injection physically is. The zero value —
+// and the paper's reference — is the SEU: invert the value stored in one
+// flip-flop for one cycle. The other models reuse the exact same plan,
+// scheduling, sharding and checkpoint machinery: MBU flips a spatial cluster
+// of flip-flops (netlist proximity standing in for placement), stuck-at-0/1
+// holds a flip-flop at a value for a duration, SET pulses a combinational
+// cell's output for one evaluation (latching only where a downstream
+// flip-flop samples it), and any model can be windowed to a fraction of the
+// active phase. Every model is bit-identical across backends and schedules,
+// and the SEU model is bit-identical to the pre-model campaign — both
+// properties are pinned by the equivalence suite.
 //
 // The campaign exploits the 64-lane bit-parallel engine: 64 independent
 // injection runs execute per simulation pass. Execution is owned by Runner,
 // which shards the plan into fixed-size chunks, fans them out across a
 // bounded worker pool, merges partial results deterministically (worker
 // count and chunk size never change the outcome), and can checkpoint
-// completed-chunk state to disk for exact resume. RunCampaign and RunJobs
-// are thin convenience wrappers over Runner.
+// completed-chunk state to disk for exact resume. Checkpoints record the
+// fault model and refuse to resume under a different one. RunCampaign and
+// RunJobs are thin convenience wrappers over Runner.
 //
 // The same machinery serves partial campaigns: the core estimation flow
 // injects only a training subset, and the active-learning planner (package

@@ -82,6 +82,12 @@ type Progress struct {
 
 // RunnerConfig parameterizes a Runner.
 type RunnerConfig struct {
+	// Model selects the fault model jobs are executed under; the zero
+	// value is the SEU reference model. The model defines what a job's
+	// target index means (flip-flop, or combinational cell for SET) and
+	// what engine events a job expands into — see Model. Checkpoints
+	// record the model and refuse to resume under a different one.
+	Model Model
 	// ChunkJobs is the shard chunk size in jobs; it is rounded up to a
 	// whole number of 64-lane batches. 0 means DefaultChunkJobs.
 	ChunkJobs int
@@ -156,9 +162,15 @@ type Runner struct {
 	scheduleSet bool
 	// backend is the resolved concrete backend (never BackendAuto).
 	backend Backend
+	// model is the resolved fault model (normalized; never zero-valued).
+	model Model
 
 	metrics *campaignMetrics
 	log     *obs.Logger
+
+	// clusters are the lazily computed MBU proximity clusters.
+	clusterOnce sync.Once
+	clusters    [][]int
 
 	kernOnce sync.Once
 	kern     *sim.Kernel
@@ -201,6 +213,9 @@ func NewRunner(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifie
 	if !cfg.Backend.valid() {
 		return nil, fmt.Errorf("fault: unknown backend %q", cfg.Backend)
 	}
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
 	if cfg.Snapshots != nil {
 		if err := cfg.Snapshots.Matches(p, stim); err != nil {
 			return nil, fmt.Errorf("fault: supplied snapshots: %w", err)
@@ -222,6 +237,7 @@ func NewRunner(p *sim.Program, stim *sim.Stimulus, monitors []int, cls Classifie
 		schedule:    cfg.Schedule.normalize(),
 		scheduleSet: cfg.Schedule != "",
 		backend:     backend,
+		model:       cfg.Model.normalize(),
 		golden:      cfg.Golden,
 		snaps:       cfg.Snapshots,
 		log:         cfg.Logger.Component("campaign"),
@@ -306,13 +322,8 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	// chunks as soon as a checkpoint save fails.
 	ctx, cancelRun := context.WithCancel(ctx)
 	defer cancelRun()
-	for _, j := range jobs {
-		if j.FF < 0 || j.FF >= r.p.NumFFs() {
-			return nil, fmt.Errorf("fault: job targets FF %d of %d", j.FF, r.p.NumFFs())
-		}
-		if j.Cycle < 0 || j.Cycle >= r.stim.Cycles() {
-			return nil, fmt.Errorf("fault: job at cycle %d of %d", j.Cycle, r.stim.Cycles())
-		}
+	if err := r.validateJobs(jobs); err != nil {
+		return nil, err
 	}
 	sh, err := newSharding(len(jobs), r.cfg.ChunkJobs)
 	if err != nil {
@@ -331,6 +342,11 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 		if kern, err = r.kernel(); err != nil {
 			return nil, err
 		}
+	}
+	// Model-dependent precomputation, shared read-only by all workers.
+	setFX := r.setEffects(jobs)
+	if r.model.Kind == KindMBU {
+		r.ffClusters()
 	}
 
 	// Restore completed chunks from the checkpoint, if resuming. This may
@@ -410,9 +426,9 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 			var ws *workerState
 			var wws *wideWorkerState
 			if kern != nil {
-				wws = newWideWorkerState(r, kern)
+				wws = newWideWorkerState(r, kern, setFX)
 			} else {
-				ws = newWorkerState(r, snaps)
+				ws = newWorkerState(r, snaps, setFX)
 			}
 			for ci := range chunks {
 				chunkStart := time.Now()
@@ -508,27 +524,37 @@ func (r *Runner) RunContext(ctx context.Context, jobs []Job) (*Result, error) {
 	return res, nil
 }
 
-// flipOp is one scheduled SEU of a batch: flip ff in the lanes of mask at
-// the given cycle.
+// flipOp is one scheduled engine event of a batch: apply kind to ff in the
+// lanes of mask at the given cycle. fin marks the lanes' final event (see
+// modelexec.go); under the SEU reference model every job is exactly one
+// effFlip with fin set.
 type flipOp struct {
 	cycle int
 	ff    int
 	mask  uint64
+	kind  effKind
+	fin   bool
 }
 
 // workerState is the reusable per-worker simulation state: the engine, the
-// faulty-trace buffer of the incremental path and the flip schedule, all
-// recycled across batches so the hot loop allocates nothing per batch.
+// faulty-trace buffer of the incremental path, the event schedule and the
+// SET glitch list, all recycled across batches so the hot loop allocates
+// nothing per batch.
 type workerState struct {
-	e     *sim.Engine
-	trace *sim.Trace
-	flips []flipOp
+	e        *sim.Engine
+	trace    *sim.Trace
+	flips    []flipOp
+	glitches []laneGlitch
+	// fx is the read-only SET effect table of the current plan; nil for
+	// other models.
+	fx map[int64]setEffect
 }
 
-func newWorkerState(r *Runner, snaps *sim.Snapshots) *workerState {
+func newWorkerState(r *Runner, snaps *sim.Snapshots, fx map[int64]setEffect) *workerState {
 	ws := &workerState{
 		e:     sim.NewEngine(r.p),
 		flips: make([]flipOp, 0, sim.Lanes),
+		fx:    fx,
 	}
 	if snaps != nil {
 		ws.trace = sim.NewTrace(r.monitors, r.stim.Cycles())
@@ -563,18 +589,25 @@ func (r *Runner) runChunk(ws *workerState, golden *sim.Trace, jobs []Job, order 
 			bhi = hi
 		}
 		ws.flips = ws.flips[:0]
-		var used uint64
+		ws.glitches = ws.glitches[:0]
+		var used, eventless uint64
 		for lane, pos := 0, blo; pos < bhi; lane, pos = lane+1, pos+1 {
 			job := jobs[jobIndex(order, pos)]
-			ws.flips = append(ws.flips, flipOp{cycle: job.Cycle, ff: job.FF, mask: 1 << uint(lane)})
-			used |= 1 << uint(lane)
+			laneMask := uint64(1) << uint(lane)
+			n := len(ws.flips)
+			ws.flips = r.expandJob(ws.flips, ws.fx, job, laneMask)
+			if len(ws.flips) == n {
+				eventless |= laneMask
+			}
+			ws.glitches = r.appendGlitches(ws.glitches, ws.fx, job, laneMask)
+			used |= laneMask
 		}
 		sortFlips(ws.flips)
 
 		var mask uint64
 		var cycles int
 		if ws.trace != nil {
-			mask, cycles = r.runBatchIncremental(ws, golden, used)
+			mask, cycles = r.runBatchIncremental(ws, golden, used, eventless)
 		} else {
 			mask, cycles = r.runBatchNaive(ws, golden, used)
 			r.metrics.observeNaiveBatch()
@@ -593,11 +626,15 @@ func (r *Runner) runBatchNaive(ws *workerState, golden *sim.Trace, used uint64) 
 		Monitors: r.monitors,
 		PreEval: func(c int) {
 			for ptr < len(ws.flips) && ws.flips[ptr].cycle == c {
-				ws.e.FlipFF(ws.flips[ptr].ff, ws.flips[ptr].mask)
+				applyOp(ws.e, &ws.flips[ptr])
 				ptr++
 			}
 		},
 	})
+	for i := range ws.glitches {
+		g := &ws.glitches[i]
+		faulty.XORWord(g.cycle, g.mon, g.mask)
+	}
 	return r.cls.FailingLanes(golden, faulty, used), r.stim.Cycles()
 }
 
@@ -606,7 +643,18 @@ func (r *Runner) runBatchNaive(ws *workerState, golden *sim.Trace, used uint64) 
 // trace, stops as soon as every used lane's verdict is decided, fills the
 // skipped prefix and suffix from the golden trace (both provably identical
 // to it) and classifies the reconstructed trace exactly like the naive path.
-func (r *Runner) runBatchIncremental(ws *workerState, golden *sim.Trace, used uint64) (uint64, int) {
+func (r *Runner) runBatchIncremental(ws *workerState, golden *sim.Trace, used, eventless uint64) (uint64, int) {
+	if len(ws.flips) == 0 {
+		// No lane has any engine event (possible under SET): the faulty
+		// trace is the golden trace plus glitches, no simulation needed.
+		ws.trace.CopyCycles(golden, 0, r.stim.Cycles())
+		for i := range ws.glitches {
+			g := &ws.glitches[i]
+			ws.trace.XORWord(g.cycle, g.mon, g.mask)
+		}
+		r.metrics.observeBatch(0, 0, r.stim.Cycles(), used, 0, used)
+		return r.cls.FailingLanes(golden, ws.trace, used), 0
+	}
 	snaps := r.snaps
 	minCycle := ws.flips[0].cycle
 	start := snaps.SnapCycle(snaps.IndexAtOrBefore(minCycle))
@@ -618,15 +666,20 @@ func (r *Runner) runBatchIncremental(ws *workerState, golden *sim.Trace, used ui
 
 	ws.trace.CopyCycles(golden, 0, start)
 	ptr := 0
-	pending := used // lanes whose flip has not happened yet
+	// Lanes stay pending until their final event has been applied; lanes
+	// with no events at all are never pending (their state is golden).
+	pending := used &^ eventless
 	var failed, settled uint64
 	stop := sim.RunWindow(ws.e, r.stim, snaps, minCycle, sim.WindowConfig{
 		Monitors: r.monitors,
 		Trace:    ws.trace,
 		PreEval: func(c int) {
 			for ptr < len(ws.flips) && ws.flips[ptr].cycle == c {
-				ws.e.FlipFF(ws.flips[ptr].ff, ws.flips[ptr].mask)
-				pending &^= ws.flips[ptr].mask
+				f := &ws.flips[ptr]
+				applyOp(ws.e, f)
+				if f.fin {
+					pending &^= f.mask
+				}
 				ptr++
 			}
 		},
@@ -650,19 +703,25 @@ func (r *Runner) runBatchIncremental(ws *workerState, golden *sim.Trace, used ui
 		},
 	})
 	ws.trace.CopyCycles(golden, stop, r.stim.Cycles())
+	for i := range ws.glitches {
+		g := &ws.glitches[i]
+		ws.trace.XORWord(g.cycle, g.mon, g.mask)
+	}
 	r.metrics.observeBatch(start, stop, r.stim.Cycles(), used, failed, settled)
 	return r.cls.FailingLanes(golden, ws.trace, used), stop - start
 }
 
-// merge folds completed chunk masks into the final per-FF Result. The fold
-// visits chunks in index order and maps every lane back to its job through
-// the schedule, so the outcome is independent of completion order, schedule
-// and of which chunks came from a checkpoint.
+// merge folds completed chunk masks into the final per-target Result (per
+// flip-flop for FF-targeted models, per combinational cell for SET). The
+// fold visits chunks in index order and maps every lane back to its job
+// through the schedule, so the outcome is independent of completion order,
+// schedule and of which chunks came from a checkpoint.
 func (r *Runner) merge(jobs []Job, order []int, sh sharding, done map[int][]uint64, resumed int) *Result {
+	numTargets := r.model.NumTargets(r.p)
 	res := &Result{
-		FDR:           make([]float64, r.p.NumFFs()),
-		Failures:      make([]int, r.p.NumFFs()),
-		Injections:    make([]int, r.p.NumFFs()),
+		FDR:           make([]float64, numTargets),
+		Failures:      make([]int, numTargets),
+		Injections:    make([]int, numTargets),
 		TotalRuns:     len(jobs),
 		Batches:       sh.numBatches(),
 		Chunks:        sh.numChunks,
@@ -723,10 +782,16 @@ func (r *Runner) classifierFingerprint() uint64 {
 
 // matchCheckpoint verifies that a loaded checkpoint belongs to exactly this
 // campaign: same plan, same golden trace, same failure criterion, same
-// shard geometry, same batch-packing schedule.
+// fault model, same shard geometry, same batch-packing schedule.
 func (r *Runner) matchCheckpoint(ck *Checkpoint, jobs []Job, sh sharding, golden *sim.Trace) error {
 	if ck.PlanHash != PlanFingerprint(jobs) {
 		return fmt.Errorf("%w: plan fingerprint differs (checkpoint %x)", ErrCheckpointMismatch, ck.PlanHash)
+	}
+	if got := normalizeCheckpointModel(ck.Model); got != r.model.String() {
+		// Masks depend on what each job injected, so models must agree. ""
+		// marks files from before fault models existed, which were all SEU.
+		return fmt.Errorf("%w: fault model differs (checkpoint %q, campaign %q)",
+			ErrCheckpointMismatch, got, r.model)
 	}
 	if ck.GoldenHash != golden.Fingerprint() {
 		return fmt.Errorf("%w: golden trace fingerprint differs (checkpoint %x)", ErrCheckpointMismatch, ck.GoldenHash)
@@ -761,6 +826,7 @@ func (r *Runner) saveCheckpoint(jobs []Job, sh sharding, golden *sim.Trace, done
 		GoldenHash:     golden.Fingerprint(),
 		ClassifierHash: r.classifierFingerprint(),
 		Schedule:       string(r.schedule),
+		Model:          r.model.String(),
 		TotalJobs:      sh.totalJobs,
 		ChunkJobs:      sh.chunkJobs,
 		NumChunks:      sh.numChunks,

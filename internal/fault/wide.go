@@ -26,13 +26,16 @@ import (
 // the per-batch classification below is post hoc over the reconstructed
 // trace, exactly like the narrow path.
 
-// wideFlip is one scheduled SEU of a wide batch: flip ff in the lanes of
-// mask within batch word `word` at the given cycle.
+// wideFlip is one scheduled engine event of a wide batch: apply kind to ff
+// in the lanes of mask within batch word `word` at the given cycle. Like
+// flipOp, fin marks the lanes' final event.
 type wideFlip struct {
 	cycle int
 	ff    int
 	word  int
 	mask  uint64
+	kind  effKind
+	fin   bool
 }
 
 // sortWideFlips orders the flip schedule by cycle; same rationale as
@@ -105,24 +108,33 @@ type wideWorkerState struct {
 	e       *sim.KernelEngine
 	traces  []*sim.Trace
 	flips   []wideFlip
-	streams []Stream
-	used    []uint64
-	pending []uint64
-	failed  []uint64
-	settled []uint64
+	scratch []flipOp // expandJob staging, re-tagged with the batch word
+	// glitches collects the batch's SET output glitches per word.
+	glitches [][]laneGlitch
+	streams  []Stream
+	used     []uint64
+	pending  []uint64
+	failed   []uint64
+	settled  []uint64
+	// fx is the read-only SET effect table of the current plan; nil for
+	// other models.
+	fx map[int64]setEffect
 }
 
-func newWideWorkerState(r *Runner, kern *sim.Kernel) *wideWorkerState {
+func newWideWorkerState(r *Runner, kern *sim.Kernel, fx map[int64]setEffect) *wideWorkerState {
 	W := sim.DefaultKernelWords
 	ws := &wideWorkerState{
-		e:       sim.NewKernelEngine(kern, W),
-		traces:  make([]*sim.Trace, W),
-		flips:   make([]wideFlip, 0, W*sim.Lanes),
-		streams: make([]Stream, W),
-		used:    make([]uint64, W),
-		pending: make([]uint64, W),
-		failed:  make([]uint64, W),
-		settled: make([]uint64, W),
+		e:        sim.NewKernelEngine(kern, W),
+		traces:   make([]*sim.Trace, W),
+		flips:    make([]wideFlip, 0, W*sim.Lanes),
+		scratch:  make([]flipOp, 0, sim.Lanes),
+		glitches: make([][]laneGlitch, W),
+		streams:  make([]Stream, W),
+		used:     make([]uint64, W),
+		pending:  make([]uint64, W),
+		failed:   make([]uint64, W),
+		settled:  make([]uint64, W),
+		fx:       fx,
 	}
 	for i := range ws.traces {
 		ws.traces[i] = sim.NewTrace(r.monitors, r.stim.Cycles())
@@ -165,73 +177,98 @@ func (r *Runner) runBatchWide(ws *wideWorkerState, golden *sim.Trace, jobs []Job
 	settled := ws.settled[:groups]
 	for g := 0; g < groups; g++ {
 		used[g], failed[g], settled[g] = 0, 0, 0
+		ws.glitches[g] = ws.glitches[g][:0]
 		blo := lo + (wb+g)*sim.Lanes
 		bhi := blo + sim.Lanes
 		if bhi > hi {
 			bhi = hi
 		}
+		var eventless uint64
 		for lane, pos := 0, blo; pos < bhi; lane, pos = lane+1, pos+1 {
 			job := jobs[jobIndex(order, pos)]
-			ws.flips = append(ws.flips, wideFlip{cycle: job.Cycle, ff: job.FF, word: g, mask: 1 << uint(lane)})
-			used[g] |= 1 << uint(lane)
+			laneMask := uint64(1) << uint(lane)
+			ws.scratch = r.expandJob(ws.scratch[:0], ws.fx, job, laneMask)
+			if len(ws.scratch) == 0 {
+				eventless |= laneMask
+			}
+			for _, f := range ws.scratch {
+				ws.flips = append(ws.flips, wideFlip{
+					cycle: f.cycle, ff: f.ff, word: g, mask: f.mask, kind: f.kind, fin: f.fin,
+				})
+			}
+			ws.glitches[g] = r.appendGlitches(ws.glitches[g], ws.fx, job, laneMask)
+			used[g] |= laneMask
 		}
-		pending[g] = used[g]
+		// Eventless lanes are never pending: their state is golden forever.
+		pending[g] = used[g] &^ eventless
 	}
 	sortWideFlips(ws.flips)
-	minCycle := ws.flips[0].cycle
-	start := snaps.SnapCycle(snaps.IndexAtOrBefore(minCycle))
 
-	streams := ws.streams[:groups]
-	sc, isStream := r.cls.(StreamClassifier)
-	for g := range streams {
-		if isStream {
-			streams[g] = sc.StartStream(golden, used[g], start)
-		} else {
-			streams[g] = nil
-		}
-	}
-	undecided := func() bool {
-		for g := 0; g < groups; g++ {
-			if used[g]&^(settled[g]|failed[g]) != 0 {
-				return true
-			}
-		}
-		return false
-	}
+	// A wide batch with no events at all (possible under SET) needs no
+	// simulation: every group's trace is the golden trace plus glitches.
+	var start, stop int
+	if len(ws.flips) > 0 {
+		minCycle := ws.flips[0].cycle
+		start = snaps.SnapCycle(snaps.IndexAtOrBefore(minCycle))
 
-	ptr := 0
-	stop := sim.RunWindowWide(ws.e, r.stim, snaps, minCycle, sim.WideWindowConfig{
-		Monitors: r.monitors,
-		Traces:   ws.traces[:groups],
-		PreEval: func(c int) {
-			for ptr < len(ws.flips) && ws.flips[ptr].cycle == c {
-				f := &ws.flips[ptr]
-				ws.e.FlipFF(f.ff, f.word, f.mask)
-				pending[f.word] &^= f.mask
-				ptr++
+		streams := ws.streams[:groups]
+		sc, isStream := r.cls.(StreamClassifier)
+		for g := range streams {
+			if isStream {
+				streams[g] = sc.StartStream(golden, used[g], start)
+			} else {
+				streams[g] = nil
 			}
-		},
-		OnCycle: func(c int) bool {
-			if !isStream {
-				return false
-			}
-			gr := golden.Row(c)
+		}
+		undecided := func() bool {
 			for g := 0; g < groups; g++ {
-				failed[g] = streams[g].Observe(c, gr, ws.traces[g].Row(c))
+				if used[g]&^(settled[g]|failed[g]) != 0 {
+					return true
+				}
 			}
-			return !undecided()
-		},
-		OnSnapshot: func(c int, diverged []uint64) bool {
-			for g := 0; g < groups; g++ {
-				settled[g] = used[g] &^ diverged[g] &^ pending[g]
-			}
-			return !undecided()
-		},
-	})
+			return false
+		}
+
+		ptr := 0
+		stop = sim.RunWindowWide(ws.e, r.stim, snaps, minCycle, sim.WideWindowConfig{
+			Monitors: r.monitors,
+			Traces:   ws.traces[:groups],
+			PreEval: func(c int) {
+				for ptr < len(ws.flips) && ws.flips[ptr].cycle == c {
+					f := &ws.flips[ptr]
+					applyWideOp(ws.e, f)
+					if f.fin {
+						pending[f.word] &^= f.mask
+					}
+					ptr++
+				}
+			},
+			OnCycle: func(c int) bool {
+				if !isStream {
+					return false
+				}
+				gr := golden.Row(c)
+				for g := 0; g < groups; g++ {
+					failed[g] = streams[g].Observe(c, gr, ws.traces[g].Row(c))
+				}
+				return !undecided()
+			},
+			OnSnapshot: func(c int, diverged []uint64) bool {
+				for g := 0; g < groups; g++ {
+					settled[g] = used[g] &^ diverged[g] &^ pending[g]
+				}
+				return !undecided()
+			},
+		})
+	}
 	for g := 0; g < groups; g++ {
 		tr := ws.traces[g]
 		tr.CopyCycles(golden, 0, start)
 		tr.CopyCycles(golden, stop, r.stim.Cycles())
+		for i := range ws.glitches[g] {
+			gl := &ws.glitches[g][i]
+			tr.XORWord(gl.cycle, gl.mon, gl.mask)
+		}
 		r.metrics.observeBatch(start, stop, r.stim.Cycles(), used[g], failed[g], settled[g])
 		masks = append(masks, r.cls.FailingLanes(golden, tr, used[g]))
 	}

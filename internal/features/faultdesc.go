@@ -1,0 +1,43 @@
+package features
+
+// FaultDescriptor is the numeric feature block describing a fault model —
+// the campaign-side counterpart of the per-flip-flop structural and dynamic
+// features. Models are categorical-plus-parameters, so the encoding is a
+// kind one-hot followed by the model's parameters; descriptors let learned
+// estimators condition on (or be compared across) the fault model a
+// campaign was measured under without the features package knowing the
+// fault package's types. The zero value describes nothing; build one per
+// model in the layer that owns the model type (core.FaultDescriptorFor).
+type FaultDescriptor struct {
+	// Kind one-hot: exactly one of these is 1.
+	SEU, MBU, Stuck0, Stuck1, SET float64
+	// ClusterSize is the MBU cluster size; 0 for other kinds.
+	ClusterSize float64
+	// Duration is the stuck-at hold time in cycles; 0 for other kinds.
+	Duration float64
+	// WindowStart and WindowSpan locate the injection window as fractions
+	// of the active phase (full window: start 0, span 1).
+	WindowStart, WindowSpan float64
+}
+
+// NumFaultDescriptorFeatures is the length of a descriptor slice.
+const NumFaultDescriptorFeatures = 9
+
+// FaultDescriptorNames returns the column names of Slice, in order.
+func FaultDescriptorNames() []string {
+	return []string{
+		"fault_seu", "fault_mbu", "fault_stuck0", "fault_stuck1", "fault_set",
+		"fault_cluster_size", "fault_duration",
+		"fault_window_start", "fault_window_span",
+	}
+}
+
+// Slice returns the descriptor as a flat feature row matching
+// FaultDescriptorNames.
+func (d FaultDescriptor) Slice() []float64 {
+	return []float64{
+		d.SEU, d.MBU, d.Stuck0, d.Stuck1, d.SET,
+		d.ClusterSize, d.Duration,
+		d.WindowStart, d.WindowSpan,
+	}
+}

@@ -1,0 +1,41 @@
+package features
+
+import "testing"
+
+func TestFaultDescriptorSliceMatchesNames(t *testing.T) {
+	names := FaultDescriptorNames()
+	if len(names) != NumFaultDescriptorFeatures {
+		t.Fatalf("%d names, want %d", len(names), NumFaultDescriptorFeatures)
+	}
+	d := FaultDescriptor{
+		MBU: 1, ClusterSize: 3, WindowStart: 0.25, WindowSpan: 0.5,
+	}
+	row := d.Slice()
+	if len(row) != NumFaultDescriptorFeatures {
+		t.Fatalf("slice has %d entries, want %d", len(row), NumFaultDescriptorFeatures)
+	}
+	byName := map[string]float64{}
+	for i, n := range names {
+		byName[n] = row[i]
+	}
+	want := map[string]float64{
+		"fault_seu": 0, "fault_mbu": 1, "fault_stuck0": 0, "fault_stuck1": 0,
+		"fault_set": 0, "fault_cluster_size": 3, "fault_duration": 0,
+		"fault_window_start": 0.25, "fault_window_span": 0.5,
+	}
+	for n, v := range want {
+		if byName[n] != v {
+			t.Errorf("%s = %g, want %g", n, byName[n], v)
+		}
+	}
+}
+
+func TestFaultDescriptorNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range FaultDescriptorNames() {
+		if seen[n] {
+			t.Fatalf("duplicate descriptor name %q", n)
+		}
+		seen[n] = true
+	}
+}

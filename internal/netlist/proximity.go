@@ -1,0 +1,97 @@
+package netlist
+
+import "sort"
+
+// FFProximityClusters computes, for every flip-flop, the set of flip-flops
+// an MBU (multi-bit upset) anchored at it would corrupt: the anchor itself
+// plus its spatially nearest flip-flops. With no placement data, netlist
+// connectivity is the proximity proxy — cells wired together end up placed
+// together — so nearness is breadth-first distance over the undirected
+// cell-adjacency graph (two cells are adjacent when one drives a net the
+// other reads).
+//
+// The result has one cluster per flip-flop, indexed and populated in
+// Netlist.FFs order (the fault campaign's FF index space). Each cluster
+// holds min(size, NumFFs) distinct FF indices, anchor first, then BFS
+// layer by layer with cell-index tie-breaks; flip-flops unreachable from
+// the anchor (disconnected components) are appended in FF-index order
+// until the cluster is full. The construction is fully deterministic in
+// the netlist, so every campaign node derives identical clusters.
+func FFProximityClusters(n *Netlist, size int) [][]int {
+	ffs := n.FFs()
+	if size > len(ffs) {
+		size = len(ffs)
+	}
+	if size < 1 {
+		size = 1
+	}
+	ffIndex := make(map[CellID]int, len(ffs))
+	for i, ci := range ffs {
+		ffIndex[ci] = i
+	}
+
+	// readers[net] lists the cells reading the net, ascending by cell ID.
+	readers := make([][]CellID, len(n.Nets))
+	for ci := range n.Cells {
+		for _, in := range n.Cells[ci].Inputs {
+			readers[in] = append(readers[in], CellID(ci))
+		}
+	}
+
+	neighbors := func(ci CellID, visit func(CellID)) {
+		c := &n.Cells[ci]
+		drivers := make([]CellID, 0, len(c.Inputs))
+		for _, in := range c.Inputs {
+			if d := n.Nets[in].Driver; d >= 0 {
+				drivers = append(drivers, d)
+			}
+		}
+		sort.Slice(drivers, func(a, b int) bool { return drivers[a] < drivers[b] })
+		for _, d := range drivers {
+			visit(d)
+		}
+		for _, r := range readers[c.Output] {
+			visit(r)
+		}
+	}
+
+	clusters := make([][]int, len(ffs))
+	visited := make([]bool, len(n.Cells))
+	queue := make([]CellID, 0, len(n.Cells))
+	for anchor, ci := range ffs {
+		cluster := make([]int, 0, size)
+		for i := range visited {
+			visited[i] = false
+		}
+		queue = append(queue[:0], ci)
+		visited[ci] = true
+		for len(queue) > 0 && len(cluster) < size {
+			cur := queue[0]
+			queue = queue[1:]
+			if idx, ok := ffIndex[cur]; ok {
+				cluster = append(cluster, idx)
+			}
+			neighbors(cur, func(nb CellID) {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			})
+		}
+		// Disconnected leftovers: fill deterministically by FF index.
+		for i := 0; len(cluster) < size; i++ {
+			dup := false
+			for _, m := range cluster {
+				if m == i {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				cluster = append(cluster, i)
+			}
+		}
+		clusters[anchor] = cluster
+	}
+	return clusters
+}

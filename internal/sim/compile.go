@@ -33,6 +33,13 @@ type Program struct {
 
 	inputNets  []int32 // primary input nets in port order
 	outputNets []int32 // primary output nets in port order
+
+	// SET targets: one per combinational cell, in netlist cell order, so a
+	// target index is stable for a given netlist. combCells holds the cell,
+	// combOps the index of the op computing the cell's output net (for a
+	// decomposed wide gate, the root op).
+	combCells []netlist.CellID
+	combOps   []int32
 }
 
 // Compile levelizes the netlist and returns a reusable program.
@@ -79,6 +86,18 @@ func Compile(nl *netlist.Netlist) (*Program, error) {
 	p.outputNets = make([]int32, len(nl.Outputs))
 	for i, id := range nl.Outputs {
 		p.outputNets[i] = int32(id)
+	}
+	opByOut := make(map[int32]int32, len(p.ops))
+	for i := range p.ops {
+		opByOut[p.ops[i].out] = int32(i)
+	}
+	for ci := range nl.Cells {
+		c := &nl.Cells[ci]
+		if c.Type.IsSequential() {
+			continue
+		}
+		p.combCells = append(p.combCells, netlist.CellID(ci))
+		p.combOps = append(p.combOps, opByOut[int32(c.Output)])
 	}
 	return p, nil
 }
@@ -166,6 +185,14 @@ func (p *Program) NumOutputs() int { return len(p.outputNets) }
 // FFCell returns the netlist cell ID of flip-flop index i (the campaign's
 // injection targets are FF indices; reports map them back to cell names).
 func (p *Program) FFCell(i int) netlist.CellID { return p.ffs[i].cell }
+
+// NumCombTargets returns the number of SET-injection targets: one per
+// combinational cell, indexed in netlist cell order.
+func (p *Program) NumCombTargets() int { return len(p.combCells) }
+
+// CombTargetCell returns the netlist cell ID of SET target t, for mapping
+// pulse targets back to cell names in reports.
+func (p *Program) CombTargetCell(t int) netlist.CellID { return p.combCells[t] }
 
 // InputIndex resolves a primary input port by net name.
 func (p *Program) InputIndex(name string) (int, error) {

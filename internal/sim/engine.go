@@ -80,8 +80,24 @@ func (e *Engine) FlipFF(ff int, laneMask uint64) {
 	e.nets[e.p.ffs[ff].q] ^= laneMask
 }
 
+// ForceFF drives the state of flip-flop ff to value in every lane selected
+// by laneMask, leaving other lanes untouched. Like FlipFF it is meant for
+// the pre-Eval injection window; calling it every cycle of an interval
+// models a stuck-at fault for that duration.
+func (e *Engine) ForceFF(ff int, laneMask uint64, value bool) {
+	if value {
+		e.nets[e.p.ffs[ff].q] |= laneMask
+	} else {
+		e.nets[e.p.ffs[ff].q] &^= laneMask
+	}
+}
+
 // FFState returns the packed state of flip-flop ff.
 func (e *Engine) FFState(ff int) uint64 { return e.nets[e.p.ffs[ff].q] }
+
+// FFD returns the packed D-pin value of flip-flop ff (valid after Eval):
+// the value the flip-flop will capture at the next Commit.
+func (e *Engine) FFD(ff int) uint64 { return e.nets[e.p.ffs[ff].d] }
 
 // Output returns the packed word on primary output port i (valid after Eval).
 func (e *Engine) Output(i int) uint64 { return e.nets[e.p.outputNets[i]] }
@@ -90,9 +106,27 @@ func (e *Engine) Output(i int) uint64 { return e.nets[e.p.outputNets[i]] }
 func (e *Engine) Net(id netlist.NetID) uint64 { return e.nets[id] }
 
 // Eval propagates the combinational logic in levelized order.
-func (e *Engine) Eval() {
+func (e *Engine) Eval() { e.evalFrom(0) }
+
+// EvalPulse evaluates the combinational logic with a single-event transient
+// on SET target t (see Program.NumCombTargets): the target cell's output is
+// inverted for this one evaluation and the inversion propagates through its
+// downstream cone. It performs a full baseline Eval first, so the non-cone
+// nets hold their ordinary values; a subsequent plain Eval restores the
+// un-pulsed evaluation. The pulse hits all 64 lanes.
+func (e *Engine) EvalPulse(t int) {
+	e.evalFrom(0)
+	idx := int(e.p.combOps[t])
+	e.nets[e.p.ops[idx].out] = ^e.nets[e.p.ops[idx].out]
+	e.evalFrom(idx + 1)
+}
+
+// evalFrom runs ops[start:] in levelized order. Ops only read nets written
+// by earlier ops (or FF/input nets), so re-running a suffix re-derives
+// exactly the downstream values.
+func (e *Engine) evalFrom(start int) {
 	nets := e.nets
-	for i := range e.p.ops {
+	for i := start; i < len(e.p.ops); i++ {
 		o := &e.p.ops[i]
 		var v uint64
 		switch o.fn {

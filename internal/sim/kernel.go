@@ -172,6 +172,17 @@ func (e *KernelEngine) FlipFF(ff, w int, mask uint64) {
 	e.regs[int(e.k.ffQ[ff])*e.w+w] ^= mask
 }
 
+// ForceFF drives flip-flop ff to value in the lanes of mask within batch
+// word w — the kernel counterpart of Engine.ForceFF, used by the stuck-at
+// fault model.
+func (e *KernelEngine) ForceFF(ff, w int, mask uint64, value bool) {
+	if value {
+		e.regs[int(e.k.ffQ[ff])*e.w+w] |= mask
+	} else {
+		e.regs[int(e.k.ffQ[ff])*e.w+w] &^= mask
+	}
+}
+
 // FFWord returns the packed state of flip-flop ff in batch word w.
 func (e *KernelEngine) FFWord(ff, w int) uint64 {
 	return e.regs[int(e.k.ffQ[ff])*e.w+w]

@@ -100,6 +100,15 @@ func (t *Trace) Row(cycle int) []uint64 {
 	return t.words[cycle*nm : (cycle+1)*nm]
 }
 
+// XORWord toggles the lanes of mask in monitor m's word at the given cycle.
+// The fault runner applies SET output glitches with it: a pulse that reaches
+// a monitored port flips that port's sample for exactly the pulse cycle, and
+// the runner patches the recorded (or golden-copied) row post hoc so every
+// backend reconstructs the identical observable trace.
+func (t *Trace) XORWord(cycle, m int, mask uint64) {
+	t.words[cycle*len(t.Monitors)+m] ^= mask
+}
+
 // CopyCycles copies rows [from, to) of src into t. Both traces must record
 // the same monitor set over the same cycle count; the incremental campaign
 // path uses it to fill the fast-forwarded prefix and early-exited suffix of

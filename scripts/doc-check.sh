@@ -51,7 +51,7 @@ done
 
 # Environment knobs (EnvStudyConfig in ffr.go, FFR_LOG in internal/cli)
 # must stay documented.
-for env in FFR_INJECTIONS FFR_SEED FFR_WORKERS FFR_NAIVE FFR_LOG; do
+for env in FFR_INJECTIONS FFR_SEED FFR_WORKERS FFR_NAIVE FFR_LOG FFR_FAULT_MODEL; do
     if ! grep -q "$env" "$doc"; then
         echo "doc-check: environment variable $env is not documented in $doc"
         fail=1
